@@ -1,0 +1,27 @@
+//! Criterion wrapper around the Figure 4 selector comparison.
+//!
+//! Measurement time is capped: each iteration builds a fresh simulated
+//! world whose `Rc`-linked objects live until process exit.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig4_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_selector");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for payload in [1024usize, 100 * 1024] {
+        g.bench_with_input(BenchmarkId::new("nio", payload), &payload, |b, &p| {
+            b.iter(|| bench::fig4::nio_selector_echo(p, 30))
+        });
+        g.bench_with_input(BenchmarkId::new("rubin", payload), &payload, |b, &p| {
+            b.iter(|| bench::fig4::rubin_selector_echo(p, 30))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4_points);
+criterion_main!(benches);

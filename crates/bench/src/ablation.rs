@@ -1,0 +1,72 @@
+//! Ablation of the §IV optimizations: each knob toggled individually on a
+//! *pipelined* RUBIN channel echo (16 messages outstanding), where
+//! per-message overheads land on the critical path.
+//!
+//! The baseline is [`RubinConfig::future`] — all optimizations including
+//! the planned send-side zero copy — so "no zero-copy send" corresponds to
+//! the configuration the paper actually evaluated.
+
+use rubin::RubinConfig;
+use simnet::Series;
+
+use crate::fig3::channel_echo_pipelined;
+
+/// Payloads probed by the ablation: one inline-eligible size, the 1 KB BFT
+/// common case, one mid-range and one large payload.
+pub const ABLATION_PAYLOADS: [usize; 4] = [256, 1024, 16 * 1024, 64 * 1024];
+
+/// Outstanding messages during the ablation echo.
+pub const ABLATION_WINDOW: usize = 16;
+
+/// The ablation variants.
+pub fn variants() -> Vec<(&'static str, RubinConfig)> {
+    let base = RubinConfig::future();
+    vec![
+        ("all optimizations", base.clone()),
+        (
+            "no inline",
+            RubinConfig {
+                inline_threshold: 0,
+                ..base.clone()
+            },
+        ),
+        (
+            "no selective signaling",
+            RubinConfig {
+                signal_interval: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "no batched reposting",
+            RubinConfig {
+                recv_batch: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "no zero-copy receive",
+            RubinConfig {
+                zero_copy_receive: false,
+                ..base
+            },
+        ),
+        ("no zero-copy at all (as evaluated)", RubinConfig::paper()),
+        ("none (naive Send/Recv)", RubinConfig::unoptimized()),
+    ]
+}
+
+/// Runs the ablation; one latency series per variant.
+pub fn run(msgs: usize) -> Vec<Series> {
+    variants()
+        .into_iter()
+        .map(|(label, cfg)| {
+            let mut s = Series::new(label);
+            for &p in &ABLATION_PAYLOADS {
+                let r = channel_echo_pipelined(p, msgs, ABLATION_WINDOW, cfg.clone());
+                s.push(p, r.latency_us);
+            }
+            s
+        })
+        .collect()
+}

@@ -1,0 +1,15 @@
+//! Ablation of the RUBIN §IV optimizations (inline sends, selective
+//! signaling, batched reposting, zero-copy send), one channel-echo series
+//! per configuration.
+
+use bench::ablation;
+use simnet::render_table;
+
+fn main() {
+    let msgs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100usize);
+    let series = ablation::run(msgs);
+    print!("{}", render_table("RUBIN optimization ablation — latency", "us", &series));
+}

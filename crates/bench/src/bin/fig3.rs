@@ -1,0 +1,35 @@
+//! Regenerates Figure 3 (echo micro-benchmark): latency (3a) and
+//! throughput (3b) for TCP, RDMA Send/Recv, RDMA Read/Write, and the
+//! RUBIN RDMA channel over 1–100 KB payloads.
+
+use bench::fig3;
+use simnet::render_table;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    let msgs = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(bench::DEFAULT_MSGS);
+    let (lat, thr) = fig3::run(msgs);
+    if mode == "latency" || mode == "both" {
+        print!("{}", render_table("Figure 3a — echo latency", "us", &lat));
+    }
+    if mode == "throughput" || mode == "both" {
+        let krps: Vec<simnet::Series> = thr
+            .iter()
+            .map(|s| {
+                let mut k = simnet::Series::new(s.label.clone());
+                for p in &s.points {
+                    k.push(p.payload_bytes, p.value / 1000.0);
+                }
+                k
+            })
+            .collect();
+        print!("{}", render_table("Figure 3b — echo throughput", "krps", &krps));
+    }
+    println!("\n# Shape checks vs. paper §V");
+    for (desc, ok) in fig3::shape_report(&lat, &thr) {
+        println!("  [{}] {desc}", if ok { "PASS" } else { "FAIL" });
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 4 (selector comparison): echo through the Reptor
+//! comm stack with window 30 / batching 10, RUBIN selector vs. Java NIO
+//! selector, run locally on one machine.
+
+use bench::fig4;
+use simnet::render_table;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    let msgs = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(bench::DEFAULT_MSGS);
+    let (lat, thr) = fig4::run(msgs);
+    if mode == "latency" || mode == "both" {
+        print!("{}", render_table("Figure 4a — selector echo latency", "us", &lat));
+    }
+    if mode == "throughput" || mode == "both" {
+        print!("{}", render_table("Figure 4b — selector echo throughput", "rps", &thr));
+    }
+    println!("\n# Shape checks vs. paper §V");
+    for (desc, ok) in fig4::shape_report(&lat, &thr) {
+        println!("  [{}] {desc}", if ok { "PASS" } else { "FAIL" });
+    }
+}

@@ -1,0 +1,32 @@
+//! The fully replicated system (paper §VII future work): 4-replica PBFT
+//! request latency/throughput over the RUBIN-RDMA, NIO-TCP and direct
+//! comm stacks.
+
+use bench::replicated;
+use simnet::render_table;
+
+fn main() {
+    let total = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100u64);
+    let depth = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8usize);
+    let (lat, thr) = replicated::run(total, depth);
+    print!("{}", render_table("Replicated BFT — request latency", "us", &lat));
+    print!("{}", render_table("Replicated BFT — throughput", "req/s", &thr));
+
+    println!("\n# COP scaling (consensus pillars, direct transport)");
+    println!("{:>10} {:>12}", "pillars", "req/s");
+    for (pillars, rps) in replicated::cop_scaling(total, depth.max(16)) {
+        println!("{pillars:>10} {rps:>12.0}");
+    }
+
+    println!("\n# Mixed workloads (Troxy-style request mixes)");
+    println!("{:>16} {:>14} {:>14} {:>12}", "mix", "stack", "latency(us)", "req/s");
+    for (mix, stack, r) in replicated::run_mixes(total, depth) {
+        println!("{mix:>16} {stack:>14} {:>14.1} {:>12.0}", r.latency_us, r.rps);
+    }
+}

@@ -1,0 +1,215 @@
+//! Figure 4: echo through the Reptor communication stack, RUBIN selector
+//! vs. Java-NIO selector.
+//!
+//! As in the paper (§V): the workload runs locally on one machine, the
+//! window size is 30 and batching is 10 messages — the client keeps up to
+//! 30 echoes outstanding and injects them in bursts of 10. Both stacks use
+//! the full transport path (framing, selectors, flow control), which is
+//! what separates this from the raw Figure 3 micro-benchmark.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use rdma_verbs::RnicModel;
+use reptor::{NioTransport, RubinTransport, Transport};
+use rubin::RubinConfig;
+use simnet::{
+    throughput_ops_per_sec, CoreId, CpuModel, LatencyRecorder, Nanos, Network, Series, Simulator,
+};
+use simnet_socket::TcpModel;
+
+use crate::{pattern, EchoResult, PAYLOAD_SWEEP};
+
+/// Paper parameters: window size 30, batching 10.
+pub const WINDOW: usize = 30;
+/// Paper parameters: window size 30, batching 10.
+pub const BATCH: usize = 10;
+
+/// Runs the Figure 4 sweep; returns `(latency series, throughput series)`
+/// with one entry per stack (`Rubin`, `TCP`).
+pub fn run(msgs: usize) -> (Vec<Series>, Vec<Series>) {
+    let mut lat: Vec<Series> = ["Rubin", "TCP"].iter().map(|l| Series::new(*l)).collect();
+    let mut thr = lat.clone();
+    for &payload in &PAYLOAD_SWEEP {
+        eprintln!("[fig4] payload {payload}: rubin...");
+        let rubin = rubin_selector_echo(payload, msgs);
+        eprintln!("[fig4] payload {payload}: tcp...");
+        let tcp = nio_selector_echo(payload, msgs);
+        lat[0].push(payload, rubin.latency_us);
+        lat[1].push(payload, tcp.latency_us);
+        thr[0].push(payload, rubin.rps);
+        thr[1].push(payload, tcp.rps);
+    }
+    (lat, thr)
+}
+
+struct ClientState {
+    payload: Vec<u8>,
+    total: usize,
+    sent: usize,
+    completed: usize,
+    outstanding: usize,
+    send_times: VecDeque<Nanos>,
+    rec: LatencyRecorder,
+}
+
+fn drive_echo(
+    sim: &mut Simulator,
+    client: Rc<dyn Transport>,
+    server: Rc<dyn Transport>,
+    payload: usize,
+    msgs: usize,
+) -> EchoResult {
+    // Server: echo every message straight back.
+    let server_t = server.clone();
+    let client_node = client.node();
+    server.set_delivery(Rc::new(move |sim, _from, bytes| {
+        server_t.send(sim, client_node, bytes);
+    }));
+
+    let state = Rc::new(RefCell::new(ClientState {
+        payload: pattern(payload),
+        total: msgs,
+        sent: 0,
+        completed: 0,
+        outstanding: 0,
+        send_times: VecDeque::new(),
+        rec: LatencyRecorder::new(),
+    }));
+
+    fn top_up(
+        sim: &mut Simulator,
+        client: &Rc<dyn Transport>,
+        server_node: u32,
+        state: &Rc<RefCell<ClientState>>,
+    ) {
+        loop {
+            let burst = {
+                let s = state.borrow();
+                if s.sent >= s.total || s.outstanding + BATCH > WINDOW {
+                    0
+                } else {
+                    BATCH.min(s.total - s.sent)
+                }
+            };
+            if burst == 0 {
+                return;
+            }
+            for _ in 0..burst {
+                let msg = {
+                    let mut s = state.borrow_mut();
+                    s.sent += 1;
+                    s.outstanding += 1;
+                    s.send_times.push_back(sim.now());
+                    s.payload.clone()
+                };
+                client.send(sim, server_node, msg);
+            }
+        }
+    }
+
+    let server_node = server.node();
+    let st = state.clone();
+    let client_for_cb = client.clone();
+    client.set_delivery(Rc::new(move |sim, _from, bytes| {
+        {
+            let mut s = st.borrow_mut();
+            assert_eq!(bytes.len(), s.payload.len(), "echo length mismatch");
+            let sent_at = s.send_times.pop_front().expect("matching send");
+            s.rec.record(sim.now() - sent_at);
+            s.completed += 1;
+            s.outstanding -= 1;
+        }
+        top_up(sim, &client_for_cb, server_node, &st);
+    }));
+
+    let t0 = sim.now();
+    top_up(sim, &client, server_node, &state);
+    sim.run_until_idle();
+    let s = state.borrow();
+    assert_eq!(
+        s.completed, msgs,
+        "selector echo stalled at {}/{msgs}",
+        s.completed
+    );
+    EchoResult {
+        latency_us: s.rec.mean().as_micros_f64(),
+        rps: throughput_ops_per_sec(msgs as u64, sim.now() - t0),
+    }
+}
+
+/// One 4-core machine, as in the paper's local run. Client and server are
+/// two endpoints on different cores of the same host.
+fn local_host(seed: u64) -> (Simulator, Network, simnet::HostId) {
+    let sim = Simulator::new(seed);
+    let net = Network::new();
+    let host = net.add_host("local", 4, CpuModel::xeon_v2());
+    (sim, net, host)
+}
+
+/// Echo over the Java-NIO-style selector stack.
+pub fn nio_selector_echo(payload: usize, msgs: usize) -> EchoResult {
+    let (mut sim, net, host) = local_host(0xF16_41);
+    let nodes = [(0u32, host, CoreId(0)), (1u32, host, CoreId(2))];
+    let ts = NioTransport::build_group(&mut sim, &net, &nodes, TcpModel::linux_xeon());
+    sim.run_until_idle(); // connections + hellos settle
+    let server: Rc<dyn Transport> = Rc::new(ts[0].clone());
+    let client: Rc<dyn Transport> = Rc::new(ts[1].clone());
+    drive_echo(&mut sim, client, server, payload, msgs)
+}
+
+/// Echo over the RUBIN selector stack.
+pub fn rubin_selector_echo(payload: usize, msgs: usize) -> EchoResult {
+    let (mut sim, net, host) = local_host(0xF16_42);
+    let nodes = [(0u32, host, CoreId(0)), (1u32, host, CoreId(2))];
+    let ts = RubinTransport::build_group(
+        &mut sim,
+        &net,
+        &nodes,
+        RnicModel::mt27520(),
+        RubinConfig::paper(),
+    );
+    sim.run_until_idle();
+    let server: Rc<dyn Transport> = Rc::new(ts[0].clone());
+    let client: Rc<dyn Transport> = Rc::new(ts[1].clone());
+    drive_echo(&mut sim, client, server, payload, msgs)
+}
+
+/// Shape checks for Figure 4 (§V): RUBIN ~19–20 % lower latency at the
+/// extremes, RUBIN throughput 25–38 % above TCP.
+pub fn shape_report(lat: &[Series], thr: &[Series]) -> Vec<(String, bool)> {
+    let v = |s: &Series, p: usize| s.value_at(p).expect("point");
+    let rubin = &lat[0];
+    let tcp = &lat[1];
+    let mut out = Vec::new();
+
+    let small = 1.0 - v(rubin, 1024) / v(tcp, 1024);
+    out.push((
+        format!("RUBIN ≈19% below TCP at 1KB (measured {:.0}%)", small * 100.0),
+        (0.05..=0.45).contains(&small),
+    ));
+    // The paper reports ≈20% at 100KB; the simulation's kernel TCP model
+    // degrades harder at large payloads (see EXPERIMENTS.md), so the check
+    // is directional with a wide band.
+    let large = 1.0 - v(rubin, 102_400) / v(tcp, 102_400);
+    out.push((
+        format!("RUBIN ≈20% below TCP at 100KB (measured {:.0}%)", large * 100.0),
+        (0.05..=0.75).contains(&large),
+    ));
+    let gains: Vec<f64> = PAYLOAD_SWEEP
+        .iter()
+        .map(|&p| thr[0].value_at(p).unwrap() / thr[1].value_at(p).unwrap() - 1.0)
+        .collect();
+    let lo = gains.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = gains.iter().copied().fold(0.0, f64::max);
+    out.push((
+        format!(
+            "RUBIN throughput 25–38% above TCP (measured {:.0}–{:.0}%)",
+            lo * 100.0,
+            hi * 100.0
+        ),
+        lo > 0.0,
+    ));
+    out
+}

@@ -1,0 +1,218 @@
+//! The fully replicated system (paper §VII future work): 4-replica PBFT
+//! agreement driven over both comm stacks.
+//!
+//! The paper stops at the comm-stack comparison and explicitly defers
+//! "extensively evaluat\[ing\] the fully replicated system" to future work;
+//! this module runs that experiment: a client sweeps request payloads
+//! against a 4-replica Reptor group whose replica communication runs over
+//! the NIO-TCP stack, the RUBIN-RDMA stack, or the direct fabric.
+
+use std::rc::Rc;
+
+use rdma_verbs::RnicModel;
+use reptor::{
+    Client, EchoService, NioTransport, Replica, ReptorConfig, RubinTransport, SimTransport,
+    Transport, DOMAIN_SECRET,
+};
+use rubin::RubinConfig;
+use simnet::{throughput_ops_per_sec, CoreId, LatencyRecorder, Series, TestBed};
+use simnet_socket::TcpModel;
+
+use crate::EchoResult;
+
+/// Which comm stack the replicas use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stack {
+    /// Direct fabric delivery (no comm-stack CPU model) — the upper bound.
+    Direct,
+    /// Java-NIO-style TCP stack.
+    Nio,
+    /// RUBIN RDMA stack.
+    Rubin,
+}
+
+impl Stack {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stack::Direct => "Direct",
+            Stack::Nio => "TCP (NIO)",
+            Stack::Rubin => "RDMA (Rubin)",
+        }
+    }
+}
+
+/// COP scaling: agreement throughput as the number of consensus pillars
+/// grows (Behl et al.'s Consensus-Oriented Parallelization, the Reptor
+/// property §II-C highlights). Uses the direct transport and single-request
+/// batches so the pillar CPU work dominates.
+pub fn cop_scaling(total: u64, depth: usize) -> Vec<(usize, f64)> {
+    (1..=3)
+        .map(|pillars| {
+            let r = bft_configured(
+                Stack::Direct,
+                crate::workload::Mix::Fixed(4096),
+                total,
+                depth,
+                0xC0B + pillars as u64,
+                ReptorConfig {
+                    pillars,
+                    batch_size: 1,
+                    window: 64,
+                    ..ReptorConfig::small()
+                },
+            );
+            (pillars, r.rps)
+        })
+        .collect()
+}
+
+/// Runs `total` echo requests of `payload` bytes through a 4-replica PBFT
+/// group over the chosen stack, keeping `depth` requests in flight.
+pub fn bft_echo(stack: Stack, payload: usize, total: u64, depth: usize, seed: u64) -> EchoResult {
+    bft_workload(
+        stack,
+        crate::workload::Mix::Fixed(payload),
+        total,
+        depth,
+        seed,
+    )
+}
+
+/// Runs `total` requests drawn from `mix` through a 4-replica PBFT group
+/// over the chosen stack, keeping `depth` requests in flight.
+pub fn bft_workload(
+    stack: Stack,
+    mix: crate::workload::Mix,
+    total: u64,
+    depth: usize,
+    seed: u64,
+) -> EchoResult {
+    bft_configured(stack, mix, total, depth, seed, ReptorConfig::small())
+}
+
+/// As [`bft_workload`], with an explicit replica-group configuration.
+pub fn bft_configured(
+    stack: Stack,
+    mix: crate::workload::Mix,
+    total: u64,
+    depth: usize,
+    seed: u64,
+    cfg: ReptorConfig,
+) -> EchoResult {
+    let n = cfg.n;
+    let (mut sim, net, hosts) = TestBed::cluster(seed, n + 1);
+    let nodes: Vec<(u32, simnet::HostId, CoreId)> = hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (i as u32, h, CoreId(0)))
+        .collect();
+
+    let transports: Vec<Rc<dyn Transport>> = match stack {
+        Stack::Direct => {
+            let pairs: Vec<(u32, simnet::HostId)> =
+                nodes.iter().map(|&(n, h, _)| (n, h)).collect();
+            SimTransport::build_group(&net, &pairs)
+                .into_iter()
+                .map(|t| Rc::new(t) as Rc<dyn Transport>)
+                .collect()
+        }
+        Stack::Nio => {
+            let ts = NioTransport::build_group(&mut sim, &net, &nodes, TcpModel::linux_xeon());
+            sim.run_until_idle();
+            ts.into_iter().map(|t| Rc::new(t) as Rc<dyn Transport>).collect()
+        }
+        Stack::Rubin => {
+            let ts = RubinTransport::build_group(
+                &mut sim,
+                &net,
+                &nodes,
+                RnicModel::mt27520(),
+                RubinConfig::paper(),
+            );
+            sim.run_until_idle();
+            ts.into_iter().map(|t| Rc::new(t) as Rc<dyn Transport>).collect()
+        }
+    };
+
+    let _replicas: Vec<Replica> = (0..n)
+        .map(|i| {
+            Replica::new(
+                i as u32,
+                cfg.clone(),
+                DOMAIN_SECRET,
+                transports[i].clone(),
+                &net,
+                hosts[i],
+                Box::new(EchoService::default()),
+            )
+        })
+        .collect();
+    let client = Client::new(n as u32, cfg, DOMAIN_SECRET, transports[n].clone());
+
+    let mut gen = crate::workload::Workload::new(mix, seed ^ 0x5EED);
+    let t0 = sim.now();
+    let mut submitted = 0u64;
+    let mut guard = 0u64;
+    while client.stats().completed < total {
+        while submitted < total && client.pending_count() < depth {
+            client.submit(&mut sim, gen.next_payload());
+            submitted += 1;
+        }
+        if !sim.step() {
+            break;
+        }
+        guard += 1;
+        assert!(
+            guard < 60_000_000,
+            "replicated run stalled: {}/{} done over {:?}",
+            client.stats().completed,
+            total,
+            stack
+        );
+    }
+    let completed = client.stats().completed;
+    assert_eq!(completed, total, "not all requests completed over {stack:?}");
+    let mut rec = LatencyRecorder::new();
+    for c in client.completions() {
+        rec.record(c.latency());
+    }
+    EchoResult {
+        latency_us: rec.mean().as_micros_f64(),
+        rps: throughput_ops_per_sec(total, sim.now() - t0),
+    }
+}
+
+/// The payload sweep for the replicated experiment (BFT messages are
+/// mostly small, §V).
+pub const BFT_PAYLOADS: [usize; 4] = [256, 1024, 4 * 1024, 16 * 1024];
+
+/// Runs every named workload mix over all three stacks; returns one
+/// `(mix label, stack label, result)` row per combination.
+pub fn run_mixes(total: u64, depth: usize) -> Vec<(String, &'static str, EchoResult)> {
+    use crate::workload::Mix;
+    let mut rows = Vec::new();
+    for mix in [Mix::KvStore, Mix::WebFrontend, Mix::Ledger] {
+        for stack in [Stack::Rubin, Stack::Nio] {
+            let r = bft_workload(stack, mix, total, depth, 0xB5);
+            rows.push((mix.label(), stack.label(), r));
+        }
+    }
+    rows
+}
+
+/// Runs the sweep over all three stacks; returns `(latency, throughput)`
+/// series.
+pub fn run(total: u64, depth: usize) -> (Vec<Series>, Vec<Series>) {
+    let stacks = [Stack::Rubin, Stack::Nio, Stack::Direct];
+    let mut lat: Vec<Series> = stacks.iter().map(|s| Series::new(s.label())).collect();
+    let mut thr = lat.clone();
+    for &payload in &BFT_PAYLOADS {
+        for (i, &stack) in stacks.iter().enumerate() {
+            let r = bft_echo(stack, payload, total, depth, 0xB4);
+            lat[i].push(payload, r.latency_us);
+            thr[i].push(payload, r.rps);
+        }
+    }
+    (lat, thr)
+}

@@ -1,0 +1,89 @@
+//! Digest newtype used throughout the BFT stack.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sha256::{sha256, DIGEST_LEN};
+
+/// A SHA-256 digest identifying a request, batch, checkpoint or block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// The all-zero digest (used as the genesis parent in the blockchain).
+    pub const ZERO: Digest = Digest([0; DIGEST_LEN]);
+
+    /// Hashes `data`.
+    pub fn of(data: &[u8]) -> Digest {
+        Digest(sha256(data))
+    }
+
+    /// Hashes the concatenation of several byte strings, length-prefixed so
+    /// `("ab","c")` and `("a","bc")` differ.
+    pub fn of_parts(parts: &[&[u8]]) -> Digest {
+        let mut h = crate::sha256::Sha256::new();
+        for p in parts {
+            h.update(&(p.len() as u64).to_le_bytes());
+            h.update(p);
+        }
+        Digest(h.finalize())
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Short hex prefix for logs.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}..)", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_matches_sha256() {
+        assert_eq!(Digest::of(b"abc").0, sha256(b"abc"));
+    }
+
+    #[test]
+    fn parts_are_length_prefixed() {
+        let a = Digest::of_parts(&[b"ab", b"c"]);
+        let b = Digest::of_parts(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+        assert_eq!(a, Digest::of_parts(&[b"ab", b"c"]));
+    }
+
+    #[test]
+    fn display_is_full_hex() {
+        let d = Digest::ZERO;
+        assert_eq!(d.to_string(), "0".repeat(64));
+        assert_eq!(d.short(), "00000000");
+        assert!(format!("{d:?}").contains("Digest("));
+    }
+}

@@ -1,0 +1,258 @@
+//! Blocks and the hash chain.
+//!
+//! The paper's motivating deployment is a permissioned blockchain whose
+//! consensus is run by BFT replicas inside a data center (§I). A block
+//! holds ordered transactions and the hash of its predecessor, so any
+//! mutation of history is immediately detectable.
+
+use bft_crypto::Digest;
+
+use crate::tx::Transaction;
+
+/// A block of ordered transactions, chained by parent hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Hash of the predecessor block (zero for genesis).
+    pub parent: Digest,
+    /// The ordered transactions.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// The genesis block.
+    pub fn genesis() -> Block {
+        Block {
+            height: 0,
+            parent: Digest::ZERO,
+            transactions: Vec::new(),
+        }
+    }
+
+    /// The block's hash: covers height, parent and every transaction.
+    pub fn hash(&self) -> Digest {
+        let tx_digests: Vec<Digest> = self.transactions.iter().map(Transaction::digest).collect();
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(tx_digests.len() + 2);
+        let height = self.height.to_le_bytes();
+        parts.push(&height);
+        parts.push(self.parent.as_ref());
+        for d in &tx_digests {
+            parts.push(d.as_ref());
+        }
+        Digest::of_parts(&parts)
+    }
+}
+
+/// An append-only, integrity-checked chain of blocks.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    blocks: Vec<Block>,
+}
+
+/// Why a block was rejected by [`Chain::append`] or why
+/// [`Chain::verify`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The block's height is not `tip + 1`.
+    WrongHeight {
+        /// Height the chain expected.
+        expected: u64,
+        /// Height the block carried.
+        got: u64,
+    },
+    /// The block's parent hash does not match the tip.
+    WrongParent {
+        /// Height at which the mismatch occurred.
+        height: u64,
+    },
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::WrongHeight { expected, got } => {
+                write!(f, "expected block height {expected}, got {got}")
+            }
+            ChainError::WrongParent { height } => {
+                write!(f, "parent hash mismatch at height {height}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl Default for Chain {
+    fn default() -> Chain {
+        Chain::new()
+    }
+}
+
+impl Chain {
+    /// Creates a chain holding only the genesis block.
+    pub fn new() -> Chain {
+        Chain {
+            blocks: vec![Block::genesis()],
+        }
+    }
+
+    /// Number of blocks (including genesis).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always false: the genesis block is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The newest block.
+    pub fn tip(&self) -> &Block {
+        self.blocks.last().expect("genesis always present")
+    }
+
+    /// The block at `height`, if present.
+    pub fn get(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Builds the successor block for the given transactions (does not
+    /// append it).
+    pub fn next_block(&self, transactions: Vec<Transaction>) -> Block {
+        Block {
+            height: self.tip().height + 1,
+            parent: self.tip().hash(),
+            transactions,
+        }
+    }
+
+    /// Appends a block after validating height and parent hash.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError`] if the block does not extend the tip.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        let expected = self.tip().height + 1;
+        if block.height != expected {
+            return Err(ChainError::WrongHeight {
+                expected,
+                got: block.height,
+            });
+        }
+        if block.parent != self.tip().hash() {
+            return Err(ChainError::WrongParent {
+                height: block.height,
+            });
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Re-validates the whole chain; returns the height of the first
+    /// broken link, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::WrongParent`] at the first tampered block.
+    pub fn verify(&self) -> Result<(), ChainError> {
+        for w in self.blocks.windows(2) {
+            if w[1].parent != w[0].hash() {
+                return Err(ChainError::WrongParent {
+                    height: w[1].height,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total transactions across all blocks.
+    pub fn total_transactions(&self) -> usize {
+        self.blocks.iter().map(|b| b.transactions.len()).sum()
+    }
+
+    /// Mutable access for tamper-injection in tests.
+    #[doc(hidden)]
+    pub fn tamper(&mut self, height: u64, f: impl FnOnce(&mut Block)) {
+        if let Some(b) = self.blocks.get_mut(height as usize) {
+            f(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Transaction;
+
+    fn tx(n: u8) -> Transaction {
+        Transaction::transfer("alice", "bob", n as u64)
+    }
+
+    #[test]
+    fn append_maintains_links() {
+        let mut chain = Chain::new();
+        for i in 0..5u8 {
+            let b = chain.next_block(vec![tx(i)]);
+            chain.append(b).unwrap();
+        }
+        assert_eq!(chain.len(), 6);
+        assert_eq!(chain.total_transactions(), 5);
+        chain.verify().unwrap();
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let mut chain = Chain::new();
+        let mut b = chain.next_block(vec![]);
+        b.height = 7;
+        assert!(matches!(
+            chain.append(b),
+            Err(ChainError::WrongHeight { expected: 1, got: 7 })
+        ));
+    }
+
+    #[test]
+    fn wrong_parent_rejected() {
+        let mut chain = Chain::new();
+        let mut b = chain.next_block(vec![]);
+        b.parent = Digest::of(b"bogus");
+        assert!(matches!(
+            chain.append(b),
+            Err(ChainError::WrongParent { height: 1 })
+        ));
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut chain = Chain::new();
+        for i in 0..4u8 {
+            let b = chain.next_block(vec![tx(i)]);
+            chain.append(b).unwrap();
+        }
+        chain.verify().unwrap();
+        // Mutate a transaction in block 2: the link from block 3 breaks.
+        chain.tamper(2, |b| {
+            b.transactions[0] = Transaction::transfer("mallory", "mallory", 1_000_000);
+        });
+        assert_eq!(chain.verify(), Err(ChainError::WrongParent { height: 3 }));
+    }
+
+    #[test]
+    fn block_hash_covers_everything() {
+        let b1 = Block {
+            height: 1,
+            parent: Digest::ZERO,
+            transactions: vec![tx(1)],
+        };
+        let mut b2 = b1.clone();
+        b2.height = 2;
+        assert_ne!(b1.hash(), b2.hash());
+        let mut b3 = b1.clone();
+        b3.parent = Digest::of(b"other");
+        assert_ne!(b1.hash(), b3.hash());
+        let mut b4 = b1.clone();
+        b4.transactions = vec![tx(2)];
+        assert_ne!(b1.hash(), b4.hash());
+    }
+}

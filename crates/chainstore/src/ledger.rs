@@ -1,0 +1,242 @@
+//! The ledger state machine: account balances, custody records and the
+//! hash chain, replicated through Reptor.
+
+use std::collections::BTreeMap;
+
+use bft_crypto::Digest;
+use reptor::{Request, StateMachine};
+use simnet::Nanos;
+
+use crate::block::Chain;
+use crate::tx::Transaction;
+
+/// Result codes returned to clients.
+pub mod results {
+    /// Transaction accepted into the ledger.
+    pub const OK: &[u8] = b"OK";
+    /// Transfer refused: insufficient funds.
+    pub const INSUFFICIENT: &[u8] = b"INSUFFICIENT";
+    /// Request payload was not a valid transaction.
+    pub const MALFORMED: &[u8] = b"MALFORMED";
+}
+
+/// A replicated permissioned ledger.
+///
+/// Every committed transaction is appended to the current block; a block is
+/// sealed onto the [`Chain`] every `block_size` transactions. Because PBFT
+/// delivers the same request sequence to every correct replica, all correct
+/// replicas build byte-identical chains — the property the blockchain's
+/// consensus-finality claim rests on (paper §I: "a block that has been
+/// appended to the chain cannot be invalidated due to forks").
+#[derive(Debug)]
+pub struct LedgerService {
+    chain: Chain,
+    block_size: usize,
+    pending: Vec<Transaction>,
+    balances: BTreeMap<String, u64>,
+    /// Custody history per item: `(location, holder)` events.
+    custody: BTreeMap<String, Vec<(String, String)>>,
+    applied: u64,
+}
+
+impl LedgerService {
+    /// Creates a ledger sealing a block every `block_size` transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(block_size: usize) -> LedgerService {
+        assert!(block_size > 0, "block size must be positive");
+        LedgerService {
+            chain: Chain::new(),
+            block_size,
+            pending: Vec::new(),
+            balances: BTreeMap::new(),
+            custody: BTreeMap::new(),
+            applied: 0,
+        }
+    }
+
+    /// The chain built so far.
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// An account's balance (zero if unknown).
+    pub fn balance(&self, account: &str) -> u64 {
+        self.balances.get(account).copied().unwrap_or(0)
+    }
+
+    /// Custody trail of an item.
+    pub fn custody_of(&self, item: &str) -> &[(String, String)] {
+        self.custody.get(item).map_or(&[], Vec::as_slice)
+    }
+
+    /// Transactions applied (including those in the unsealed block).
+    pub fn applied_count(&self) -> u64 {
+        self.applied
+    }
+
+    /// Applies a transaction directly (local/demo use; replicated
+    /// deployments go through [`StateMachine::apply`]).
+    pub fn apply_tx(&mut self, timestamp: u64, tx: &Transaction) -> Vec<u8> {
+        self.apply(&Request {
+            client: 0,
+            timestamp,
+            payload: tx.encode(),
+        })
+    }
+
+    fn execute(&mut self, tx: &Transaction) -> Vec<u8> {
+        match tx {
+            Transaction::Transfer { from, to, amount } => {
+                let have = self.balance(from);
+                if have < *amount {
+                    return results::INSUFFICIENT.to_vec();
+                }
+                *self.balances.entry(from.clone()).or_insert(0) -= amount;
+                *self.balances.entry(to.clone()).or_insert(0) += amount;
+                results::OK.to_vec()
+            }
+            Transaction::Shipment {
+                item,
+                to,
+                location,
+                ..
+            } => {
+                self.custody
+                    .entry(item.clone())
+                    .or_default()
+                    .push((location.clone(), to.clone()));
+                results::OK.to_vec()
+            }
+            Transaction::Mint { to, amount } => {
+                *self.balances.entry(to.clone()).or_insert(0) += amount;
+                results::OK.to_vec()
+            }
+        }
+    }
+}
+
+impl StateMachine for LedgerService {
+    fn apply(&mut self, req: &Request) -> Vec<u8> {
+        let Some(tx) = Transaction::decode(&req.payload) else {
+            return results::MALFORMED.to_vec();
+        };
+        let result = self.execute(&tx);
+        if result == results::OK {
+            self.pending.push(tx);
+            self.applied += 1;
+            if self.pending.len() >= self.block_size {
+                let block = self.chain.next_block(std::mem::take(&mut self.pending));
+                self.chain
+                    .append(block)
+                    .expect("locally built block always extends the tip");
+            }
+        }
+        result
+    }
+
+    fn state_digest(&self) -> Digest {
+        // Tip hash + count of unsealed transactions + their digests.
+        let tip = self.chain.tip().hash();
+        let pending: Vec<Digest> = self.pending.iter().map(Transaction::digest).collect();
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(pending.len() + 2);
+        parts.push(tip.as_ref());
+        let count = self.applied.to_le_bytes();
+        parts.push(&count);
+        for d in &pending {
+            parts.push(d.as_ref());
+        }
+        Digest::of_parts(&parts)
+    }
+
+    fn op_cost(&self, req: &Request) -> Nanos {
+        // Transaction validation + balance update + hash amortization.
+        Nanos::from_nanos(3_000 + 2 * req.payload.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tx: &Transaction) -> Request {
+        Request {
+            client: 9,
+            timestamp: 1,
+            payload: tx.encode(),
+        }
+    }
+
+    #[test]
+    fn transfers_respect_balances() {
+        let mut l = LedgerService::new(4);
+        assert_eq!(
+            l.apply(&req(&Transaction::transfer("alice", "bob", 10))),
+            results::INSUFFICIENT
+        );
+        assert_eq!(l.apply(&req(&Transaction::mint("alice", 100))), results::OK);
+        assert_eq!(
+            l.apply(&req(&Transaction::transfer("alice", "bob", 30))),
+            results::OK
+        );
+        assert_eq!(l.balance("alice"), 70);
+        assert_eq!(l.balance("bob"), 30);
+    }
+
+    #[test]
+    fn blocks_seal_every_block_size_txs() {
+        let mut l = LedgerService::new(2);
+        l.apply(&req(&Transaction::mint("a", 1)));
+        assert_eq!(l.chain().len(), 1, "first tx stays pending");
+        l.apply(&req(&Transaction::mint("a", 1)));
+        assert_eq!(l.chain().len(), 2, "second tx seals a block");
+        l.apply(&req(&Transaction::mint("a", 1)));
+        l.apply(&req(&Transaction::mint("a", 1)));
+        assert_eq!(l.chain().len(), 3);
+        l.chain().verify().unwrap();
+        assert_eq!(l.chain().total_transactions(), 4);
+    }
+
+    #[test]
+    fn rejected_txs_do_not_enter_blocks() {
+        let mut l = LedgerService::new(1);
+        l.apply(&req(&Transaction::transfer("nobody", "x", 5)));
+        assert_eq!(l.chain().len(), 1);
+        assert_eq!(l.applied_count(), 0);
+        l.apply(&Request {
+            client: 9,
+            timestamp: 2,
+            payload: b"not-a-tx".to_vec(),
+        });
+        assert_eq!(l.chain().len(), 1);
+    }
+
+    #[test]
+    fn custody_trail_accumulates() {
+        let mut l = LedgerService::new(8);
+        l.apply(&req(&Transaction::shipment("item-1", "factory", "carrier", "hamburg")));
+        l.apply(&req(&Transaction::shipment("item-1", "carrier", "store", "berlin")));
+        let trail = l.custody_of("item-1");
+        assert_eq!(trail.len(), 2);
+        assert_eq!(trail[0], ("hamburg".to_string(), "carrier".to_string()));
+        assert_eq!(trail[1], ("berlin".to_string(), "store".to_string()));
+        assert!(l.custody_of("other").is_empty());
+    }
+
+    #[test]
+    fn state_digest_reflects_pending_and_sealed() {
+        let mut a = LedgerService::new(2);
+        let mut b = LedgerService::new(2);
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.apply(&req(&Transaction::mint("x", 1)));
+        assert_ne!(a.state_digest(), b.state_digest());
+        b.apply(&req(&Transaction::mint("x", 1)));
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.apply(&req(&Transaction::mint("x", 1)));
+        b.apply(&req(&Transaction::mint("x", 1)));
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.chain().len(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Transactions for the permissioned ledger.
+//!
+//! Two transaction families cover the paper's motivating use cases (§I):
+//! asset transfers (the cryptocurrency case) and supply-chain-management
+//! records (the permissioned SCM case).
+
+use bft_crypto::Digest;
+
+/// A ledger transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transaction {
+    /// Moves `amount` from one account to another.
+    Transfer {
+        /// Source account.
+        from: String,
+        /// Destination account.
+        to: String,
+        /// Amount in minimal units.
+        amount: u64,
+    },
+    /// Records a supply-chain custody event for an item.
+    Shipment {
+        /// Item identifier.
+        item: String,
+        /// Releasing party.
+        from: String,
+        /// Receiving party.
+        to: String,
+        /// Location of the hand-over.
+        location: String,
+    },
+    /// Mints new funds to an account (genesis/faucet, permissioned only).
+    Mint {
+        /// Receiving account.
+        to: String,
+        /// Amount in minimal units.
+        amount: u64,
+    },
+}
+
+impl Transaction {
+    /// Convenience constructor for transfers.
+    pub fn transfer(from: &str, to: &str, amount: u64) -> Transaction {
+        Transaction::Transfer {
+            from: from.into(),
+            to: to.into(),
+            amount,
+        }
+    }
+
+    /// Convenience constructor for shipments.
+    pub fn shipment(item: &str, from: &str, to: &str, location: &str) -> Transaction {
+        Transaction::Shipment {
+            item: item.into(),
+            from: from.into(),
+            to: to.into(),
+            location: location.into(),
+        }
+    }
+
+    /// Convenience constructor for mints.
+    pub fn mint(to: &str, amount: u64) -> Transaction {
+        Transaction::Mint {
+            to: to.into(),
+            amount,
+        }
+    }
+
+    /// The transaction digest.
+    pub fn digest(&self) -> Digest {
+        Digest::of(&self.encode())
+    }
+
+    /// Binary encoding (used as the BFT request payload).
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        match self {
+            Transaction::Transfer { from, to, amount } => {
+                out.push(0);
+                put_str(&mut out, from);
+                put_str(&mut out, to);
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+            Transaction::Shipment {
+                item,
+                from,
+                to,
+                location,
+            } => {
+                out.push(1);
+                put_str(&mut out, item);
+                put_str(&mut out, from);
+                put_str(&mut out, to);
+                put_str(&mut out, location);
+            }
+            Transaction::Mint { to, amount } => {
+                out.push(2);
+                put_str(&mut out, to);
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a transaction; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Transaction> {
+        fn get_str(buf: &[u8]) -> Option<(String, &[u8])> {
+            if buf.len() < 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
+            let rest = &buf[4..];
+            if rest.len() < len {
+                return None;
+            }
+            let s = String::from_utf8(rest[..len].to_vec()).ok()?;
+            Some((s, &rest[len..]))
+        }
+        fn get_u64(buf: &[u8]) -> Option<(u64, &[u8])> {
+            if buf.len() < 8 {
+                return None;
+            }
+            Some((
+                u64::from_le_bytes(buf[..8].try_into().ok()?),
+                &buf[8..],
+            ))
+        }
+        let (&tag, rest) = buf.split_first()?;
+        match tag {
+            0 => {
+                let (from, rest) = get_str(rest)?;
+                let (to, rest) = get_str(rest)?;
+                let (amount, rest) = get_u64(rest)?;
+                rest.is_empty()
+                    .then_some(Transaction::Transfer { from, to, amount })
+            }
+            1 => {
+                let (item, rest) = get_str(rest)?;
+                let (from, rest) = get_str(rest)?;
+                let (to, rest) = get_str(rest)?;
+                let (location, rest) = get_str(rest)?;
+                rest.is_empty().then_some(Transaction::Shipment {
+                    item,
+                    from,
+                    to,
+                    location,
+                })
+            }
+            2 => {
+                let (to, rest) = get_str(rest)?;
+                let (amount, rest) = get_u64(rest)?;
+                rest.is_empty().then_some(Transaction::Mint { to, amount })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let txs = [
+            Transaction::transfer("alice", "bob", 42),
+            Transaction::shipment("pallet-9", "factory", "warehouse", "hamburg"),
+            Transaction::mint("alice", 1_000),
+        ];
+        for tx in txs {
+            assert_eq!(Transaction::decode(&tx.encode()), Some(tx));
+        }
+    }
+
+    #[test]
+    fn digests_are_distinct() {
+        let a = Transaction::transfer("alice", "bob", 42);
+        let b = Transaction::transfer("alice", "bob", 43);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert_eq!(Transaction::decode(&[]), None);
+        assert_eq!(Transaction::decode(&[9]), None);
+        assert_eq!(Transaction::decode(&[0, 255, 255, 255, 255]), None);
+        let mut enc = Transaction::mint("x", 1).encode();
+        enc.push(0);
+        assert_eq!(Transaction::decode(&enc), None);
+        // Non-UTF8 account names rejected.
+        let mut bad = vec![2u8, 2, 0, 0, 0, 0xFF, 0xFE];
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        assert_eq!(Transaction::decode(&bad), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Error types for the verbs API.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{Access, QpNum, QpState, RKey};
+
+/// Result alias for verbs operations.
+pub type VerbsResult<T> = Result<T, VerbsError>;
+
+/// Errors returned synchronously by verbs calls.
+///
+/// Asynchronous failures (remote access violations, RNR exhaustion) surface
+/// as error [work completions](crate::Wc) instead, as on real hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerbsError {
+    /// The referenced byte range does not fit in the memory region.
+    InvalidRange {
+        /// Requested start offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Region capacity.
+        capacity: usize,
+    },
+    /// The memory region was deregistered.
+    Deregistered,
+    /// No region is registered under this remote key.
+    BadRKey(RKey),
+    /// The region does not grant the required access.
+    AccessDenied {
+        /// The offending key.
+        rkey: RKey,
+        /// Access the region grants.
+        granted: Access,
+        /// Access the operation required.
+        required: Access,
+    },
+    /// Operation not permitted in the QP's current state.
+    InvalidQpState {
+        /// The queue pair.
+        qp: QpNum,
+        /// Its current state.
+        state: QpState,
+    },
+    /// The send or receive queue is full.
+    QueueFull {
+        /// The queue pair.
+        qp: QpNum,
+        /// Capacity that was exceeded.
+        capacity: usize,
+    },
+    /// Inline send payload exceeds the device's inline limit.
+    InlineTooLarge {
+        /// Payload length requested inline.
+        len: usize,
+        /// Device inline capacity.
+        max: usize,
+    },
+    /// A memory region from a different protection domain was used.
+    PdMismatch,
+    /// The post call exceeded the device's batch limit.
+    BatchTooLarge {
+        /// Requested batch size.
+        len: usize,
+        /// Device maximum.
+        max: usize,
+    },
+    /// Local MR lacks permission needed by the operation (e.g. receive
+    /// buffer without `LOCAL_WRITE`).
+    LocalAccess,
+    /// Connection establishment failed.
+    ConnectFailed(String),
+    /// The address is already in use by another listener.
+    AddrInUse,
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::InvalidRange {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "range [{offset}, {offset}+{len}) exceeds region capacity {capacity}"
+            ),
+            VerbsError::Deregistered => write!(f, "memory region was deregistered"),
+            VerbsError::BadRKey(k) => write!(f, "no region registered for rkey {}", k.0),
+            VerbsError::AccessDenied { rkey, .. } => {
+                write!(f, "region rkey {} denies the requested access", rkey.0)
+            }
+            VerbsError::InvalidQpState { qp, state } => {
+                write!(f, "{qp} cannot perform this operation in state {state:?}")
+            }
+            VerbsError::QueueFull { qp, capacity } => {
+                write!(f, "{qp} queue full (capacity {capacity})")
+            }
+            VerbsError::InlineTooLarge { len, max } => {
+                write!(f, "inline payload of {len} bytes exceeds device limit {max}")
+            }
+            VerbsError::PdMismatch => write!(f, "memory region belongs to a different protection domain"),
+            VerbsError::BatchTooLarge { len, max } => {
+                write!(f, "posted batch of {len} exceeds device limit {max}")
+            }
+            VerbsError::LocalAccess => {
+                write!(f, "local memory region lacks required access flags")
+            }
+            VerbsError::ConnectFailed(why) => write!(f, "connection failed: {why}"),
+            VerbsError::AddrInUse => write!(f, "address already in use"),
+        }
+    }
+}
+
+impl Error for VerbsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs = [
+            VerbsError::InvalidRange {
+                offset: 1,
+                len: 2,
+                capacity: 2,
+            },
+            VerbsError::Deregistered,
+            VerbsError::BadRKey(RKey(9)),
+            VerbsError::AccessDenied {
+                rkey: RKey(9),
+                granted: Access::NONE,
+                required: Access::REMOTE_READ,
+            },
+            VerbsError::InvalidQpState {
+                qp: QpNum(1),
+                state: QpState::Reset,
+            },
+            VerbsError::QueueFull {
+                qp: QpNum(1),
+                capacity: 8,
+            },
+            VerbsError::InlineTooLarge { len: 512, max: 256 },
+            VerbsError::PdMismatch,
+            VerbsError::BatchTooLarge { len: 64, max: 32 },
+            VerbsError::LocalAccess,
+            VerbsError::ConnectFailed("refused".into()),
+            VerbsError::AddrInUse,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: Error + Send + Sync>(_e: E) {}
+        takes_err(VerbsError::Deregistered);
+    }
+}

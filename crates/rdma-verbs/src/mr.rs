@@ -1,0 +1,316 @@
+//! Protection domains and registered memory regions.
+//!
+//! RDMA requires applications to register memory with the NIC before any
+//! network operation (paper §II-A). Registration produces a local key
+//! ([`LKey`]) proving local ownership and a remote key ([`RKey`], the iWARP
+//! *Steering Tag*) that — combined with [`Access`] flags — governs what
+//! remote peers may do to the region. The paper's security analysis (§III-C)
+//! hinges on these checks, so this module enforces them strictly.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::{VerbsError, VerbsResult};
+use crate::types::{Access, LKey, PdId, RKey};
+
+/// A protection domain: memory regions and queue pairs can only be used
+/// together when they belong to the same domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectionDomain {
+    id: PdId,
+}
+
+impl ProtectionDomain {
+    pub(crate) fn new(id: PdId) -> ProtectionDomain {
+        ProtectionDomain { id }
+    }
+
+    /// The domain's identifier.
+    pub fn id(&self) -> PdId {
+        self.id
+    }
+}
+
+struct MrInner {
+    buf: RefCell<Vec<u8>>,
+    lkey: LKey,
+    rkey: RKey,
+    access: Access,
+    pd: PdId,
+    valid: Cell<bool>,
+}
+
+/// A registered memory region: a byte buffer the simulated NIC can DMA
+/// into and out of.
+///
+/// Handles are cheaply cloneable and share the underlying buffer.
+/// Deregistration ([`MemoryRegion::invalidate`]) makes every handle invalid;
+/// subsequent NIC access fails with a protection error, as real hardware
+/// would.
+#[derive(Clone)]
+pub struct MemoryRegion {
+    inner: Rc<MrInner>,
+}
+
+impl fmt::Debug for MemoryRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryRegion")
+            .field("len", &self.len())
+            .field("lkey", &self.inner.lkey)
+            .field("rkey", &self.inner.rkey)
+            .field("access", &self.inner.access)
+            .field("pd", &self.inner.pd)
+            .field("valid", &self.inner.valid.get())
+            .finish()
+    }
+}
+
+impl MemoryRegion {
+    pub(crate) fn new(
+        pd: PdId,
+        len: usize,
+        access: Access,
+        lkey: LKey,
+        rkey: RKey,
+    ) -> MemoryRegion {
+        MemoryRegion {
+            inner: Rc::new(MrInner {
+                buf: RefCell::new(vec![0; len]),
+                lkey,
+                rkey,
+                access,
+                pd,
+                valid: Cell::new(true),
+            }),
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.buf.borrow().len()
+    }
+
+    /// True if the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The local key.
+    pub fn lkey(&self) -> LKey {
+        self.inner.lkey
+    }
+
+    /// The remote key (Steering Tag).
+    pub fn rkey(&self) -> RKey {
+        self.inner.rkey
+    }
+
+    /// Granted access flags.
+    pub fn access(&self) -> Access {
+        self.inner.access
+    }
+
+    /// Owning protection domain.
+    pub fn pd(&self) -> PdId {
+        self.inner.pd
+    }
+
+    /// True until the region is deregistered.
+    pub fn is_valid(&self) -> bool {
+        self.inner.valid.get()
+    }
+
+    /// Deregisters the region. All clones become invalid; in-flight NIC
+    /// operations targeting it will complete with protection errors.
+    pub fn invalidate(&self) {
+        self.inner.valid.set(false);
+    }
+
+    /// Validates that `[offset, offset+len)` lies within the region and the
+    /// region is still registered.
+    ///
+    /// # Errors
+    ///
+    /// [`VerbsError::InvalidRange`] on out-of-bounds, or
+    /// [`VerbsError::Deregistered`] if invalidated.
+    pub fn check_range(&self, offset: usize, len: usize) -> VerbsResult<()> {
+        if !self.is_valid() {
+            return Err(VerbsError::Deregistered);
+        }
+        let end = offset.checked_add(len).ok_or(VerbsError::InvalidRange {
+            offset,
+            len,
+            capacity: self.len(),
+        })?;
+        if end > self.len() {
+            return Err(VerbsError::InvalidRange {
+                offset,
+                len,
+                capacity: self.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Copies `data` into the region at `offset` (application-side access,
+    /// not charged to the NIC).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`MemoryRegion::check_range`].
+    pub fn write(&self, offset: usize, data: &[u8]) -> VerbsResult<()> {
+        self.check_range(offset, data.len())?;
+        self.inner.buf.borrow_mut()[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copies `len` bytes out of the region starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`MemoryRegion::check_range`].
+    pub fn read(&self, offset: usize, len: usize) -> VerbsResult<Vec<u8>> {
+        self.check_range(offset, len)?;
+        Ok(self.inner.buf.borrow()[offset..offset + len].to_vec())
+    }
+
+    /// Runs `f` over an immutable view of the whole buffer.
+    pub fn with_slice<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.inner.buf.borrow())
+    }
+
+    /// Runs `f` over a mutable view of the whole buffer.
+    pub fn with_slice_mut<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        f(&mut self.inner.buf.borrow_mut())
+    }
+
+    /// NIC-side write used by packet processing (DMA placement). Validates
+    /// registration and bounds but *not* access flags — callers check those
+    /// against the operation type first.
+    pub(crate) fn dma_write(&self, offset: usize, data: &[u8]) -> VerbsResult<()> {
+        self.write(offset, data)
+    }
+
+    /// NIC-side read used by packet processing (DMA fetch).
+    pub(crate) fn dma_read(&self, offset: usize, len: usize) -> VerbsResult<Vec<u8>> {
+        self.read(offset, len)
+    }
+}
+
+/// Device-wide table of remotely accessible regions, consulted by the
+/// simulated NIC when a one-sided operation arrives.
+#[derive(Debug, Default)]
+pub(crate) struct MrTable {
+    by_rkey: std::collections::HashMap<u32, MemoryRegion>,
+}
+
+impl MrTable {
+    pub fn insert(&mut self, mr: &MemoryRegion) {
+        self.by_rkey.insert(mr.rkey().0, mr.clone());
+    }
+
+    /// Looks up a region by rkey and validates access + bounds, exactly the
+    /// checks a real RNIC performs before honouring a one-sided request.
+    pub fn validate(
+        &self,
+        rkey: RKey,
+        offset: usize,
+        len: usize,
+        required: Access,
+    ) -> VerbsResult<MemoryRegion> {
+        let mr = self
+            .by_rkey
+            .get(&rkey.0)
+            .ok_or(VerbsError::BadRKey(rkey))?;
+        if !mr.is_valid() {
+            return Err(VerbsError::Deregistered);
+        }
+        if !mr.access().allows(required) {
+            return Err(VerbsError::AccessDenied {
+                rkey,
+                granted: mr.access(),
+                required,
+            });
+        }
+        mr.check_range(offset, len)?;
+        Ok(mr.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(len: usize, access: Access) -> MemoryRegion {
+        MemoryRegion::new(PdId(0), len, access, LKey(1), RKey(100))
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mr = region(16, Access::LOCAL_WRITE);
+        mr.write(4, b"abcd").unwrap();
+        assert_eq!(mr.read(4, 4).unwrap(), b"abcd");
+        assert_eq!(mr.read(0, 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mr = region(8, Access::NONE);
+        assert!(matches!(
+            mr.write(6, b"abcd"),
+            Err(VerbsError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            mr.read(0, 9),
+            Err(VerbsError::InvalidRange { .. })
+        ));
+        // Offset overflow must not panic.
+        assert!(mr.check_range(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn invalidation_poisons_all_handles() {
+        let mr = region(8, Access::NONE);
+        let clone = mr.clone();
+        mr.invalidate();
+        assert!(!clone.is_valid());
+        assert!(matches!(clone.read(0, 1), Err(VerbsError::Deregistered)));
+    }
+
+    #[test]
+    fn mr_table_validates_rkey_access_and_bounds() {
+        let mut table = MrTable::default();
+        let mr = region(16, Access::REMOTE_READ);
+        table.insert(&mr);
+
+        assert!(table
+            .validate(RKey(100), 0, 16, Access::REMOTE_READ)
+            .is_ok());
+        assert!(matches!(
+            table.validate(RKey(999), 0, 1, Access::REMOTE_READ),
+            Err(VerbsError::BadRKey(_))
+        ));
+        assert!(matches!(
+            table.validate(RKey(100), 0, 1, Access::REMOTE_WRITE),
+            Err(VerbsError::AccessDenied { .. })
+        ));
+        assert!(matches!(
+            table.validate(RKey(100), 8, 9, Access::REMOTE_READ),
+            Err(VerbsError::InvalidRange { .. })
+        ));
+        mr.invalidate();
+        assert!(matches!(
+            table.validate(RKey(100), 0, 1, Access::REMOTE_READ),
+            Err(VerbsError::Deregistered)
+        ));
+    }
+
+    #[test]
+    fn with_slice_views() {
+        let mr = region(4, Access::NONE);
+        mr.with_slice_mut(|s| s.copy_from_slice(b"wxyz"));
+        let sum: u32 = mr.with_slice(|s| s.iter().map(|&b| b as u32).sum());
+        assert_eq!(sum, b"wxyz".iter().map(|&b| b as u32).sum::<u32>());
+    }
+}

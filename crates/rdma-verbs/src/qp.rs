@@ -1,0 +1,1063 @@
+//! Queue pairs: the RC (reliable connection) transport endpoint.
+//!
+//! A [`QueuePair`] owns a send queue and a receive queue. Posted send work
+//! requests are charged to the owning core (WQE build + doorbell), then the
+//! simulated NIC fetches the WQE, DMAs the payload (unless inline) and emits
+//! a packet; the remote NIC validates, places data and acknowledges. All
+//! latencies come from the [`RnicModel`](crate::RnicModel).
+//!
+//! ## Divergences from hardware, by design
+//!
+//! * Receiver-not-ready is modelled as a bounded *hold window*: an inbound
+//!   SEND that finds no receive WR waits up to `rnr_timer × (rnr_retry+1)`
+//!   for one to be posted, then fails the sender with `RnrRetryExceeded`.
+//!   This preserves RC's in-order delivery without simulating per-packet
+//!   retransmission, while still failing loudly when an application
+//!   under-posts receives (the pitfall paper §II-A warns about).
+//! * A NAK moves the QP to the error state and flushes outstanding work,
+//!   as on real hardware.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::{Addr, CoreId, Frame, Nanos, Simulator};
+
+use crate::device::RdmaDevice;
+use crate::error::{VerbsError, VerbsResult};
+use crate::packet::RdmaPacket;
+use crate::types::{Access, QpNum, QpState, Wc, WcOpcode, WcStatus, WrId};
+use crate::wr::{RecvWr, SendOp, SendWr};
+use crate::CompletionQueue;
+
+/// Counters exposed for tests, ablations and debugging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QpStats {
+    /// Send-queue WRs posted.
+    pub sends_posted: u64,
+    /// Receive-queue WRs posted.
+    pub recvs_posted: u64,
+    /// Payload bytes carried by completed outbound operations.
+    pub bytes_sent: u64,
+    /// Payload bytes placed by inbound operations.
+    pub bytes_received: u64,
+    /// Inbound messages that had to wait for a receive WR (RNR holds).
+    pub rnr_stalls: u64,
+    /// Successful completions suppressed by selective signaling.
+    pub completions_suppressed: u64,
+    /// Packets dropped because the QP could not receive.
+    pub dropped_packets: u64,
+}
+
+struct PendingSend {
+    wr_id: WrId,
+    signaled: bool,
+    opcode: WcOpcode,
+    byte_len: usize,
+    /// Local destination for READ responses.
+    read_sink: Option<crate::wr::Sge>,
+}
+
+struct HeldInbound {
+    seq: u64,
+    packet: RdmaPacket,
+}
+
+pub(crate) struct QpInner {
+    num: QpNum,
+    state: QpState,
+    pd: crate::types::PdId,
+    core: CoreId,
+    send_cq: CompletionQueue,
+    recv_cq: CompletionQueue,
+    local_addr: Addr,
+    remote: Option<(Addr, QpNum)>,
+    recv_queue: VecDeque<RecvWr>,
+    held: VecDeque<HeldInbound>,
+    pending: HashMap<u64, PendingSend>,
+    /// Send WRs accepted but not yet completed (capacity accounting).
+    outstanding_sends: usize,
+    /// The NIC's WQE-processing horizon: send work requests are fetched
+    /// and executed in posting order.
+    nic_busy_until: Nanos,
+    next_seq: u64,
+    stats: QpStats,
+    /// Invoked after packet processing that may have produced completions
+    /// or state changes — the completion-interrupt analogue RUBIN's event
+    /// manager hooks into.
+    event_hook: Option<Rc<dyn Fn(&mut Simulator)>>,
+}
+
+/// A reliable-connection queue pair.
+///
+/// Create with [`RdmaDevice::create_qp`](crate::RdmaDevice::create_qp);
+/// connect either through the connection manager
+/// ([`RdmaDevice::listen`](crate::RdmaDevice::listen) /
+/// [`RdmaDevice::connect`](crate::RdmaDevice::connect)) or manually with
+/// [`connect_pair`] in tests.
+#[derive(Clone)]
+pub struct QueuePair {
+    pub(crate) inner: Rc<RefCell<QpInner>>,
+    pub(crate) device: RdmaDevice,
+}
+
+impl fmt::Debug for QueuePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("QueuePair")
+            .field("num", &inner.num)
+            .field("state", &inner.state)
+            .field("local_addr", &inner.local_addr)
+            .field("remote", &inner.remote)
+            .field("recv_posted", &inner.recv_queue.len())
+            .field("pending_sends", &inner.pending.len())
+            .finish()
+    }
+}
+
+impl QueuePair {
+    pub(crate) fn new(
+        device: RdmaDevice,
+        num: QpNum,
+        pd: crate::types::PdId,
+        core: CoreId,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        local_addr: Addr,
+    ) -> QueuePair {
+        QueuePair {
+            inner: Rc::new(RefCell::new(QpInner {
+                num,
+                state: QpState::Reset,
+                pd,
+                core,
+                send_cq,
+                recv_cq,
+                local_addr,
+                remote: None,
+                recv_queue: VecDeque::new(),
+                held: VecDeque::new(),
+                pending: HashMap::new(),
+                outstanding_sends: 0,
+                nic_busy_until: Nanos::ZERO,
+                next_seq: 0,
+                stats: QpStats::default(),
+                event_hook: None,
+            })),
+            device,
+        }
+    }
+
+    /// The queue pair number.
+    pub fn num(&self) -> QpNum {
+        self.inner.borrow().num
+    }
+
+    /// Current state.
+    pub fn state(&self) -> QpState {
+        self.inner.borrow().state
+    }
+
+    /// The address inbound packets for this QP arrive on.
+    pub fn local_addr(&self) -> Addr {
+        self.inner.borrow().local_addr
+    }
+
+    /// Remote endpoint, once connected.
+    pub fn remote(&self) -> Option<(Addr, QpNum)> {
+        self.inner.borrow().remote
+    }
+
+    /// The core this QP's posting/polling work is charged to.
+    pub fn core(&self) -> CoreId {
+        self.inner.borrow().core
+    }
+
+    /// The send completion queue.
+    pub fn send_cq(&self) -> CompletionQueue {
+        self.inner.borrow().send_cq.clone()
+    }
+
+    /// The receive completion queue.
+    pub fn recv_cq(&self) -> CompletionQueue {
+        self.inner.borrow().recv_cq.clone()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> QpStats {
+        self.inner.borrow().stats
+    }
+
+    /// Number of receive WRs currently posted.
+    pub fn recv_posted(&self) -> usize {
+        self.inner.borrow().recv_queue.len()
+    }
+
+    /// Installs a hook invoked after any NIC activity that may have pushed
+    /// a completion or changed connection state (the completion-event
+    /// interrupt). Replaces any previous hook.
+    pub fn set_event_hook(&self, hook: Rc<dyn Fn(&mut Simulator)>) {
+        self.inner.borrow_mut().event_hook = Some(hook);
+    }
+
+    fn fire_hook(&self, sim: &mut Simulator) {
+        let hook = self.inner.borrow().event_hook.clone();
+        if let Some(h) = hook {
+            h(sim);
+        }
+    }
+
+    /// Transitions `Reset → Init`.
+    ///
+    /// # Errors
+    ///
+    /// [`VerbsError::InvalidQpState`] unless currently `Reset`.
+    pub fn modify_to_init(&self) -> VerbsResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.state != QpState::Reset {
+            return Err(VerbsError::InvalidQpState {
+                qp: inner.num,
+                state: inner.state,
+            });
+        }
+        inner.state = QpState::Init;
+        Ok(())
+    }
+
+    /// Transitions `Init → ReadyToReceive`, recording the remote endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`VerbsError::InvalidQpState`] unless currently `Init`.
+    pub fn modify_to_rtr(&self, remote_addr: Addr, remote_qp: QpNum) -> VerbsResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.state != QpState::Init {
+            return Err(VerbsError::InvalidQpState {
+                qp: inner.num,
+                state: inner.state,
+            });
+        }
+        inner.remote = Some((remote_addr, remote_qp));
+        inner.state = QpState::ReadyToReceive;
+        Ok(())
+    }
+
+    /// Transitions `ReadyToReceive → ReadyToSend`.
+    ///
+    /// # Errors
+    ///
+    /// [`VerbsError::InvalidQpState`] unless currently `ReadyToReceive`.
+    pub fn modify_to_rts(&self) -> VerbsResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.state != QpState::ReadyToReceive {
+            return Err(VerbsError::InvalidQpState {
+                qp: inner.num,
+                state: inner.state,
+            });
+        }
+        inner.state = QpState::ReadyToSend;
+        Ok(())
+    }
+
+    /// Posts one receive work request. See [`post_recv_batch`](Self::post_recv_batch).
+    ///
+    /// # Errors
+    ///
+    /// As for [`post_recv_batch`](Self::post_recv_batch).
+    pub fn post_recv(&self, sim: &mut Simulator, wr: RecvWr) -> VerbsResult<()> {
+        self.post_recv_batch(sim, vec![wr])
+    }
+
+    /// Posts a batch of receive work requests in one doorbell, the
+    /// batched-posting optimization of paper §IV.
+    ///
+    /// # Errors
+    ///
+    /// * [`VerbsError::InvalidQpState`] before `Init`.
+    /// * [`VerbsError::BatchTooLarge`] beyond the device batch limit.
+    /// * [`VerbsError::QueueFull`] beyond `max_recv_wr` outstanding.
+    /// * [`VerbsError::PdMismatch`] / [`VerbsError::InvalidRange`] /
+    ///   [`VerbsError::LocalAccess`] for bad buffers.
+    pub fn post_recv_batch(&self, sim: &mut Simulator, wrs: Vec<RecvWr>) -> VerbsResult<()> {
+        let model = self.device.model().clone();
+        let cpu_done;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.state.can_post_recv() {
+                return Err(VerbsError::InvalidQpState {
+                    qp: inner.num,
+                    state: inner.state,
+                });
+            }
+            if wrs.len() > model.max_post_batch {
+                return Err(VerbsError::BatchTooLarge {
+                    len: wrs.len(),
+                    max: model.max_post_batch,
+                });
+            }
+            if inner.recv_queue.len() + wrs.len() > model.max_recv_wr {
+                return Err(VerbsError::QueueFull {
+                    qp: inner.num,
+                    capacity: model.max_recv_wr,
+                });
+            }
+            for wr in &wrs {
+                if wr.sge.mr.pd() != inner.pd {
+                    return Err(VerbsError::PdMismatch);
+                }
+                wr.sge.mr.check_range(wr.sge.offset, wr.sge.len)?;
+                if !wr.sge.mr.access().allows(Access::LOCAL_WRITE) {
+                    return Err(VerbsError::LocalAccess);
+                }
+            }
+            let cost = model.post_batch_cost(wrs.len());
+            let core = inner.core;
+            cpu_done = self
+                .device
+                .host_exec(sim, core, cost);
+            inner.stats.recvs_posted += wrs.len() as u64;
+            inner.recv_queue.extend(wrs);
+        }
+        // Any held inbound messages can now be delivered (after the posting
+        // CPU work completes).
+        let qp = self.clone();
+        sim.schedule_at(
+            cpu_done,
+            Box::new(move |sim| qp.drain_held(sim)),
+        );
+        Ok(())
+    }
+
+    /// Posts one send work request. See [`post_send_batch`](Self::post_send_batch).
+    ///
+    /// # Errors
+    ///
+    /// As for [`post_send_batch`](Self::post_send_batch).
+    pub fn post_send(&self, sim: &mut Simulator, wr: SendWr) -> VerbsResult<()> {
+        self.post_send_batch(sim, vec![wr])
+    }
+
+    /// Posts a batch of send work requests in one doorbell.
+    ///
+    /// Successful completions are only generated for WRs with
+    /// [`signaled`](SendWr::signaled) set (selective signaling); failed
+    /// operations always complete with an error status.
+    ///
+    /// # Errors
+    ///
+    /// * [`VerbsError::InvalidQpState`] unless in `ReadyToSend`.
+    /// * [`VerbsError::BatchTooLarge`] beyond the device batch limit.
+    /// * [`VerbsError::QueueFull`] beyond `max_send_wr` outstanding.
+    /// * [`VerbsError::InlineTooLarge`] for oversized inline payloads.
+    /// * [`VerbsError::PdMismatch`] / [`VerbsError::InvalidRange`] /
+    ///   [`VerbsError::LocalAccess`] for bad buffers.
+    pub fn post_send_batch(&self, sim: &mut Simulator, wrs: Vec<SendWr>) -> VerbsResult<()> {
+        let model = self.device.model().clone();
+        let cpu_done;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.state.can_post_send() {
+                return Err(VerbsError::InvalidQpState {
+                    qp: inner.num,
+                    state: inner.state,
+                });
+            }
+            if wrs.len() > model.max_post_batch {
+                return Err(VerbsError::BatchTooLarge {
+                    len: wrs.len(),
+                    max: model.max_post_batch,
+                });
+            }
+            if inner.outstanding_sends + wrs.len() > model.max_send_wr {
+                return Err(VerbsError::QueueFull {
+                    qp: inner.num,
+                    capacity: model.max_send_wr,
+                });
+            }
+            for wr in &wrs {
+                if wr.sge.mr.pd() != inner.pd {
+                    return Err(VerbsError::PdMismatch);
+                }
+                wr.sge.mr.check_range(wr.sge.offset, wr.sge.len)?;
+                if wr.inline && wr.sge.len > model.max_inline {
+                    return Err(VerbsError::InlineTooLarge {
+                        len: wr.sge.len,
+                        max: model.max_inline,
+                    });
+                }
+                if matches!(wr.op, SendOp::Read { .. })
+                    && !wr.sge.mr.access().allows(Access::LOCAL_WRITE)
+                {
+                    return Err(VerbsError::LocalAccess);
+                }
+            }
+            let cost = model.post_batch_cost(wrs.len());
+            let core = inner.core;
+            cpu_done = self.device.host_exec(sim, core, cost);
+            inner.stats.sends_posted += wrs.len() as u64;
+            inner.outstanding_sends += wrs.len();
+        }
+        // NIC processing: WQE fetch plus payload DMA (skipped inline).
+        // The NIC consumes WQEs strictly in posting order (RC ordering).
+        for wr in wrs {
+            let nic_ready = {
+                let mut inner = self.inner.borrow_mut();
+                let start = cpu_done.max(inner.nic_busy_until);
+                let mut ready = start + Nanos::from_nanos(model.wqe_fetch_ns);
+                let needs_dma = !wr.inline && !matches!(wr.op, SendOp::Read { .. });
+                if needs_dma {
+                    ready += Nanos::from_nanos(model.dma_fetch_base_ns) + model.dma_cost(wr.sge.len);
+                }
+                inner.nic_busy_until = ready;
+                ready
+            };
+            let qp = self.clone();
+            sim.schedule_at(
+                nic_ready,
+                Box::new(move |sim| qp.nic_transmit(sim, wr)),
+            );
+        }
+        Ok(())
+    }
+
+    /// NIC-side: fetch payload and emit the packet for one WR.
+    fn nic_transmit(&self, sim: &mut Simulator, wr: SendWr) {
+        let model = self.device.model().clone();
+        let (remote, seq, packet) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.state == QpState::Error {
+                // Queue pair failed between posting and fetch: flush.
+                inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
+                let wc = Wc {
+                    wr_id: wr.wr_id,
+                    status: WcStatus::WorkRequestFlushed,
+                    opcode: opcode_of(&wr.op),
+                    byte_len: 0,
+                    qp: inner.num,
+                    imm: None,
+                };
+                inner.send_cq.push(wc);
+                return;
+            }
+            let remote = inner
+                .remote
+                .expect("QP in RTS must have a remote endpoint");
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+
+            let packet = match &wr.op {
+                SendOp::Send { imm } => {
+                    match wr.sge.mr.dma_read(wr.sge.offset, wr.sge.len) {
+                        Ok(data) => RdmaPacket::Send {
+                            src_qp: inner.num,
+                            data,
+                            imm: *imm,
+                            seq,
+                        },
+                        Err(_) => {
+                            let num = inner.num;
+                            drop(inner);
+                            self.complete_error(sim, wr.wr_id, opcode_of(&wr.op), num);
+                            return;
+                        }
+                    }
+                }
+                SendOp::Write {
+                    rkey,
+                    remote_offset,
+                    imm,
+                } => match wr.sge.mr.dma_read(wr.sge.offset, wr.sge.len) {
+                    Ok(data) => RdmaPacket::WriteReq {
+                        src_qp: inner.num,
+                        rkey: rkey.0,
+                        offset: *remote_offset,
+                        data,
+                        imm: *imm,
+                        seq,
+                    },
+                    Err(_) => {
+                        let num = inner.num;
+                        drop(inner);
+                        self.complete_error(sim, wr.wr_id, opcode_of(&wr.op), num);
+                        return;
+                    }
+                },
+                SendOp::Read { rkey, remote_offset } => RdmaPacket::ReadReq {
+                    src_qp: inner.num,
+                    rkey: rkey.0,
+                    offset: *remote_offset,
+                    len: wr.sge.len,
+                    seq,
+                },
+            };
+            inner.pending.insert(
+                seq,
+                PendingSend {
+                    wr_id: wr.wr_id,
+                    signaled: wr.signaled,
+                    opcode: opcode_of(&wr.op),
+                    byte_len: wr.sge.len,
+                    read_sink: matches!(wr.op, SendOp::Read { .. }).then(|| wr.sge.clone()),
+                },
+            );
+            (remote, seq, packet)
+        };
+        let _ = seq;
+        let wire = packet.wire_bytes(model.ack_bytes);
+        let local = self.local_addr();
+        self.device
+            .net()
+            .send(sim, Frame::new(local, remote.0, wire, packet));
+    }
+
+    /// Local-protection failure discovered at WQE fetch time.
+    fn complete_error(&self, sim: &mut Simulator, wr_id: WrId, opcode: WcOpcode, num: QpNum) {
+        {
+            let inner = self.inner.borrow();
+            inner.send_cq.push(Wc {
+                wr_id,
+                status: WcStatus::LocalProtectionError,
+                opcode,
+                byte_len: 0,
+                qp: num,
+                imm: None,
+            });
+        }
+        self.enter_error();
+        self.fire_hook(sim);
+    }
+
+    /// Delivers held inbound messages now that receive WRs are available.
+    fn drain_held(&self, sim: &mut Simulator) {
+        loop {
+            let item = {
+                let mut inner = self.inner.borrow_mut();
+                if inner.held.is_empty() || inner.recv_queue.is_empty() {
+                    break;
+                }
+                inner.held.pop_front().expect("checked non-empty")
+            };
+            self.handle_packet(sim, item.packet);
+        }
+    }
+
+    /// Entry point for inbound packets, called by the device dispatcher.
+    pub(crate) fn handle_packet(&self, sim: &mut Simulator, pkt: RdmaPacket) {
+        match pkt {
+            RdmaPacket::Send {
+                src_qp,
+                data,
+                imm,
+                seq,
+            } => self.handle_inbound_send(sim, src_qp, data, imm, seq, false),
+            RdmaPacket::WriteReq {
+                src_qp,
+                rkey,
+                offset,
+                data,
+                imm,
+                seq,
+            } => self.handle_write(sim, src_qp, rkey, offset, data, imm, seq),
+            RdmaPacket::ReadReq {
+                src_qp: _,
+                rkey,
+                offset,
+                len,
+                seq,
+            } => self.handle_read(sim, rkey, offset, len, seq),
+            RdmaPacket::ReadResp { seq, data } => self.handle_read_resp(sim, seq, data),
+            RdmaPacket::Ack { seq } => self.handle_ack(sim, seq),
+            RdmaPacket::RnrNak { seq } => self.handle_nak(sim, seq, WcStatus::RnrRetryExceeded),
+            RdmaPacket::Nak { seq, status } => self.handle_nak(sim, seq, status),
+            RdmaPacket::Disconnect { .. } => {
+                let num = self.num();
+                self.enter_error();
+                self.device
+                    .push_cm_event(sim, crate::cm::CmEvent::Disconnected { qp: num });
+                self.fire_hook(sim);
+            }
+            // CM packets are routed to listeners, not QPs.
+            other => {
+                debug_assert!(false, "unexpected CM packet at QP: {other:?}");
+            }
+        }
+    }
+
+    fn handle_inbound_send(
+        &self,
+        sim: &mut Simulator,
+        src_qp: QpNum,
+        data: Vec<u8>,
+        imm: Option<u32>,
+        seq: u64,
+        redelivery: bool,
+    ) {
+        let model = self.device.model().clone();
+        enum Action {
+            Place(RecvWr),
+            Hold,
+            Drop,
+            FailLength(RecvWr),
+        }
+        let action = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.state.can_receive() {
+                inner.stats.dropped_packets += 1;
+                Action::Drop
+            } else if let Some(rwr) = inner.recv_queue.pop_front() {
+                if rwr.sge.len >= data.len() && rwr.sge.mr.is_valid() {
+                    Action::Place(rwr)
+                } else {
+                    Action::FailLength(rwr)
+                }
+            } else {
+                if !redelivery {
+                    inner.stats.rnr_stalls += 1;
+                }
+                Action::Hold
+            }
+        };
+        match action {
+            Action::Drop => {}
+            Action::Place(rwr) => {
+                let dma = model.dma_cost(data.len());
+                let cqe_at = sim.now() + dma + Nanos::from_nanos(model.cqe_ns);
+                let qp = self.clone();
+                let len = data.len();
+                sim.schedule_at(
+                    cqe_at,
+                    Box::new(move |sim| {
+                        let (num, remote, local) = {
+                            let mut inner = qp.inner.borrow_mut();
+                            let _ = rwr.sge.mr.dma_write(rwr.sge.offset, &data);
+                            inner.stats.bytes_received += len as u64;
+                            let wc = Wc {
+                                wr_id: rwr.wr_id,
+                                status: WcStatus::Success,
+                                opcode: WcOpcode::Recv,
+                                byte_len: len,
+                                qp: inner.num,
+                                imm,
+                            };
+                            inner.recv_cq.push(wc);
+                            (inner.num, inner.remote, inner.local_addr)
+                        };
+                        let _ = num;
+                        if let Some((raddr, _)) = remote {
+                            let ack = RdmaPacket::Ack { seq };
+                            let wire = ack.wire_bytes(model.ack_bytes);
+                            qp.device.net().send(sim, Frame::new(local, raddr, wire, ack));
+                        }
+                        qp.fire_hook(sim);
+                    }),
+                );
+            }
+            Action::FailLength(rwr) => {
+                let (local, remote) = {
+                    let inner = self.inner.borrow_mut();
+                    let wc = Wc {
+                        wr_id: rwr.wr_id,
+                        status: WcStatus::LocalLengthError,
+                        opcode: WcOpcode::Recv,
+                        byte_len: data.len(),
+                        qp: inner.num,
+                        imm,
+                    };
+                    inner.recv_cq.push(wc);
+                    (inner.local_addr, inner.remote)
+                };
+                if let Some((raddr, _)) = remote {
+                    let nak = RdmaPacket::Nak {
+                        seq,
+                        status: WcStatus::RemoteOperationError,
+                    };
+                    let wire = nak.wire_bytes(model.ack_bytes);
+                    self.device
+                        .net()
+                        .send(sim, Frame::new(local, raddr, wire, nak));
+                }
+                self.enter_error();
+                self.fire_hook(sim);
+            }
+            Action::Hold => {
+                let deadline = sim.now()
+                    + Nanos::from_nanos(
+                        model.rnr_timer.as_nanos() * (model.rnr_retry as u64 + 1),
+                    );
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.held.push_back(HeldInbound {
+                        seq,
+                        packet: RdmaPacket::Send {
+                            src_qp,
+                            data,
+                            imm,
+                            seq,
+                        },
+                    });
+                }
+                let qp = self.clone();
+                sim.schedule_at(
+                    deadline,
+                    Box::new(move |sim| qp.expire_held(sim, seq)),
+                );
+            }
+        }
+    }
+
+    /// RNR window expired for a held message: reject it.
+    fn expire_held(&self, sim: &mut Simulator, seq: u64) {
+        let model = self.device.model().clone();
+        let (expired, local, remote) = {
+            let mut inner = self.inner.borrow_mut();
+            let before = inner.held.len();
+            inner.held.retain(|h| h.seq != seq);
+            (
+                inner.held.len() != before,
+                inner.local_addr,
+                inner.remote,
+            )
+        };
+        if expired {
+            if let Some((raddr, _)) = remote {
+                let nak = RdmaPacket::RnrNak { seq };
+                let wire = nak.wire_bytes(model.ack_bytes);
+                self.device
+                    .net()
+                    .send(sim, Frame::new(local, raddr, wire, nak));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_write(
+        &self,
+        sim: &mut Simulator,
+        src_qp: QpNum,
+        rkey: u32,
+        offset: usize,
+        data: Vec<u8>,
+        imm: Option<u32>,
+        seq: u64,
+    ) {
+        let model = self.device.model().clone();
+        {
+            let inner = self.inner.borrow();
+            if !inner.state.can_receive() {
+                return;
+            }
+        }
+        let target = self.device.validate_remote(
+            crate::types::RKey(rkey),
+            offset,
+            data.len(),
+            Access::REMOTE_WRITE,
+        );
+        let target = match target {
+            Ok(mr) => mr,
+            Err(_) => {
+                self.send_nak(sim, seq, WcStatus::RemoteAccessError);
+                return;
+            }
+        };
+        if imm.is_some() {
+            // WRITE_WITH_IMM consumes a receive WR; hold if none is posted.
+            let has_recv = !self.inner.borrow().recv_queue.is_empty();
+            if !has_recv {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.rnr_stalls += 1;
+                    inner.held.push_back(HeldInbound {
+                        seq,
+                        packet: RdmaPacket::WriteReq {
+                            src_qp,
+                            rkey,
+                            offset,
+                            data,
+                            imm,
+                            seq,
+                        },
+                    });
+                }
+                let deadline = sim.now()
+                    + Nanos::from_nanos(
+                        model.rnr_timer.as_nanos() * (model.rnr_retry as u64 + 1),
+                    );
+                let qp = self.clone();
+                sim.schedule_at(deadline, Box::new(move |sim| qp.expire_held(sim, seq)));
+                return;
+            }
+        }
+        let dma = model.dma_cost(data.len());
+        let done_at = sim.now() + dma;
+        let qp = self.clone();
+        sim.schedule_at(
+            done_at,
+            Box::new(move |sim| {
+                let len = data.len();
+                if target.dma_write(offset, &data).is_err() {
+                    qp.send_nak(sim, seq, WcStatus::RemoteAccessError);
+                    return;
+                }
+                let (local, remote) = {
+                    let mut inner = qp.inner.borrow_mut();
+                    inner.stats.bytes_received += len as u64;
+                    if let Some(iv) = imm {
+                        if let Some(rwr) = inner.recv_queue.pop_front() {
+                            let wc = Wc {
+                                wr_id: rwr.wr_id,
+                                status: WcStatus::Success,
+                                opcode: WcOpcode::RecvRdmaWithImm,
+                                byte_len: len,
+                                qp: inner.num,
+                                imm: Some(iv),
+                            };
+                            inner.recv_cq.push(wc);
+                        }
+                    }
+                    (inner.local_addr, inner.remote)
+                };
+                if let Some((raddr, _)) = remote {
+                    let ack = RdmaPacket::Ack { seq };
+                    let wire = ack.wire_bytes(model.ack_bytes);
+                    qp.device.net().send(sim, Frame::new(local, raddr, wire, ack));
+                }
+                qp.fire_hook(sim);
+            }),
+        );
+    }
+
+    fn handle_read(&self, sim: &mut Simulator, rkey: u32, offset: usize, len: usize, seq: u64) {
+        let model = self.device.model().clone();
+        {
+            let inner = self.inner.borrow();
+            if !inner.state.can_receive() {
+                return;
+            }
+        }
+        let target = self.device.validate_remote(
+            crate::types::RKey(rkey),
+            offset,
+            len,
+            Access::REMOTE_READ,
+        );
+        let target = match target {
+            Ok(mr) => mr,
+            Err(_) => {
+                self.send_nak(sim, seq, WcStatus::RemoteAccessError);
+                return;
+            }
+        };
+        let dma = model.dma_cost(len);
+        let qp = self.clone();
+        sim.schedule_at(
+            sim.now() + dma,
+            Box::new(move |sim| {
+                let data = match target.dma_read(offset, len) {
+                    Ok(d) => d,
+                    Err(_) => {
+                        qp.send_nak(sim, seq, WcStatus::RemoteAccessError);
+                        return;
+                    }
+                };
+                let (local, remote) = {
+                    let inner = qp.inner.borrow();
+                    (inner.local_addr, inner.remote)
+                };
+                if let Some((raddr, _)) = remote {
+                    let resp = RdmaPacket::ReadResp { seq, data };
+                    let wire = resp.wire_bytes(model.ack_bytes);
+                    qp.device
+                        .net()
+                        .send(sim, Frame::new(local, raddr, wire, resp));
+                }
+            }),
+        );
+    }
+
+    fn handle_read_resp(&self, sim: &mut Simulator, seq: u64, data: Vec<u8>) {
+        let model = self.device.model().clone();
+        let pending = {
+            let mut inner = self.inner.borrow_mut();
+            let p = inner.pending.remove(&seq);
+            if p.is_some() {
+                inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
+            }
+            p
+        };
+        let Some(p) = pending else { return };
+        let sink = p.read_sink.expect("READ pending entries carry a sink");
+        let dma = model.dma_cost(data.len());
+        let qp = self.clone();
+        sim.schedule_at(
+            sim.now() + dma + Nanos::from_nanos(model.cqe_ns),
+            Box::new(move |sim| {
+                let ok = sink.mr.dma_write(sink.offset, &data).is_ok();
+                {
+                    let mut inner = qp.inner.borrow_mut();
+                    inner.stats.bytes_sent += data.len() as u64;
+                    if p.signaled || !ok {
+                        let wc = Wc {
+                            wr_id: p.wr_id,
+                            status: if ok {
+                                WcStatus::Success
+                            } else {
+                                WcStatus::LocalProtectionError
+                            },
+                            opcode: WcOpcode::RdmaRead,
+                            byte_len: data.len(),
+                            qp: inner.num,
+                            imm: None,
+                        };
+                        inner.send_cq.push(wc);
+                    } else {
+                        inner.stats.completions_suppressed += 1;
+                    }
+                }
+                qp.fire_hook(sim);
+            }),
+        );
+    }
+
+    fn handle_ack(&self, sim: &mut Simulator, seq: u64) {
+        {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(p) = inner.pending.remove(&seq) {
+            inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
+            inner.stats.bytes_sent += p.byte_len as u64;
+            if p.signaled {
+                let wc = Wc {
+                    wr_id: p.wr_id,
+                    status: WcStatus::Success,
+                    opcode: p.opcode,
+                    byte_len: p.byte_len,
+                    qp: inner.num,
+                    imm: None,
+                };
+                inner.send_cq.push(wc);
+            } else {
+                inner.stats.completions_suppressed += 1;
+            }
+        }
+        }
+        self.fire_hook(sim);
+    }
+
+    fn handle_nak(&self, sim: &mut Simulator, seq: u64, status: WcStatus) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(p) = inner.pending.remove(&seq) {
+                inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
+                let wc = Wc {
+                    wr_id: p.wr_id,
+                    status,
+                    opcode: p.opcode,
+                    byte_len: 0,
+                    qp: inner.num,
+                    imm: None,
+                };
+                inner.send_cq.push(wc);
+            }
+        }
+        self.enter_error();
+        self.fire_hook(sim);
+    }
+
+    fn send_nak(&self, sim: &mut Simulator, seq: u64, status: WcStatus) {
+        let model = self.device.model().clone();
+        let (local, remote) = {
+            let inner = self.inner.borrow();
+            (inner.local_addr, inner.remote)
+        };
+        if let Some((raddr, _)) = remote {
+            let nak = RdmaPacket::Nak { seq, status };
+            let wire = nak.wire_bytes(model.ack_bytes);
+            self.device
+                .net()
+                .send(sim, Frame::new(local, raddr, wire, nak));
+        }
+    }
+
+    /// Moves the QP to the error state and flushes all outstanding work.
+    pub(crate) fn enter_error(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.state == QpState::Error {
+            return;
+        }
+        inner.state = QpState::Error;
+        let num = inner.num;
+        inner.outstanding_sends = 0;
+        let pending: Vec<PendingSend> = inner.pending.drain().map(|(_, p)| p).collect();
+        for p in pending {
+            inner.send_cq.push(Wc {
+                wr_id: p.wr_id,
+                status: WcStatus::WorkRequestFlushed,
+                opcode: p.opcode,
+                byte_len: 0,
+                qp: num,
+                imm: None,
+            });
+        }
+        let recvs: Vec<RecvWr> = inner.recv_queue.drain(..).collect();
+        for r in recvs {
+            inner.recv_cq.push(Wc {
+                wr_id: r.wr_id,
+                status: WcStatus::WorkRequestFlushed,
+                opcode: WcOpcode::Recv,
+                byte_len: 0,
+                qp: num,
+                imm: None,
+            });
+        }
+        inner.held.clear();
+    }
+
+    /// Sends a disconnect notification and enters the error state.
+    pub fn disconnect(&self, sim: &mut Simulator) {
+        let model = self.device.model().clone();
+        let (local, remote, num) = {
+            let inner = self.inner.borrow();
+            (inner.local_addr, inner.remote, inner.num)
+        };
+        if let Some((raddr, _)) = remote {
+            let pkt = RdmaPacket::Disconnect { src_qp: num };
+            let wire = pkt.wire_bytes(model.ack_bytes);
+            self.device
+                .net()
+                .send(sim, Frame::new(local, raddr, wire, pkt));
+        }
+        self.enter_error();
+    }
+
+    /// Unbinds the QP's network port. The QP is unusable afterwards.
+    pub fn destroy(&self) {
+        let addr = self.local_addr();
+        self.device.net().unbind(addr);
+        self.enter_error();
+    }
+}
+
+fn opcode_of(op: &SendOp) -> WcOpcode {
+    match op {
+        SendOp::Send { .. } => WcOpcode::Send,
+        SendOp::Write { .. } => WcOpcode::RdmaWrite,
+        SendOp::Read { .. } => WcOpcode::RdmaRead,
+    }
+}
+
+/// Manually wires two queue pairs into a connected RC pair (for tests and
+/// micro-benchmarks that skip the connection manager).
+///
+/// # Errors
+///
+/// Propagates state-transition errors if either QP is not in `Reset`.
+pub fn connect_pair(a: &QueuePair, b: &QueuePair) -> VerbsResult<()> {
+    a.modify_to_init()?;
+    b.modify_to_init()?;
+    a.modify_to_rtr(b.local_addr(), b.num())?;
+    b.modify_to_rtr(a.local_addr(), a.num())?;
+    a.modify_to_rts()?;
+    b.modify_to_rts()?;
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! The BFT client: submits requests and waits for `f + 1` matching replies.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use bft_crypto::KeyTable;
+use simnet::{Nanos, Simulator};
+
+use crate::config::ReptorConfig;
+use crate::messages::{ClientId, Message, ReplicaId, Request, SignedMessage};
+use crate::transport::Transport;
+
+/// Client statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed (`f + 1` matching replies).
+    pub completed: u64,
+    /// Retransmissions sent.
+    pub retransmissions: u64,
+    /// Replies dropped for failing MAC verification.
+    pub bad_mac_dropped: u64,
+}
+
+/// One finished request, as recorded by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The request timestamp.
+    pub timestamp: u64,
+    /// The agreed result.
+    pub result: Vec<u8>,
+    /// Submission time.
+    pub submitted_at: Nanos,
+    /// Completion time.
+    pub completed_at: Nanos,
+}
+
+impl Completion {
+    /// End-to-end request latency.
+    pub fn latency(&self) -> Nanos {
+        self.completed_at - self.submitted_at
+    }
+}
+
+struct PendingReq {
+    request: Request,
+    replies: HashMap<ReplicaId, Vec<u8>>,
+    submitted_at: Nanos,
+    retries: u32,
+}
+
+struct ClientInner {
+    id: ClientId,
+    cfg: ReptorConfig,
+    keys: KeyTable,
+    transport: Rc<dyn Transport>,
+    next_ts: u64,
+    pending: HashMap<u64, PendingReq>,
+    completions: Vec<Completion>,
+    resend_timeout: Nanos,
+    max_retries: u32,
+    stats: ClientStats,
+}
+
+/// A closed-loop BFT client.
+#[derive(Clone)]
+pub struct Client {
+    inner: Rc<RefCell<ClientInner>>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Client")
+            .field("id", &inner.id)
+            .field("pending", &inner.pending.len())
+            .field("completed", &inner.stats.completed)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Creates a client with node id `id` (above the replica range).
+    pub fn new(
+        id: ClientId,
+        cfg: ReptorConfig,
+        domain_secret: &[u8],
+        transport: Rc<dyn Transport>,
+    ) -> Client {
+        assert!(
+            id >= cfg.n as u32,
+            "client ids must lie above the replica id range"
+        );
+        let client = Client {
+            inner: Rc::new(RefCell::new(ClientInner {
+                id,
+                keys: KeyTable::new(id, domain_secret.to_vec()),
+                resend_timeout: cfg.view_change_timeout * 3 / 2,
+                cfg,
+                transport: transport.clone(),
+                next_ts: 1,
+                pending: HashMap::new(),
+                completions: Vec::new(),
+                max_retries: 20,
+                stats: ClientStats::default(),
+            })),
+        };
+        let c = client.clone();
+        transport.set_delivery(Rc::new(move |sim, _from, bytes| {
+            c.on_raw(sim, bytes);
+        }));
+        client
+    }
+
+    /// This client's node id.
+    pub fn id(&self) -> ClientId {
+        self.inner.borrow().id
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.inner.borrow().stats
+    }
+
+    /// Finished requests in completion order.
+    pub fn completions(&self) -> Vec<Completion> {
+        self.inner.borrow().completions.clone()
+    }
+
+    /// Requests still awaiting a quorum of replies.
+    pub fn pending_count(&self) -> usize {
+        self.inner.borrow().pending.len()
+    }
+
+    /// Submits an operation to the replicated service; returns its
+    /// timestamp. The client broadcasts to all replicas (backups use it to
+    /// arm their view-change timers) and retransmits until `f + 1`
+    /// matching replies arrive.
+    pub fn submit(&self, sim: &mut Simulator, payload: Vec<u8>) -> u64 {
+        let (ts, request) = {
+            let mut inner = self.inner.borrow_mut();
+            let ts = inner.next_ts;
+            inner.next_ts += 1;
+            let request = Request {
+                client: inner.id,
+                timestamp: ts,
+                payload,
+            };
+            inner.pending.insert(
+                ts,
+                PendingReq {
+                    request: request.clone(),
+                    replies: HashMap::new(),
+                    submitted_at: sim.now(),
+                    retries: 0,
+                },
+            );
+            inner.stats.submitted += 1;
+            (ts, request)
+        };
+        self.send_request(sim, &request);
+        self.arm_resend(sim, ts);
+        ts
+    }
+
+    fn send_request(&self, sim: &mut Simulator, request: &Request) {
+        let (signed, transport, replicas) = {
+            let inner = self.inner.borrow();
+            let replicas: Vec<u32> = (0..inner.cfg.n as u32).collect();
+            let signed = SignedMessage::create(
+                &Message::Request(request.clone()),
+                &inner.keys,
+                &replicas,
+            );
+            (signed, inner.transport.clone(), replicas)
+        };
+        let bytes = signed.encode();
+        for r in replicas {
+            transport.send(sim, r, bytes.clone());
+        }
+    }
+
+    fn arm_resend(&self, sim: &mut Simulator, ts: u64) {
+        let timeout = self.inner.borrow().resend_timeout;
+        let client = self.clone();
+        sim.schedule_in(
+            timeout,
+            Box::new(move |sim| {
+                let request = {
+                    let mut inner = client.inner.borrow_mut();
+                    let max = inner.max_retries;
+                    match inner.pending.get_mut(&ts) {
+                        Some(p) if p.retries < max => {
+                            p.retries += 1;
+                            let req = p.request.clone();
+                            inner.stats.retransmissions += 1;
+                            Some(req)
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some(req) = request {
+                    client.send_request(sim, &req);
+                    client.arm_resend(sim, ts);
+                }
+            }),
+        );
+    }
+
+    fn on_raw(&self, sim: &mut Simulator, bytes: Vec<u8>) {
+        let Ok(signed) = SignedMessage::decode(&bytes) else {
+            return;
+        };
+        let msg = {
+            let mut inner = self.inner.borrow_mut();
+            match signed.verify_and_decode(&inner.keys) {
+                Ok(Some(m)) => m,
+                Ok(None) => {
+                    inner.stats.bad_mac_dropped += 1;
+                    return;
+                }
+                Err(_) => return,
+            }
+        };
+        let Message::Reply {
+            timestamp,
+            replica,
+            result,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        let completed = {
+            let mut inner = self.inner.borrow_mut();
+            let quorum = inner.cfg.f() + 1;
+            let Some(p) = inner.pending.get_mut(&timestamp) else {
+                return; // already completed or unknown
+            };
+            p.replies.insert(replica, result.clone());
+            let matching = p.replies.values().filter(|r| **r == result).count();
+            if matching >= quorum {
+                let p = inner.pending.remove(&timestamp).expect("present");
+                let completion = Completion {
+                    timestamp,
+                    result,
+                    submitted_at: p.submitted_at,
+                    completed_at: sim.now(),
+                };
+                inner.completions.push(completion);
+                inner.stats.completed += 1;
+                true
+            } else {
+                false
+            }
+        };
+        let _ = completed;
+    }
+}

@@ -1,0 +1,146 @@
+//! Cluster harness: builds a complete replica group plus clients on the
+//! simulated fabric. Used by tests, examples and the benchmark drivers.
+
+use std::rc::Rc;
+
+use simnet::{Network, Simulator, TestBed};
+
+use crate::client::Client;
+use crate::config::ReptorConfig;
+use crate::replica::Replica;
+use crate::state::StateMachine;
+use crate::transport::{SimTransport, Transport};
+
+/// Shared secret for the MAC key domain (stands in for key distribution).
+pub const DOMAIN_SECRET: &[u8] = b"reptor-simulated-domain";
+
+/// A fully wired replica group with clients.
+pub struct Cluster {
+    /// The simulator driving everything.
+    pub sim: Simulator,
+    /// The fabric.
+    pub net: Network,
+    /// Replicas `0..n`.
+    pub replicas: Vec<Replica>,
+    /// Clients (node ids `n..n+c`).
+    pub clients: Vec<Client>,
+    /// The group configuration.
+    pub cfg: ReptorConfig,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("replicas", &self.replicas.len())
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster over the direct [`SimTransport`]: each replica and
+    /// each client gets its own 4-core host in a full mesh.
+    pub fn sim_transport(
+        cfg: ReptorConfig,
+        num_clients: usize,
+        seed: u64,
+        mut service: impl FnMut() -> Box<dyn StateMachine>,
+    ) -> Cluster {
+        cfg.validate();
+        let total = cfg.n + num_clients;
+        let (sim, net, hosts) = TestBed::cluster(seed, total);
+        let nodes: Vec<(u32, simnet::HostId)> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (i as u32, h))
+            .collect();
+        let transports = SimTransport::build_group(&net, &nodes);
+
+        let replicas: Vec<Replica> = (0..cfg.n)
+            .map(|i| {
+                Replica::new(
+                    i as u32,
+                    cfg.clone(),
+                    DOMAIN_SECRET,
+                    Rc::new(transports[i].clone()) as Rc<dyn Transport>,
+                    &net,
+                    hosts[i],
+                    service(),
+                )
+            })
+            .collect();
+        let clients: Vec<Client> = (0..num_clients)
+            .map(|i| {
+                let id = (cfg.n + i) as u32;
+                Client::new(
+                    id,
+                    cfg.clone(),
+                    DOMAIN_SECRET,
+                    Rc::new(transports[cfg.n + i].clone()) as Rc<dyn Transport>,
+                )
+            })
+            .collect();
+        Cluster {
+            sim,
+            net,
+            replicas,
+            clients,
+            cfg,
+        }
+    }
+
+    /// Runs until the simulator is idle.
+    pub fn settle(&mut self) {
+        self.sim.run_until_idle();
+    }
+
+    /// Runs until every client has `want` completions or `max_steps`
+    /// events elapse. Returns true on success.
+    pub fn run_until_completed(&mut self, want: u64, max_events: u64) -> bool {
+        let start = self.sim.executed_events();
+        loop {
+            if self
+                .clients
+                .iter()
+                .all(|c| c.stats().completed >= want)
+            {
+                return true;
+            }
+            if !self.sim.step() {
+                return false;
+            }
+            if self.sim.executed_events() - start > max_events {
+                return false;
+            }
+        }
+    }
+
+    /// Asserts PBFT safety: no two replicas executed different batches at
+    /// the same sequence number, and each replica's history is a prefix of
+    /// the longest one.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violation, if any.
+    pub fn assert_safety(&self) {
+        let logs: Vec<Vec<(u64, bft_crypto::Digest)>> = self
+            .replicas
+            .iter()
+            .map(Replica::executed_log)
+            .collect();
+        for (i, a) in logs.iter().enumerate() {
+            for (j, b) in logs.iter().enumerate().skip(i + 1) {
+                for (seq_a, dig_a) in a {
+                    for (seq_b, dig_b) in b {
+                        if seq_a == seq_b {
+                            assert_eq!(
+                                dig_a, dig_b,
+                                "replicas {i} and {j} executed different batches at seq {seq_a}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Replica-group configuration.
+
+use bft_crypto::CryptoCostModel;
+use simnet::Nanos;
+
+/// Static configuration shared by every replica in the group.
+#[derive(Debug, Clone)]
+pub struct ReptorConfig {
+    /// Number of replicas (`n = 3f + 1`).
+    pub n: usize,
+    /// Maximum requests per agreement batch (paper §II-B: "requests in BFT
+    /// protocols are often batched").
+    pub batch_size: usize,
+    /// Maximum concurrently active agreement instances (the watermark
+    /// window `L`).
+    pub window: usize,
+    /// A checkpoint is taken every `checkpoint_interval` sequence numbers.
+    pub checkpoint_interval: u64,
+    /// Number of COP consensus pillars (parallel protocol instances,
+    /// Behl et al. \[10\]); agreement work for sequence `s` runs on core
+    /// `s % pillars`, offset by one to leave core 0 for execution.
+    pub pillars: usize,
+    /// Backup timer before suspecting the primary and starting a view
+    /// change.
+    pub view_change_timeout: Nanos,
+    /// Cryptographic CPU cost model.
+    pub crypto: CryptoCostModel,
+}
+
+impl ReptorConfig {
+    /// A small `f = 1` group (4 replicas), the classic PBFT setup.
+    pub fn small() -> ReptorConfig {
+        ReptorConfig {
+            n: 4,
+            batch_size: 10,
+            window: 30,
+            checkpoint_interval: 64,
+            pillars: 3,
+            view_change_timeout: Nanos::from_millis(40),
+            crypto: CryptoCostModel::xeon_v2_java(),
+        }
+    }
+
+    /// A group tolerating `f` faults (`n = 3f + 1`).
+    pub fn for_f(f: usize) -> ReptorConfig {
+        ReptorConfig {
+            n: 3 * f + 1,
+            ..ReptorConfig::small()
+        }
+    }
+
+    /// The number of tolerated faults `f = (n - 1) / 3`.
+    pub fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// Quorum size for prepared/committed certificates (`2f`).
+    pub fn prepare_quorum(&self) -> usize {
+        2 * self.f()
+    }
+
+    /// Commit quorum (`2f + 1` including the replica itself).
+    pub fn commit_quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// The primary of `view`.
+    pub fn primary(&self, view: u64) -> u32 {
+        (view % self.n as u64) as u32
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 4`, `n = 3f + 1`, and batching/window/pillar
+    /// parameters are positive.
+    pub fn validate(&self) {
+        assert!(self.n >= 4, "BFT needs n >= 4 (got {})", self.n);
+        assert_eq!(self.n, 3 * self.f() + 1, "n must be 3f + 1");
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.window > 0, "window must be positive");
+        assert!(self.checkpoint_interval > 0, "checkpoint interval positive");
+        assert!(self.pillars > 0, "pillars must be positive");
+    }
+}
+
+impl Default for ReptorConfig {
+    fn default() -> ReptorConfig {
+        ReptorConfig::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorums_match_pbft() {
+        let c = ReptorConfig::small();
+        c.validate();
+        assert_eq!(c.f(), 1);
+        assert_eq!(c.prepare_quorum(), 2);
+        assert_eq!(c.commit_quorum(), 3);
+        let c7 = ReptorConfig::for_f(2);
+        c7.validate();
+        assert_eq!(c7.n, 7);
+        assert_eq!(c7.commit_quorum(), 5);
+    }
+
+    #[test]
+    fn primary_rotates_with_view() {
+        let c = ReptorConfig::small();
+        assert_eq!(c.primary(0), 0);
+        assert_eq!(c.primary(1), 1);
+        assert_eq!(c.primary(4), 0);
+        assert_eq!(c.primary(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be 3f + 1")]
+    fn non_3f1_rejected() {
+        let c = ReptorConfig {
+            n: 5,
+            ..ReptorConfig::small()
+        };
+        c.validate();
+    }
+}

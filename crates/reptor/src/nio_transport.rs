@@ -1,0 +1,365 @@
+//! The NIO-style TCP transport: Reptor's baseline comm stack.
+//!
+//! One selector thread per node multiplexes a full mesh of non-blocking
+//! TCP streams (exactly how Reptor/UpRight use the Java NIO selector for
+//! replica communication, paper §I/§III). Messages are framed with a 4-byte
+//! little-endian length prefix; the first frame on every stream is a hello
+//! carrying the sender's node id.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::{Addr, CoreId, HostId, Network, Simulator};
+use simnet_socket::{
+    KeyId, Ops, ReadOutcome, Selector, TcpListener, TcpModel, TcpStream, NIO_SELECT_NS,
+};
+
+use crate::transport::{DeliveryFn, NodeId, Transport};
+
+/// Base port for NIO transport listeners.
+const NIO_PORT_BASE: u32 = 900;
+
+struct PeerConn {
+    stream: TcpStream,
+    key: KeyId,
+    /// Framed bytes not yet accepted by the socket.
+    outq: VecDeque<u8>,
+    /// Partial inbound frame bytes.
+    inbuf: Vec<u8>,
+    /// Peer id once the hello frame arrived (inbound connections).
+    peer: Option<NodeId>,
+}
+
+struct NioInner {
+    node: NodeId,
+    core: CoreId,
+    net: Network,
+    model: TcpModel,
+    selector: Selector,
+    listener: TcpListener,
+    listener_key: KeyId,
+    conns: Vec<PeerConn>,
+    by_node: HashMap<NodeId, usize>,
+    delivery: Option<DeliveryFn>,
+    msgs_sent: u64,
+    msgs_delivered: u64,
+}
+
+/// A full-mesh, selector-driven TCP transport endpoint.
+#[derive(Clone)]
+pub struct NioTransport {
+    inner: Rc<RefCell<NioInner>>,
+}
+
+impl fmt::Debug for NioTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("NioTransport")
+            .field("node", &inner.node)
+            .field("conns", &inner.conns.len())
+            .field("sent", &inner.msgs_sent)
+            .field("delivered", &inner.msgs_delivered)
+            .finish()
+    }
+}
+
+fn frame(msg: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + msg.len());
+    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+impl NioTransport {
+    /// Builds a fully meshed group: every endpoint listens, lower-id nodes
+    /// are dialled by higher-id nodes, and hello frames identify peers.
+    /// Run the simulator (or start sending) to let connections complete.
+    pub fn build_group(
+        sim: &mut Simulator,
+        net: &Network,
+        nodes: &[(NodeId, HostId, CoreId)],
+        model: TcpModel,
+    ) -> Vec<NioTransport> {
+        let transports: Vec<NioTransport> = nodes
+            .iter()
+            .map(|&(node, host, core)| {
+                let selector = Selector::new(net, host, core, NIO_SELECT_NS);
+                let listener =
+                    TcpListener::bind(net, host, NIO_PORT_BASE + node, core, model.clone())
+                        .expect("transport port free");
+                NioTransport {
+                    inner: Rc::new(RefCell::new(NioInner {
+                        node,
+                        core,
+                        net: net.clone(),
+                        model: model.clone(),
+                        selector,
+                        listener,
+                        listener_key: KeyId(u64::MAX),
+                        conns: Vec::new(),
+                        by_node: HashMap::new(),
+                        delivery: None,
+                        msgs_sent: 0,
+                        msgs_delivered: 0,
+                    })),
+                }
+            })
+            .collect();
+        // Register listeners and start the reactors.
+        for t in &transports {
+            let key = {
+                let inner = t.inner.borrow();
+                inner.listener.register(sim, &inner.selector)
+            };
+            t.inner.borrow_mut().listener_key = key;
+            t.pump(sim);
+        }
+        // Dial: node at index i connects to every earlier node.
+        for (idx, &(_node, host, _core)) in nodes.iter().enumerate() {
+            for &(peer, peer_host, _pcore) in &nodes[..idx] {
+                let t = &transports[idx];
+                let remote = Addr::new(peer_host, NIO_PORT_BASE + peer);
+                let (stream, key) = {
+                    let inner = t.inner.borrow();
+                    let stream = TcpStream::connect(
+                        sim,
+                        &inner.net,
+                        host,
+                        inner.core,
+                        inner.model.clone(),
+                        remote,
+                    );
+                    let key = stream.register(sim, &inner.selector, Ops::CONNECT | Ops::READ);
+                    (stream, key)
+                };
+                let mut inner = t.inner.borrow_mut();
+                let slot = inner.conns.len();
+                inner.conns.push(PeerConn {
+                    stream,
+                    key,
+                    outq: VecDeque::new(),
+                    inbuf: Vec::new(),
+                    peer: Some(peer),
+                });
+                inner.by_node.insert(peer, slot);
+            }
+        }
+        transports
+    }
+
+    /// Messages delivered to this endpoint.
+    pub fn delivered_count(&self) -> u64 {
+        self.inner.borrow().msgs_delivered
+    }
+
+    /// Select calls performed by this endpoint's selector.
+    pub fn selects_performed(&self) -> u64 {
+        self.inner.borrow().selector.selects_performed()
+    }
+
+    /// The reactor: parks a select and handles whatever becomes ready.
+    fn pump(&self, sim: &mut Simulator) {
+        let selector = self.inner.borrow().selector.clone();
+        let t = self.clone();
+        selector.select(sim, move |sim, ready| {
+            for ev in ready {
+                t.handle_event(sim, ev.key, ev.ready);
+            }
+            t.pump(sim);
+        });
+    }
+
+    fn handle_event(&self, sim: &mut Simulator, key: KeyId, ready: Ops) {
+        let listener_key = self.inner.borrow().listener_key;
+        if key == listener_key {
+            if ready.contains(Ops::ACCEPT) {
+                self.handle_accept(sim);
+            }
+            return;
+        }
+        let slot = {
+            let inner = self.inner.borrow();
+            inner.conns.iter().position(|c| c.key == key)
+        };
+        let Some(slot) = slot else { return };
+        if ready.contains(Ops::CONNECT) {
+            self.handle_connected(sim, slot);
+        }
+        if ready.contains(Ops::READ) {
+            self.handle_readable(sim, slot);
+        }
+        if ready.contains(Ops::WRITE) {
+            self.flush(sim, slot);
+        }
+    }
+
+    fn handle_accept(&self, sim: &mut Simulator) {
+        loop {
+            let accepted = {
+                let inner = self.inner.borrow();
+                inner.listener.accept(sim)
+            };
+            let Some(stream) = accepted else { break };
+            let key = {
+                let inner = self.inner.borrow();
+                stream.register(sim, &inner.selector, Ops::READ)
+            };
+            let mut inner = self.inner.borrow_mut();
+            inner.conns.push(PeerConn {
+                stream,
+                key,
+                outq: VecDeque::new(),
+                inbuf: Vec::new(),
+                peer: None,
+            });
+        }
+    }
+
+    fn handle_connected(&self, sim: &mut Simulator, slot: usize) {
+        let (stream, key, node) = {
+            let inner = self.inner.borrow();
+            let c = &inner.conns[slot];
+            (c.stream.clone(), c.key, inner.node)
+        };
+        if !stream.finish_connect(sim) {
+            return;
+        }
+        {
+            let inner = self.inner.borrow();
+            inner.selector.set_interest(sim, key, Ops::READ);
+        }
+        // Send the hello frame identifying us.
+        let hello = frame(&node.to_le_bytes());
+        self.enqueue(sim, slot, hello);
+    }
+
+    fn handle_readable(&self, sim: &mut Simulator, slot: usize) {
+        loop {
+            let outcome = {
+                let inner = self.inner.borrow();
+                inner.conns[slot].stream.read(sim, 1 << 20)
+            };
+            match outcome {
+                Ok(ReadOutcome::Data(bytes)) => {
+                    self.inner.borrow_mut().conns[slot].inbuf.extend(bytes);
+                    self.parse_frames(sim, slot);
+                }
+                Ok(ReadOutcome::WouldBlock) | Ok(ReadOutcome::Eof) | Err(_) => break,
+            }
+        }
+    }
+
+    fn parse_frames(&self, sim: &mut Simulator, slot: usize) {
+        loop {
+            let parsed = {
+                let mut inner = self.inner.borrow_mut();
+                let c = &mut inner.conns[slot];
+                if c.inbuf.len() < 4 {
+                    None
+                } else {
+                    let len =
+                        u32::from_le_bytes(c.inbuf[..4].try_into().expect("4 bytes")) as usize;
+                    if c.inbuf.len() < 4 + len {
+                        None
+                    } else {
+                        let body: Vec<u8> = c.inbuf[4..4 + len].to_vec();
+                        c.inbuf.drain(..4 + len);
+                        Some(body)
+                    }
+                }
+            };
+            let Some(body) = parsed else { break };
+            self.handle_frame(sim, slot, body);
+        }
+    }
+
+    fn handle_frame(&self, sim: &mut Simulator, slot: usize, body: Vec<u8>) {
+        let (peer, delivery) = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.conns[slot].peer {
+                Some(p) => {
+                    inner.msgs_delivered += 1;
+                    (p, inner.delivery.clone())
+                }
+                None => {
+                    // First frame: the hello.
+                    if body.len() == 4 {
+                        let peer = u32::from_le_bytes(body.try_into().expect("4 bytes"));
+                        inner.conns[slot].peer = Some(peer);
+                        inner.by_node.insert(peer, slot);
+                    }
+                    return;
+                }
+            }
+        };
+        if let Some(cb) = delivery {
+            cb(sim, peer, body);
+        }
+    }
+
+    fn enqueue(&self, sim: &mut Simulator, slot: usize, framed: Vec<u8>) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.conns[slot].outq.extend(framed);
+        }
+        self.flush(sim, slot);
+    }
+
+    fn flush(&self, sim: &mut Simulator, slot: usize) {
+        loop {
+            let (stream, chunk) = {
+                let inner = self.inner.borrow();
+                let c = &inner.conns[slot];
+                if c.outq.is_empty() || !c.stream.is_established() {
+                    break;
+                }
+                let take = c.outq.len().min(64 * 1024);
+                let chunk: Vec<u8> = c.outq.iter().copied().take(take).collect();
+                (c.stream.clone(), chunk)
+            };
+            match stream.write(sim, &chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.conns[slot].outq.drain(..n);
+                }
+            }
+        }
+        // Track WRITE interest: only while there is something to flush.
+        let inner = self.inner.borrow();
+        let c = &inner.conns[slot];
+        let connected = c.stream.is_established();
+        let interest = if !connected {
+            Ops::READ | Ops::CONNECT
+        } else if c.outq.is_empty() {
+            Ops::READ
+        } else {
+            Ops::READ | Ops::WRITE
+        };
+        inner.selector.set_interest(sim, c.key, interest);
+    }
+}
+
+impl Transport for NioTransport {
+    fn node(&self) -> NodeId {
+        self.inner.borrow().node
+    }
+
+    fn send(&self, sim: &mut Simulator, to: NodeId, msg: Vec<u8>) {
+        let slot = {
+            let mut inner = self.inner.borrow_mut();
+            inner.msgs_sent += 1;
+            inner.by_node.get(&to).copied()
+        };
+        let Some(slot) = slot else {
+            return; // no connection to that peer (yet): drop
+        };
+        self.enqueue(sim, slot, frame(&msg));
+    }
+
+    fn set_delivery(&self, f: DeliveryFn) {
+        self.inner.borrow_mut().delivery = Some(f);
+    }
+}

@@ -1,0 +1,1189 @@
+//! The PBFT replica with COP-style parallel agreement pillars.
+//!
+//! Implements Castro & Liskov's PBFT \[14\] as used by Reptor \[10\]:
+//! pre-prepare/prepare/commit agreement with MAC-vector authentication,
+//! batching, checkpoint-based log truncation, and view changes. Agreement
+//! work for sequence number `s` is charged to pillar core `1 + (s mod p)`
+//! — the Consensus-Oriented Parallelization scheme, where whole protocol
+//! instances (not functional stages) run in parallel while execution
+//! remains sequential on core 0.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use bft_crypto::{Digest, KeyTable};
+use simnet::{CoreId, HostId, Nanos, Network, Simulator};
+
+use crate::config::ReptorConfig;
+use crate::messages::{
+    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage,
+    View,
+};
+use crate::state::StateMachine;
+use crate::transport::Transport;
+
+/// Fault-injection modes for a replica (the Byzantine behaviours the
+/// protocol must tolerate, up to `f` of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ByzantineMode {
+    /// Correct behaviour.
+    #[default]
+    Honest,
+    /// Crashed: ignores everything and sends nothing.
+    Crash,
+    /// As primary, never proposes (provokes view changes); otherwise
+    /// behaves correctly.
+    SilentPrimary,
+    /// As primary, sends conflicting proposals for the same sequence
+    /// number to different halves of the group.
+    EquivocatingPrimary,
+    /// Sends messages whose MACs do not verify (receivers must drop them).
+    CorruptMacs,
+}
+
+/// Per-replica counters used by tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Batches executed.
+    pub executed_batches: u64,
+    /// Individual requests executed.
+    pub executed_requests: u64,
+    /// PRE-PREPAREs sent (primary).
+    pub pre_prepares_sent: u64,
+    /// PREPAREs sent.
+    pub prepares_sent: u64,
+    /// COMMITs sent.
+    pub commits_sent: u64,
+    /// REPLYs sent to clients.
+    pub replies_sent: u64,
+    /// Checkpoints that became stable.
+    pub stable_checkpoints: u64,
+    /// VIEW-CHANGE messages sent.
+    pub view_changes_sent: u64,
+    /// Messages dropped for failing MAC verification.
+    pub bad_mac_dropped: u64,
+    /// Messages dropped as malformed.
+    pub malformed_dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct Instance {
+    view: View,
+    digest: Option<Digest>,
+    batch: Option<Vec<Request>>,
+    pre_prepared: bool,
+    prepares: HashSet<ReplicaId>,
+    commits: HashSet<ReplicaId>,
+    prepared: bool,
+    committed: bool,
+    executed: bool,
+}
+
+struct ReplicaInner {
+    id: ReplicaId,
+    cfg: ReptorConfig,
+    keys: KeyTable,
+    transport: Rc<dyn Transport>,
+    net: Network,
+    host: HostId,
+    service: Box<dyn StateMachine>,
+    byzantine: ByzantineMode,
+
+    view: View,
+    in_view_change: bool,
+    next_seq: SeqNum,
+    last_executed: SeqNum,
+    low_mark: SeqNum,
+    log: BTreeMap<SeqNum, Instance>,
+    pending: VecDeque<Request>,
+    proposed: HashSet<(ClientId, u64)>,
+    client_state: HashMap<ClientId, (u64, Vec<u8>)>,
+    /// `seq → digest → voters`, for checkpoint certificates.
+    checkpoint_votes: BTreeMap<SeqNum, HashMap<Digest, HashSet<ReplicaId>>>,
+    own_checkpoints: BTreeMap<SeqNum, Digest>,
+    /// `view → voter → (last_stable, prepared proofs)`.
+    vc_votes: BTreeMap<View, BTreeMap<ReplicaId, (SeqNum, Vec<PreparedProof>)>>,
+    /// Highest view this replica has voted for.
+    voted_view: View,
+    /// Consecutive unfinished view-change attempts (exponential backoff).
+    vc_attempts: u32,
+    /// Outbound serialization horizon: sends leave the replica in
+    /// submission order (the comm stack's single sender queue).
+    send_horizon: Nanos,
+    /// Executed history `(seq, batch digest)` — the safety witness used by
+    /// tests.
+    executed_log: Vec<(SeqNum, Digest)>,
+    stats: ReplicaStats,
+}
+
+/// A PBFT replica.
+#[derive(Clone)]
+pub struct Replica {
+    inner: Rc<RefCell<ReplicaInner>>,
+}
+
+impl fmt::Debug for Replica {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Replica")
+            .field("id", &inner.id)
+            .field("view", &inner.view)
+            .field("last_executed", &inner.last_executed)
+            .field("in_view_change", &inner.in_view_change)
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Creates a replica and wires it to `transport`'s delivery callback.
+    pub fn new(
+        id: ReplicaId,
+        cfg: ReptorConfig,
+        domain_secret: &[u8],
+        transport: Rc<dyn Transport>,
+        net: &Network,
+        host: HostId,
+        service: Box<dyn StateMachine>,
+    ) -> Replica {
+        cfg.validate();
+        let replica = Replica {
+            inner: Rc::new(RefCell::new(ReplicaInner {
+                id,
+                keys: KeyTable::new(id, domain_secret.to_vec()),
+                cfg,
+                transport: transport.clone(),
+                net: net.clone(),
+                host,
+                service,
+                byzantine: ByzantineMode::Honest,
+                view: 0,
+                in_view_change: false,
+                next_seq: 1,
+                last_executed: 0,
+                low_mark: 0,
+                log: BTreeMap::new(),
+                pending: VecDeque::new(),
+                proposed: HashSet::new(),
+                client_state: HashMap::new(),
+                checkpoint_votes: BTreeMap::new(),
+                own_checkpoints: BTreeMap::new(),
+                vc_votes: BTreeMap::new(),
+                voted_view: 0,
+                vc_attempts: 0,
+                send_horizon: Nanos::ZERO,
+                executed_log: Vec::new(),
+                stats: ReplicaStats::default(),
+            })),
+        };
+        let r = replica.clone();
+        transport.set_delivery(Rc::new(move |sim, from, bytes| {
+            r.on_raw(sim, from, bytes);
+        }));
+        replica
+    }
+
+    /// Sets the fault-injection mode.
+    pub fn set_byzantine(&self, mode: ByzantineMode) {
+        self.inner.borrow_mut().byzantine = mode;
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.inner.borrow().id
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.inner.borrow().view
+    }
+
+    /// Highest contiguously executed sequence number.
+    pub fn last_executed(&self) -> SeqNum {
+        self.inner.borrow().last_executed
+    }
+
+    /// Stable low watermark.
+    pub fn low_mark(&self) -> SeqNum {
+        self.inner.borrow().low_mark
+    }
+
+    /// True if this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.cfg.primary(inner.view) == inner.id
+    }
+
+    /// The executed `(seq, digest)` history (safety checks).
+    pub fn executed_log(&self) -> Vec<(SeqNum, Digest)> {
+        self.inner.borrow().executed_log.clone()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.inner.borrow().stats
+    }
+
+    /// Runs `f` against the replica's service (state inspection in tests).
+    pub fn with_service<R>(&self, f: impl FnOnce(&dyn StateMachine) -> R) -> R {
+        f(self.inner.borrow().service.as_ref())
+    }
+
+    /// Injects an already-authenticated protocol message directly into the
+    /// replica's dispatcher — adversarial-testing hook modelling a
+    /// Byzantine peer whose MACs verify (it holds valid session keys) but
+    /// whose message content is hostile.
+    pub fn inject_message(&self, sim: &mut Simulator, msg: Message) {
+        if self.inner.borrow().byzantine == ByzantineMode::Crash {
+            return;
+        }
+        self.dispatch(sim, msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound path
+    // ------------------------------------------------------------------
+
+    fn on_raw(&self, sim: &mut Simulator, _from: u32, bytes: Vec<u8>) {
+        if self.inner.borrow().byzantine == ByzantineMode::Crash {
+            return;
+        }
+        let signed = match SignedMessage::decode(&bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                self.inner.borrow_mut().stats.malformed_dropped += 1;
+                return;
+            }
+        };
+        // Charge MAC verification to the pillar core responsible for this
+        // message's sequence number (core 0 for non-agreement messages).
+        let msg = {
+            let mut inner = self.inner.borrow_mut();
+            let verified = signed.verify_and_decode(&inner.keys);
+            match verified {
+                Err(_) => {
+                    inner.stats.malformed_dropped += 1;
+                    return;
+                }
+                Ok(None) => {
+                    inner.stats.bad_mac_dropped += 1;
+                    return;
+                }
+                Ok(Some(m)) => {
+                    let core = inner.core_for(&m);
+                    let cost = inner.cfg.crypto.verify_cost(signed.body.len());
+                    inner.charge(sim, core, cost);
+                    m
+                }
+            }
+        };
+        self.dispatch(sim, msg);
+    }
+
+    fn dispatch(&self, sim: &mut Simulator, msg: Message) {
+        match msg {
+            Message::Request(req) => self.on_request(sim, req),
+            Message::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            } => self.handle_pre_prepare(sim, view, seq, digest, batch),
+            Message::Prepare {
+                view,
+                seq,
+                digest,
+                replica,
+            } => self.handle_prepare(sim, view, seq, digest, replica),
+            Message::Commit {
+                view,
+                seq,
+                digest,
+                replica,
+            } => self.handle_commit(sim, view, seq, digest, replica),
+            Message::Checkpoint {
+                seq,
+                state_digest,
+                replica,
+            } => self.handle_checkpoint(sim, seq, state_digest, replica),
+            Message::ViewChange {
+                new_view,
+                last_stable,
+                prepared,
+                replica,
+                ..
+            } => self.handle_view_change(sim, new_view, last_stable, prepared, replica),
+            Message::NewView {
+                view,
+                pre_prepares,
+                replica,
+            } => self.handle_new_view(sim, view, pre_prepares, replica),
+            Message::Reply { .. } => { /* replicas ignore replies */ }
+        }
+    }
+
+    /// Client request entry point (also used directly by the harness).
+    pub fn on_request(&self, sim: &mut Simulator, req: Request) {
+        let resend = {
+            let inner = self.inner.borrow_mut();
+            if inner.byzantine == ByzantineMode::Crash {
+                return;
+            }
+            match inner.client_state.get(&req.client) {
+                Some((last_ts, _)) if req.timestamp < *last_ts => return, // stale
+                Some((last_ts, result)) if req.timestamp == *last_ts => {
+                    // Duplicate of the last executed request: resend reply.
+                    Some((req.client, *last_ts, result.clone()))
+                }
+                _ => None,
+            }
+        };
+        if let Some((client, ts, result)) = resend {
+            self.send_reply(sim, client, ts, result);
+            return;
+        }
+
+        let is_primary = {
+            let mut inner = self.inner.borrow_mut();
+            let key = (req.client, req.timestamp);
+            // Every replica buffers the request: backups need it in case
+            // they become primary after a view change.
+            if !inner.proposed.contains(&key)
+                && !inner.pending.iter().any(|r| (r.client, r.timestamp) == key)
+            {
+                inner.pending.push_back(req.clone());
+            }
+            inner.cfg.primary(inner.view) == inner.id
+        };
+        if is_primary {
+            self.try_propose(sim);
+        } else {
+            // Backup: arm the view-change timer for this request.
+            self.arm_request_timer(sim, req);
+        }
+    }
+
+    fn arm_request_timer(&self, sim: &mut Simulator, req: Request) {
+        let (timeout, view_at_start) = {
+            let inner = self.inner.borrow();
+            (inner.cfg.view_change_timeout, inner.view)
+        };
+        let replica = self.clone();
+        sim.schedule_in(
+            timeout,
+            Box::new(move |sim| {
+                let expired = {
+                    let inner = replica.inner.borrow();
+                    if inner.byzantine == ByzantineMode::Crash {
+                        return;
+                    }
+                    let executed = inner
+                        .client_state
+                        .get(&req.client)
+                        .is_some_and(|(ts, _)| *ts >= req.timestamp);
+                    !executed && inner.view == view_at_start && !inner.in_view_change
+                };
+                if expired {
+                    replica.start_view_change(sim, view_at_start + 1);
+                }
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Primary: proposing
+    // ------------------------------------------------------------------
+
+    fn try_propose(&self, sim: &mut Simulator) {
+        loop {
+            let proposal = {
+                let mut inner = self.inner.borrow_mut();
+                if inner.in_view_change
+                    || inner.cfg.primary(inner.view) != inner.id
+                    || inner.pending.is_empty()
+                    || matches!(
+                        inner.byzantine,
+                        ByzantineMode::SilentPrimary | ByzantineMode::Crash
+                    )
+                {
+                    None
+                } else {
+                    let in_flight = (inner.next_seq - 1).saturating_sub(inner.last_executed);
+                    let high_mark = inner.low_mark + 2 * inner.cfg.checkpoint_interval;
+                    if in_flight >= inner.cfg.window as u64 || inner.next_seq > high_mark {
+                        None
+                    } else {
+                        let mut batch: Vec<Request> = Vec::new();
+                        while batch.len() < inner.cfg.batch_size {
+                            let Some(r) = inner.pending.pop_front() else {
+                                break;
+                            };
+                            let stale = inner
+                                .client_state
+                                .get(&r.client)
+                                .is_some_and(|(ts, _)| *ts >= r.timestamp);
+                            if stale || inner.proposed.contains(&(r.client, r.timestamp)) {
+                                continue;
+                            }
+                            batch.push(r);
+                        }
+                        if batch.is_empty() {
+                            return;
+                        }
+                        for r in &batch {
+                            inner.proposed.insert((r.client, r.timestamp));
+                        }
+                        if inner.next_seq <= inner.last_executed {
+                            inner.next_seq = inner.last_executed + 1;
+                        }
+                        let seq = inner.next_seq;
+                        inner.next_seq += 1;
+                        let digest = batch_digest(&batch);
+                        let core = inner.pillar_core(seq);
+                        let cost = inner.cfg.crypto.digest_cost(batch_bytes(&batch));
+                        inner.charge(sim, core, cost);
+                        inner.stats.pre_prepares_sent += 1;
+                        Some((seq, digest, batch, inner.view, inner.byzantine))
+                    }
+                }
+            };
+            let Some((seq, digest, batch, view, byz)) = proposal else {
+                return;
+            };
+
+            if byz == ByzantineMode::EquivocatingPrimary && batch.len() >= 1 {
+                // Conflicting proposals: half the group sees the real batch,
+                // the other half sees it reversed (different order, different
+                // digest when len > 1; with len == 1 the payload is tweaked).
+                let mut alt = batch.clone();
+                if alt.len() > 1 {
+                    alt.reverse();
+                } else {
+                    alt[0].payload.push(0xEE);
+                }
+                let alt_digest = batch_digest(&alt);
+                let n = self.inner.borrow().cfg.n as u32;
+                let me = self.id();
+                let half: Vec<u32> = (0..n).filter(|&r| r != me && r % 2 == 0).collect();
+                let other: Vec<u32> = (0..n).filter(|&r| r != me && r % 2 == 1).collect();
+                self.send_msg(
+                    sim,
+                    Message::PrePrepare {
+                        view,
+                        seq,
+                        digest,
+                        batch: batch.clone(),
+                    },
+                    &half,
+                );
+                self.send_msg(
+                    sim,
+                    Message::PrePrepare {
+                        view,
+                        seq,
+                        digest: alt_digest,
+                        batch: alt,
+                    },
+                    &other,
+                );
+                // The equivocator records its own (first) version.
+                self.accept_pre_prepare(sim, view, seq, digest, batch);
+                continue;
+            }
+
+            self.broadcast_to_replicas(
+                sim,
+                Message::PrePrepare {
+                    view,
+                    seq,
+                    digest,
+                    batch: batch.clone(),
+                },
+            );
+            // The primary's pre-prepare stands in for its prepare.
+            self.accept_pre_prepare(sim, view, seq, digest, batch);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Agreement
+    // ------------------------------------------------------------------
+
+    fn handle_pre_prepare(
+        &self,
+        sim: &mut Simulator,
+        view: View,
+        seq: SeqNum,
+        digest: Digest,
+        batch: Vec<Request>,
+    ) {
+        let accepted = {
+            let mut inner = self.inner.borrow_mut();
+            if view != inner.view || inner.in_view_change {
+                return;
+            }
+            if inner.cfg.primary(view) == inner.id {
+                return; // primaries do not take pre-prepares
+            }
+            if !inner.in_watermarks(seq) {
+                return;
+            }
+            // Verify the digest binds the batch.
+            let core = inner.pillar_core(seq);
+            let cost = inner.cfg.crypto.digest_cost(batch_bytes(&batch));
+            inner.charge(sim, core, cost);
+            if batch_digest(&batch) != digest {
+                false
+            } else {
+                let me = inner.id;
+                let entry = inner.log.entry(seq).or_default();
+                if entry.pre_prepared && entry.view == view {
+                    // Duplicate or conflicting pre-prepare in the same view:
+                    // keep the first. A conflict (Byzantine primary) starves
+                    // the quorum and the request timer triggers a view
+                    // change.
+                    false
+                } else {
+                    if view > entry.view || !entry.pre_prepared {
+                        *entry = Instance {
+                            view,
+                            digest: Some(digest),
+                            batch: Some(batch),
+                            pre_prepared: true,
+                            ..Instance::default()
+                        };
+                    }
+                    entry.prepares.insert(me);
+                    inner.stats.prepares_sent += 1;
+                    true
+                }
+            }
+        };
+        if !accepted {
+            return;
+        }
+        let me = self.id();
+        self.broadcast_to_replicas(
+            sim,
+            Message::Prepare {
+                view,
+                seq,
+                digest,
+                replica: me,
+            },
+        );
+        self.maybe_prepared(sim, seq);
+    }
+
+    /// The primary's local acceptance of its own proposal.
+    fn accept_pre_prepare(
+        &self,
+        sim: &mut Simulator,
+        view: View,
+        seq: SeqNum,
+        digest: Digest,
+        batch: Vec<Request>,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let entry = inner.log.entry(seq).or_default();
+            *entry = Instance {
+                view,
+                digest: Some(digest),
+                batch: Some(batch),
+                pre_prepared: true,
+                ..Instance::default()
+            };
+        }
+        self.maybe_prepared(sim, seq);
+    }
+
+    fn handle_prepare(
+        &self,
+        sim: &mut Simulator,
+        view: View,
+        seq: SeqNum,
+        digest: Digest,
+        replica: ReplicaId,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if view != inner.view || inner.in_view_change || !inner.in_watermarks(seq) {
+                return;
+            }
+            let entry = inner.log.entry(seq).or_default();
+            if entry.pre_prepared && entry.digest != Some(digest) {
+                return; // vote for a different digest
+            }
+            entry.view = entry.view.max(view);
+            entry.prepares.insert(replica);
+        }
+        self.maybe_prepared(sim, seq);
+    }
+
+    fn maybe_prepared(&self, sim: &mut Simulator, seq: SeqNum) {
+        let commit = {
+            let mut inner = self.inner.borrow_mut();
+            let quorum = inner.cfg.prepare_quorum();
+            let me = inner.id;
+            let view = inner.view;
+            let Some(entry) = inner.log.get_mut(&seq) else {
+                return;
+            };
+            if entry.prepared || !entry.pre_prepared {
+                return;
+            }
+            // The primary's pre-prepare plus 2f prepares (for the primary
+            // itself, 2f prepares from backups).
+            let votes = entry.prepares.len();
+            if votes < quorum {
+                return;
+            }
+            entry.prepared = true;
+            entry.commits.insert(me);
+            let digest = entry.digest.expect("prepared instance has a digest");
+            inner.stats.commits_sent += 1;
+            Some((view, digest))
+        };
+        let Some((view, digest)) = commit else { return };
+        let me = self.id();
+        self.broadcast_to_replicas(
+            sim,
+            Message::Commit {
+                view,
+                seq,
+                digest,
+                replica: me,
+            },
+        );
+        self.maybe_committed(sim, seq);
+    }
+
+    fn handle_commit(
+        &self,
+        sim: &mut Simulator,
+        view: View,
+        seq: SeqNum,
+        digest: Digest,
+        replica: ReplicaId,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if view != inner.view || inner.in_view_change || !inner.in_watermarks(seq) {
+                return;
+            }
+            let entry = inner.log.entry(seq).or_default();
+            if entry.pre_prepared && entry.digest != Some(digest) {
+                return;
+            }
+            entry.commits.insert(replica);
+        }
+        self.maybe_committed(sim, seq);
+    }
+
+    fn maybe_committed(&self, sim: &mut Simulator, seq: SeqNum) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let quorum = inner.cfg.commit_quorum();
+            let Some(entry) = inner.log.get_mut(&seq) else {
+                return;
+            };
+            if entry.committed || !entry.prepared || entry.commits.len() < quorum {
+                return;
+            }
+            entry.committed = true;
+        }
+        self.try_execute(sim);
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    fn try_execute(&self, sim: &mut Simulator) {
+        loop {
+            let batch = {
+                let mut inner = self.inner.borrow_mut();
+                let next = inner.last_executed + 1;
+                let ready = inner
+                    .log
+                    .get(&next)
+                    .is_some_and(|e| e.committed && !e.executed);
+                if !ready {
+                    return;
+                }
+                let entry = inner.log.get_mut(&next).expect("checked above");
+                entry.executed = true;
+                let digest = entry.digest.expect("committed instance has digest");
+                let batch = entry.batch.clone().expect("committed instance has batch");
+                inner.last_executed = next;
+                inner.executed_log.push((next, digest));
+                inner.stats.executed_batches += 1;
+                batch
+            };
+            let mut replies = Vec::new();
+            {
+                let mut inner = self.inner.borrow_mut();
+                for req in &batch {
+                    // Deduplicate across re-proposals (view changes).
+                    let stale = inner
+                        .client_state
+                        .get(&req.client)
+                        .is_some_and(|(ts, _)| *ts >= req.timestamp);
+                    if stale {
+                        continue;
+                    }
+                    let cost = inner.service.op_cost(req);
+                    inner.charge(sim, CoreId(0), cost);
+                    let result = inner.service.apply(req);
+                    inner
+                        .client_state
+                        .insert(req.client, (req.timestamp, result.clone()));
+                    inner.proposed.remove(&(req.client, req.timestamp));
+                    inner.stats.executed_requests += 1;
+                    replies.push((req.client, req.timestamp, result));
+                }
+            }
+            for (client, ts, result) in replies {
+                self.send_reply(sim, client, ts, result);
+            }
+            // Checkpointing.
+            let checkpoint = {
+                let mut inner = self.inner.borrow_mut();
+                let seq = inner.last_executed;
+                if seq % inner.cfg.checkpoint_interval == 0 {
+                    let digest = inner.service.state_digest();
+                    let cost = inner.cfg.crypto.digest_cost(64);
+                    inner.charge(sim, CoreId(0), cost);
+                    inner.own_checkpoints.insert(seq, digest);
+                    let me = inner.id;
+                    inner
+                        .checkpoint_votes
+                        .entry(seq)
+                        .or_default()
+                        .entry(digest)
+                        .or_default()
+                        .insert(me);
+                    Some((seq, digest, me))
+                } else {
+                    None
+                }
+            };
+            if let Some((seq, state_digest, me)) = checkpoint {
+                self.broadcast_to_replicas(
+                    sim,
+                    Message::Checkpoint {
+                        seq,
+                        state_digest,
+                        replica: me,
+                    },
+                );
+                self.maybe_stable_checkpoint(sim, seq, state_digest);
+            }
+            // New window space may allow further proposals.
+            self.try_propose(sim);
+        }
+    }
+
+    fn send_reply(&self, sim: &mut Simulator, client: ClientId, timestamp: u64, result: Vec<u8>) {
+        let (view, me) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.replies_sent += 1;
+            (inner.view, inner.id)
+        };
+        self.send_msg(
+            sim,
+            Message::Reply {
+                view,
+                client,
+                timestamp,
+                replica: me,
+                result,
+            },
+            &[client],
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints
+    // ------------------------------------------------------------------
+
+    fn handle_checkpoint(
+        &self,
+        sim: &mut Simulator,
+        seq: SeqNum,
+        digest: Digest,
+        replica: ReplicaId,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if seq <= inner.low_mark {
+                return;
+            }
+            inner
+                .checkpoint_votes
+                .entry(seq)
+                .or_default()
+                .entry(digest)
+                .or_default()
+                .insert(replica);
+        }
+        self.maybe_stable_checkpoint(sim, seq, digest);
+    }
+
+    fn maybe_stable_checkpoint(&self, _sim: &mut Simulator, seq: SeqNum, digest: Digest) {
+        let mut inner = self.inner.borrow_mut();
+        if seq <= inner.low_mark {
+            return;
+        }
+        let quorum = inner.cfg.commit_quorum();
+        let votes = inner
+            .checkpoint_votes
+            .get(&seq)
+            .and_then(|m| m.get(&digest))
+            .map_or(0, HashSet::len);
+        if votes < quorum {
+            return;
+        }
+        // Stable: advance the low watermark and truncate.
+        inner.low_mark = seq;
+        inner.stats.stable_checkpoints += 1;
+        inner.log.retain(|&s, _| s > seq);
+        inner.checkpoint_votes.retain(|&s, _| s > seq);
+        inner.own_checkpoints.retain(|&s, _| s >= seq);
+    }
+
+    // ------------------------------------------------------------------
+    // View change
+    // ------------------------------------------------------------------
+
+    fn start_view_change(&self, sim: &mut Simulator, new_view: View) {
+        let msg = {
+            let mut inner = self.inner.borrow_mut();
+            if new_view <= inner.voted_view || new_view <= inner.view {
+                return;
+            }
+            inner.in_view_change = true;
+            inner.voted_view = new_view;
+            inner.stats.view_changes_sent += 1;
+            let prepared: Vec<PreparedProof> = inner
+                .log
+                .iter()
+                .filter(|(s, e)| **s > inner.low_mark && e.prepared && !e.executed)
+                .map(|(s, e)| PreparedProof {
+                    seq: *s,
+                    view: e.view,
+                    digest: e.digest.expect("prepared has digest"),
+                    batch: e.batch.clone().expect("prepared has batch"),
+                })
+                .collect();
+            let me = inner.id;
+            let cp_digest = inner
+                .own_checkpoints
+                .get(&inner.low_mark)
+                .copied()
+                .unwrap_or(Digest::ZERO);
+            Message::ViewChange {
+                new_view,
+                last_stable: inner.low_mark,
+                checkpoint_digest: cp_digest,
+                prepared,
+                replica: me,
+            }
+        };
+        // Record the own vote.
+        if let Message::ViewChange {
+            new_view,
+            last_stable,
+            ref prepared,
+            replica,
+            ..
+        } = msg
+        {
+            self.inner
+                .borrow_mut()
+                .vc_votes
+                .entry(new_view)
+                .or_default()
+                .insert(replica, (last_stable, prepared.clone()));
+        }
+        self.broadcast_to_replicas(sim, msg);
+        self.maybe_new_view(sim, {
+            let inner = self.inner.borrow();
+            inner.voted_view
+        });
+        // Escalation: if the view change does not complete, vote higher,
+        // doubling the timeout each attempt (PBFT's exponential backoff —
+        // this also keeps an isolated replica from flooding itself).
+        let replica = self.clone();
+        let backoff = {
+            let mut inner = self.inner.borrow_mut();
+            inner.vc_attempts = (inner.vc_attempts + 1).min(16);
+            let shift = inner.vc_attempts.min(10);
+            inner.cfg.view_change_timeout * (1u64 << shift)
+        };
+        sim.schedule_in(
+            backoff,
+            Box::new(move |sim| {
+                let stuck = {
+                    let inner = replica.inner.borrow();
+                    inner.in_view_change && inner.byzantine != ByzantineMode::Crash
+                };
+                if stuck {
+                    let next = replica.inner.borrow().voted_view + 1;
+                    replica.start_view_change(sim, next);
+                }
+            }),
+        );
+    }
+
+    fn handle_view_change(
+        &self,
+        sim: &mut Simulator,
+        new_view: View,
+        last_stable: SeqNum,
+        prepared: Vec<PreparedProof>,
+        replica: ReplicaId,
+    ) {
+        let join = {
+            let mut inner = self.inner.borrow_mut();
+            if new_view <= inner.view {
+                return;
+            }
+            inner
+                .vc_votes
+                .entry(new_view)
+                .or_default()
+                .insert(replica, (last_stable, prepared));
+            // Liveness rule: join a view change supported by f + 1 others.
+            let f = inner.cfg.f();
+            inner.vc_votes[&new_view].len() > f && inner.voted_view < new_view
+        };
+        if join {
+            self.start_view_change(sim, new_view);
+        }
+        self.maybe_new_view(sim, new_view);
+    }
+
+    fn maybe_new_view(&self, sim: &mut Simulator, new_view: View) {
+        let build = {
+            let inner = self.inner.borrow();
+            let quorum = inner.cfg.commit_quorum();
+            inner.cfg.primary(new_view) == inner.id
+                && inner.view < new_view
+                && inner
+                    .vc_votes
+                    .get(&new_view)
+                    .is_some_and(|v| v.len() >= quorum)
+        };
+        if !build {
+            return;
+        }
+        let (pre_prepares, me) = {
+            let inner = self.inner.borrow();
+            let votes = &inner.vc_votes[&new_view];
+            // Collect, per sequence number, the prepared certificate from
+            // the highest view.
+            let mut best: BTreeMap<SeqNum, &PreparedProof> = BTreeMap::new();
+            for (_, (_, proofs)) in votes.iter() {
+                for p in proofs {
+                    match best.get(&p.seq) {
+                        Some(b) if b.view >= p.view => {}
+                        _ => {
+                            best.insert(p.seq, p);
+                        }
+                    }
+                }
+            }
+            let max_stable = votes.values().map(|(s, _)| *s).max().unwrap_or(0);
+            let max_seq = best.keys().max().copied().unwrap_or(max_stable);
+            let mut list = Vec::new();
+            for seq in (max_stable + 1)..=max_seq {
+                match best.get(&seq) {
+                    Some(p) => list.push((seq, p.digest, p.batch.clone())),
+                    // Gap: propose a null batch.
+                    None => list.push((seq, batch_digest(&[]), Vec::new())),
+                }
+            }
+            (list, inner.id)
+        };
+        self.broadcast_to_replicas(
+            sim,
+            Message::NewView {
+                view: new_view,
+                pre_prepares: pre_prepares.clone(),
+                replica: me,
+            },
+        );
+        self.enter_view(sim, new_view, pre_prepares, true);
+    }
+
+    fn handle_new_view(
+        &self,
+        sim: &mut Simulator,
+        view: View,
+        pre_prepares: Vec<(SeqNum, Digest, Vec<Request>)>,
+        replica: ReplicaId,
+    ) {
+        {
+            let inner = self.inner.borrow();
+            if view <= inner.view || inner.cfg.primary(view) != replica {
+                return;
+            }
+            // Validate digests bind the re-proposed batches.
+            for (_, digest, batch) in &pre_prepares {
+                if batch_digest(batch) != *digest {
+                    return; // Byzantine new-view
+                }
+            }
+        }
+        self.enter_view(sim, view, pre_prepares, false);
+    }
+
+    fn enter_view(
+        &self,
+        sim: &mut Simulator,
+        view: View,
+        pre_prepares: Vec<(SeqNum, Digest, Vec<Request>)>,
+        as_primary: bool,
+    ) {
+        let prepares_to_send = {
+            let mut inner = self.inner.borrow_mut();
+            inner.view = view;
+            inner.in_view_change = false;
+            inner.vc_attempts = 0;
+            inner.vc_votes.retain(|&v, _| v > view);
+            let mut max_seq = inner.next_seq - 1;
+            let mut to_send = Vec::new();
+            for (seq, digest, batch) in pre_prepares {
+                max_seq = max_seq.max(seq);
+                if seq <= inner.last_executed {
+                    continue;
+                }
+                for r in &batch {
+                    inner.proposed.insert((r.client, r.timestamp));
+                }
+                let me = inner.id;
+                let entry = inner.log.entry(seq).or_default();
+                *entry = Instance {
+                    view,
+                    digest: Some(digest),
+                    batch: Some(batch),
+                    pre_prepared: true,
+                    ..Instance::default()
+                };
+                entry.prepares.insert(me);
+                if !as_primary {
+                    to_send.push((seq, digest));
+                }
+            }
+            inner.next_seq = (max_seq + 1).max(inner.last_executed + 1);
+            to_send
+        };
+        let me = self.id();
+        for (seq, digest) in prepares_to_send {
+            self.inner.borrow_mut().stats.prepares_sent += 1;
+            self.broadcast_to_replicas(
+                sim,
+                Message::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    replica: me,
+                },
+            );
+            self.maybe_prepared(sim, seq);
+        }
+        // Pending requests at the new primary flow again.
+        self.try_propose(sim);
+    }
+
+    // ------------------------------------------------------------------
+    // Outbound path
+    // ------------------------------------------------------------------
+
+    fn broadcast_to_replicas(&self, sim: &mut Simulator, msg: Message) {
+        let peers: Vec<u32> = {
+            let inner = self.inner.borrow();
+            (0..inner.cfg.n as u32).filter(|&r| r != inner.id).collect()
+        };
+        self.send_msg(sim, msg, &peers);
+    }
+
+    fn send_msg(&self, sim: &mut Simulator, msg: Message, receivers: &[u32]) {
+        if receivers.is_empty() {
+            return;
+        }
+        let (signed, transport, send_at) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.byzantine == ByzantineMode::Crash {
+                return;
+            }
+            let mut signed = SignedMessage::create(&msg, &inner.keys, receivers);
+            if inner.byzantine == ByzantineMode::CorruptMacs {
+                for (_, mac) in &mut signed.auth.macs {
+                    mac[0] ^= 0xFF;
+                }
+            }
+            let core = inner.core_for(&msg);
+            let cost = inner
+                .cfg
+                .crypto
+                .authenticator_cost(signed.body.len(), receivers.len());
+            let done = inner.charge(sim, core, cost);
+            // Keep the wire order equal to the submission order even when
+            // MAC work lands on different pillar cores.
+            let at = done.max(inner.send_horizon);
+            inner.send_horizon = at;
+            (signed, inner.transport.clone(), at)
+        };
+        let bytes = signed.encode();
+        let receivers = receivers.to_vec();
+        sim.schedule_at(
+            send_at,
+            Box::new(move |sim| {
+                for &r in &receivers {
+                    transport.send(sim, r, bytes.clone());
+                }
+            }),
+        );
+    }
+}
+
+impl ReplicaInner {
+    fn in_watermarks(&self, seq: SeqNum) -> bool {
+        seq > self.low_mark && seq <= self.low_mark + 2 * self.cfg.checkpoint_interval
+    }
+
+    /// The COP pillar core for sequence `seq` (cores `1..=pillars`,
+    /// leaving core 0 for execution), clamped to the host's core count.
+    fn pillar_core(&self, seq: SeqNum) -> CoreId {
+        let cores = self.net.host(self.host).borrow().num_cores() as u64;
+        if cores <= 1 {
+            return CoreId(0);
+        }
+        let pillars = (self.cfg.pillars as u64).min(cores - 1);
+        CoreId((1 + (seq % pillars)) as u16)
+    }
+
+    fn core_for(&self, msg: &Message) -> CoreId {
+        match msg {
+            Message::PrePrepare { seq, .. }
+            | Message::Prepare { seq, .. }
+            | Message::Commit { seq, .. } => self.pillar_core(*seq),
+            _ => CoreId(0),
+        }
+    }
+
+    fn charge(&mut self, sim: &Simulator, core: CoreId, work: Nanos) -> Nanos {
+        self.net
+            .host(self.host)
+            .borrow_mut()
+            .exec(sim.now(), core, work)
+    }
+}
+
+fn batch_bytes(batch: &[Request]) -> usize {
+    batch.iter().map(|r| r.payload.len() + 16).sum::<usize>()
+}

@@ -1,0 +1,375 @@
+//! The RUBIN transport: Reptor's comm stack over the RDMA selector.
+//!
+//! Replaces the Java-NIO selector and socket channels with RUBIN's RDMA
+//! selector and channels (paper §IV: "We integrated RUBIN into Reptor,
+//! where it replaces the Java NIO selector and socket channel"). Because
+//! RUBIN channels are message-oriented, no length framing is needed; the
+//! first message on every channel is a hello carrying the sender's node id.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use rdma_verbs::{RdmaDevice, RnicModel};
+use rubin::{
+    Interest, RdmaChannel, RdmaSelector, RdmaServerChannel, RecvOutcome, RubinConfig, RubinKey,
+};
+use simnet::{Addr, CoreId, HostId, Network, Simulator};
+
+use crate::transport::{DeliveryFn, NodeId, Transport};
+
+/// Base port for RUBIN transport server channels.
+const RUBIN_PORT_BASE: u32 = 1100;
+
+struct PeerChan {
+    channel: RdmaChannel,
+    key: RubinKey,
+    /// Messages waiting for establishment or send-buffer space.
+    outq: VecDeque<Vec<u8>>,
+    /// Peer id, once known (outbound: immediately; inbound: after hello).
+    peer: Option<NodeId>,
+    hello_sent: bool,
+}
+
+struct RubinInner {
+    node: NodeId,
+    device: RdmaDevice,
+    core: CoreId,
+    cfg: RubinConfig,
+    selector: RdmaSelector,
+    server: RdmaServerChannel,
+    chans: Vec<PeerChan>,
+    by_node: HashMap<NodeId, usize>,
+    delivery: Option<DeliveryFn>,
+    msgs_sent: u64,
+    msgs_delivered: u64,
+}
+
+/// A full-mesh, RDMA-selector-driven transport endpoint.
+#[derive(Clone)]
+pub struct RubinTransport {
+    inner: Rc<RefCell<RubinInner>>,
+}
+
+impl fmt::Debug for RubinTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("RubinTransport")
+            .field("node", &inner.node)
+            .field("chans", &inner.chans.len())
+            .field("sent", &inner.msgs_sent)
+            .field("delivered", &inner.msgs_delivered)
+            .finish()
+    }
+}
+
+impl RubinTransport {
+    /// Builds a fully meshed group over RUBIN channels. Run the simulator
+    /// (or start sending) to let connections complete.
+    pub fn build_group(
+        sim: &mut Simulator,
+        net: &Network,
+        nodes: &[(NodeId, HostId, CoreId)],
+        rnic: RnicModel,
+        cfg: RubinConfig,
+    ) -> Vec<RubinTransport> {
+        let transports: Vec<RubinTransport> = nodes
+            .iter()
+            .map(|&(node, host, core)| {
+                let device = RdmaDevice::open(net, host, rnic.clone());
+                let selector = RdmaSelector::new(&device, core, cfg.select_ns);
+                let server = RdmaServerChannel::bind(
+                    &device,
+                    RUBIN_PORT_BASE + node,
+                    cfg.clone(),
+                    core,
+                )
+                .expect("transport port free");
+                RubinTransport {
+                    inner: Rc::new(RefCell::new(RubinInner {
+                        node,
+                        device,
+                        core,
+                        cfg: cfg.clone(),
+                        selector,
+                        server,
+                        chans: Vec::new(),
+                        by_node: HashMap::new(),
+                        delivery: None,
+                        msgs_sent: 0,
+                        msgs_delivered: 0,
+                    })),
+                }
+            })
+            .collect();
+        // Register servers with the selectors and start the reactors.
+        for t in &transports {
+            {
+                let inner = t.inner.borrow();
+                inner.selector.register_server(sim, &inner.server);
+            }
+            t.pump(sim);
+        }
+        // Dial: node at index i connects to every earlier node.
+        for (idx, _) in nodes.iter().enumerate() {
+            for &(peer, peer_host, _pcore) in &nodes[..idx] {
+                let t = &transports[idx];
+                let remote = Addr::new(peer_host, RUBIN_PORT_BASE + peer);
+                let (channel, key) = {
+                    let inner = t.inner.borrow();
+                    let channel = RdmaChannel::connect(
+                        sim,
+                        &inner.device,
+                        remote,
+                        inner.cfg.clone(),
+                        inner.core,
+                    )
+                    .expect("connect initiation succeeds");
+                    let key = inner.selector.register_channel(
+                        sim,
+                        &channel,
+                        Interest::OP_ACCEPT | Interest::OP_RECEIVE,
+                    );
+                    (channel, key)
+                };
+                let mut inner = t.inner.borrow_mut();
+                let slot = inner.chans.len();
+                inner.chans.push(PeerChan {
+                    channel,
+                    key,
+                    outq: VecDeque::new(),
+                    peer: Some(peer),
+                    hello_sent: false,
+                });
+                inner.by_node.insert(peer, slot);
+            }
+        }
+        transports
+    }
+
+    /// Messages delivered to this endpoint.
+    pub fn delivered_count(&self) -> u64 {
+        self.inner.borrow().msgs_delivered
+    }
+
+    /// Select calls performed by this endpoint's selector.
+    pub fn selects_performed(&self) -> u64 {
+        self.inner.borrow().selector.selects_performed()
+    }
+
+    /// Hybrid-queue events observed by this endpoint's selector.
+    pub fn hybrid_events(&self) -> u64 {
+        self.inner.borrow().selector.hybrid_events_total()
+    }
+
+    /// Diagnostic dump of the selector's keys.
+    pub fn debug_keys(&self) -> String {
+        self.inner.borrow().selector.debug_keys()
+    }
+
+    /// Diagnostic dump of per-channel state.
+    pub fn debug_channels(&self) -> String {
+        let inner = self.inner.borrow();
+        inner
+            .chans
+            .iter()
+            .map(|c| {
+                format!(
+                    "[peer={:?} hello={} outq={} chan={:?}]",
+                    c.peer,
+                    c.hello_sent,
+                    c.outq.len(),
+                    c.channel
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The reactor: parks a select and handles whatever becomes ready.
+    fn pump(&self, sim: &mut Simulator) {
+        let selector = self.inner.borrow().selector.clone();
+        let t = self.clone();
+        selector.select(sim, move |sim, ready| {
+            for ev in ready {
+                t.handle_event(sim, ev.key, ev.ready);
+            }
+            t.pump(sim);
+        });
+    }
+
+    fn handle_event(&self, sim: &mut Simulator, key: RubinKey, ready: Interest) {
+        if ready.contains(Interest::OP_CONNECT) {
+            self.handle_accept(sim);
+            return;
+        }
+        let slot = {
+            let inner = self.inner.borrow();
+            inner.chans.iter().position(|c| c.key == key)
+        };
+        let Some(slot) = slot else { return };
+        if ready.contains(Interest::OP_ACCEPT) {
+            self.handle_established(sim, slot);
+        }
+        if ready.contains(Interest::OP_RECEIVE) {
+            self.handle_receivable(sim, slot);
+        }
+        if ready.contains(Interest::OP_SEND) {
+            self.flush(sim, slot);
+        }
+    }
+
+    fn handle_accept(&self, sim: &mut Simulator) {
+        loop {
+            let accepted = {
+                let inner = self.inner.borrow();
+                inner.server.accept(sim)
+            };
+            let Ok(Some(channel)) = accepted else { break };
+            let key = {
+                let inner = self.inner.borrow();
+                inner
+                    .selector
+                    .register_channel(sim, &channel, Interest::OP_RECEIVE)
+            };
+            let mut inner = self.inner.borrow_mut();
+            inner.chans.push(PeerChan {
+                channel,
+                key,
+                outq: VecDeque::new(),
+                peer: None,
+                hello_sent: true, // server side sends no hello
+            });
+        }
+    }
+
+    fn handle_established(&self, sim: &mut Simulator, slot: usize) {
+        let channel = self.inner.borrow().chans[slot].channel.clone();
+        if !channel.finish_connect(sim) {
+            return;
+        }
+        self.flush(sim, slot);
+    }
+
+    fn handle_receivable(&self, sim: &mut Simulator, slot: usize) {
+        loop {
+            let outcome = {
+                let inner = self.inner.borrow();
+                inner.chans[slot].channel.read(sim)
+            };
+            match outcome {
+                Ok(RecvOutcome::Msg(body)) => self.handle_message(sim, slot, body),
+                Ok(RecvOutcome::WouldBlock) | Ok(RecvOutcome::Eof) | Err(_) => break,
+            }
+        }
+    }
+
+    fn handle_message(&self, sim: &mut Simulator, slot: usize, body: Vec<u8>) {
+        let (peer, delivery) = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.chans[slot].peer {
+                Some(p) => {
+                    inner.msgs_delivered += 1;
+                    (p, inner.delivery.clone())
+                }
+                None => {
+                    // First message: the hello.
+                    if body.len() == 4 {
+                        let peer = u32::from_le_bytes(body.try_into().expect("4 bytes"));
+                        inner.chans[slot].peer = Some(peer);
+                        inner.by_node.insert(peer, slot);
+                    }
+                    return;
+                }
+            }
+        };
+        if let Some(cb) = delivery {
+            cb(sim, peer, body);
+        }
+    }
+
+    fn flush(&self, sim: &mut Simulator, slot: usize) {
+        // Hello goes out first on outbound channels.
+        let need_hello = {
+            let inner = self.inner.borrow();
+            let c = &inner.chans[slot];
+            !c.hello_sent && c.channel.is_established()
+        };
+        if need_hello {
+            let (channel, node) = {
+                let inner = self.inner.borrow();
+                (inner.chans[slot].channel.clone(), inner.node)
+            };
+            if matches!(channel.write(sim, &node.to_le_bytes()), Ok(true)) {
+                self.inner.borrow_mut().chans[slot].hello_sent = true;
+            } else {
+                self.update_interest(sim, slot);
+                return; // retry on next OP_SEND
+            }
+        }
+        loop {
+            let (channel, msg) = {
+                let inner = self.inner.borrow();
+                let c = &inner.chans[slot];
+                if c.outq.is_empty() || !c.channel.is_established() || !c.hello_sent {
+                    break;
+                }
+                (c.channel.clone(), c.outq.front().cloned().expect("nonempty"))
+            };
+            match channel.write(sim, &msg) {
+                Ok(true) => {
+                    self.inner.borrow_mut().chans[slot].outq.pop_front();
+                }
+                Ok(false) | Err(_) => break, // OP_SEND will fire on space
+            }
+        }
+        self.update_interest(sim, slot);
+    }
+
+    /// OP_SEND readiness is level-triggered (send buffers are almost
+    /// always available), so the reactor only subscribes to it while
+    /// output is actually pending.
+    fn update_interest(&self, sim: &mut Simulator, slot: usize) {
+        let (selector, key, interest) = {
+            let inner = self.inner.borrow();
+            let c = &inner.chans[slot];
+            let established = c.channel.is_established();
+            let mut want = Interest::OP_RECEIVE;
+            if !established {
+                want |= Interest::OP_ACCEPT;
+            }
+            if established && (!c.hello_sent || !c.outq.is_empty()) {
+                want |= Interest::OP_SEND;
+            }
+            (inner.selector.clone(), c.key, want)
+        };
+        selector.set_interest(sim, key, interest);
+    }
+}
+
+impl Transport for RubinTransport {
+    fn node(&self) -> NodeId {
+        self.inner.borrow().node
+    }
+
+    fn send(&self, sim: &mut Simulator, to: NodeId, msg: Vec<u8>) {
+        let slot = {
+            let mut inner = self.inner.borrow_mut();
+            inner.msgs_sent += 1;
+            inner.by_node.get(&to).copied()
+        };
+        let Some(slot) = slot else {
+            return; // no channel to that peer (yet): drop
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.chans[slot].outq.push_back(msg);
+        }
+        self.flush(sim, slot);
+    }
+
+    fn set_delivery(&self, f: DeliveryFn) {
+        self.inner.borrow_mut().delivery = Some(f);
+    }
+}

@@ -1,0 +1,779 @@
+//! The RDMA channel: RUBIN's analogue of a non-blocking NIO socket channel.
+//!
+//! An [`RdmaChannel`] wraps a reliable-connection queue pair together with
+//! pre-registered send/receive buffer pools and implements the paper's §IV
+//! optimizations (inline sends, selective signaling, batched receive
+//! posting, send-side zero copy). `write()` and `read()` are non-blocking
+//! and message-oriented: one `write` becomes one RDMA SEND, one `read`
+//! returns one received message.
+//!
+//! The receive path always copies from the pre-posted registered buffer
+//! into a fresh application buffer — the cost the paper identifies as the
+//! source of RUBIN's degradation beyond 16 KB payloads.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use rdma_verbs::{
+    Access, ConnRequest, ProtectionDomain, QpConfig, QueuePair, RdmaDevice, RecvWr, SendWr, Sge,
+    VerbsError, WcOpcode, WcStatus, WrId,
+};
+use simnet::{Addr, CoreId, Nanos, Simulator};
+
+use crate::buffer::{BufferPool, SlabIndex};
+use crate::config::RubinConfig;
+use crate::event::{Interest, RubinKey};
+use crate::selector::RdmaSelector;
+
+/// Errors surfaced by channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The channel is not (yet) connected.
+    NotConnected,
+    /// The message exceeds the channel's buffer size.
+    MessageTooLarge {
+        /// Requested message length.
+        len: usize,
+        /// Maximum supported by the buffer pools.
+        max: usize,
+    },
+    /// The underlying queue pair failed.
+    Broken(String),
+    /// A verbs-level error at posting time.
+    Verbs(VerbsError),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::NotConnected => write!(f, "channel is not connected"),
+            ChannelError::MessageTooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds channel buffer size {max}")
+            }
+            ChannelError::Broken(why) => write!(f, "channel broken: {why}"),
+            ChannelError::Verbs(e) => write!(f, "verbs error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+impl From<VerbsError> for ChannelError {
+    fn from(e: VerbsError) -> ChannelError {
+        ChannelError::Verbs(e)
+    }
+}
+
+/// Result of a non-blocking message read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// One complete message.
+    Msg(Vec<u8>),
+    /// No message available right now.
+    WouldBlock,
+    /// The peer disconnected and all messages were drained.
+    Eof,
+}
+
+/// A received message borrowed in place from the registered receive
+/// buffer — the zero-copy receive path of the paper's §VII plan.
+///
+/// The buffer stays lent to the application until
+/// [`release`](BorrowedMsg::release) returns it for re-posting. Dropping
+/// without releasing parks the buffer; it is reclaimed on the next
+/// `read`/`read_borrowed` call.
+#[derive(Debug)]
+pub struct BorrowedMsg {
+    chan: RdmaChannel,
+    slab: SlabIndex,
+    len: usize,
+    released: bool,
+}
+
+impl BorrowedMsg {
+    /// Message length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for empty messages.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Runs `f` over the message bytes in place (no copy).
+    pub fn with_data<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let inner = self.chan.inner.borrow();
+        inner.recv_pool.slab(self.slab).with_slice(|s| f(&s[..self.len]))
+    }
+
+    /// Returns the buffer to the channel for batched re-posting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-posting failures.
+    pub fn release(mut self, sim: &mut Simulator) -> Result<(), ChannelError> {
+        self.released = true;
+        let slab = self.slab;
+        self.chan.clone().return_slab(sim, Some(slab))
+    }
+}
+
+impl Drop for BorrowedMsg {
+    fn drop(&mut self) {
+        if !self.released {
+            // No simulator here: park the slab; the channel reclaims it on
+            // the next read call.
+            self.chan
+                .inner
+                .borrow_mut()
+                .parked_slabs
+                .push(self.slab);
+        }
+    }
+}
+
+/// Channel statistics (also used by the ablation benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages accepted by `write`.
+    pub msgs_sent: u64,
+    /// Messages returned by `read`.
+    pub msgs_received: u64,
+    /// Payload bytes accepted by `write`.
+    pub bytes_sent: u64,
+    /// Payload bytes returned by `read`.
+    pub bytes_received: u64,
+    /// Sends that used the inline path.
+    pub inline_sends: u64,
+    /// Sends that used the zero-copy registered-application-buffer path.
+    pub zero_copy_sends: u64,
+    /// Sends that copied into a pooled slab.
+    pub copied_sends: u64,
+    /// Sends posted with a completion request.
+    pub signaled_sends: u64,
+    /// `write` calls that returned would-block.
+    pub send_stalls: u64,
+    /// Receive-buffer re-post batches issued.
+    pub repost_batches: u64,
+    /// Messages delivered through the zero-copy borrowed-receive path.
+    pub borrowed_reads: u64,
+}
+
+pub(crate) struct ChanInner {
+    device: RdmaDevice,
+    qp: QueuePair,
+    pd: ProtectionDomain,
+    core: CoreId,
+    cfg: RubinConfig,
+    send_pool: BufferPool,
+    recv_pool: BufferPool,
+    /// Outstanding sends in posting order: `(wr_id, pooled slab if any)`.
+    inflight: VecDeque<(u64, Option<SlabIndex>)>,
+    send_count: u64,
+    since_signal: usize,
+    outstanding_sends: usize,
+    /// Received messages not yet read: `(recv slab, length)`.
+    rx_ready: VecDeque<(SlabIndex, usize)>,
+    /// Consumed receive slabs awaiting batched re-posting.
+    to_repost: Vec<SlabIndex>,
+    /// Borrowed slabs dropped without release, reclaimed lazily.
+    parked_slabs: Vec<SlabIndex>,
+    established: bool,
+    accept_ready: bool,
+    eof: bool,
+    broken: Option<String>,
+    conn_id: Option<u64>,
+    reg: Option<(RdmaSelector, RubinKey)>,
+    stats: ChannelStats,
+}
+
+/// A non-blocking, message-oriented RDMA channel.
+#[derive(Clone)]
+pub struct RdmaChannel {
+    pub(crate) inner: Rc<RefCell<ChanInner>>,
+}
+
+impl fmt::Debug for RdmaChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("RdmaChannel")
+            .field("qp", &inner.qp.num())
+            .field("established", &inner.established)
+            .field("rx_ready", &inner.rx_ready.len())
+            .field("outstanding_sends", &inner.outstanding_sends)
+            .field("broken", &inner.broken)
+            .finish()
+    }
+}
+
+impl RdmaChannel {
+    fn build(
+        sim: &mut Simulator,
+        device: &RdmaDevice,
+        cfg: RubinConfig,
+        core: CoreId,
+        make_qp: impl FnOnce(
+            &mut Simulator,
+            &QpConfig,
+        ) -> Result<(QueuePair, Option<u64>, bool), ChannelError>,
+    ) -> Result<RdmaChannel, ChannelError> {
+        cfg.validate();
+        let pd = device.alloc_pd();
+        let cq_cap = (cfg.send_buffers + cfg.recv_buffers) * 2;
+        let send_cq = device.create_cq(cq_cap, None);
+        let recv_cq = device.create_cq(cq_cap, None);
+        let qp_cfg = QpConfig {
+            pd,
+            send_cq,
+            recv_cq,
+            core,
+        };
+        let (qp, conn_id, established) = make_qp(sim, &qp_cfg)?;
+        let send_pool = BufferPool::register(
+            device,
+            &pd,
+            cfg.send_buffers,
+            cfg.buffer_size,
+            Access::LOCAL_WRITE,
+        );
+        let recv_pool = BufferPool::register(
+            device,
+            &pd,
+            cfg.recv_buffers,
+            cfg.buffer_size,
+            Access::LOCAL_WRITE,
+        );
+        let channel = RdmaChannel {
+            inner: Rc::new(RefCell::new(ChanInner {
+                device: device.clone(),
+                qp,
+                pd,
+                core,
+                cfg,
+                send_pool,
+                recv_pool,
+                inflight: VecDeque::new(),
+                send_count: 0,
+                since_signal: 0,
+                outstanding_sends: 0,
+                rx_ready: VecDeque::new(),
+                to_repost: Vec::new(),
+                parked_slabs: Vec::new(),
+                established,
+                accept_ready: false,
+                eof: false,
+                broken: None,
+                conn_id,
+                reg: None,
+                stats: ChannelStats::default(),
+            })),
+        };
+        channel.post_initial_receives(sim)?;
+        Ok(channel)
+    }
+
+    /// Opens a client channel towards an
+    /// [`RdmaServerChannel`](crate::RdmaServerChannel) at `remote`.
+    ///
+    /// The channel is created immediately with its buffer pools registered
+    /// and receives pre-posted; `OP_ACCEPT` readiness (or
+    /// [`ChannelError::Broken`]) follows once connection management
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verbs errors from queue-pair creation or buffer posting.
+    pub fn connect(
+        sim: &mut Simulator,
+        device: &RdmaDevice,
+        remote: Addr,
+        cfg: RubinConfig,
+        core: CoreId,
+    ) -> Result<RdmaChannel, ChannelError> {
+        RdmaChannel::build(sim, device, cfg, core, |sim, qp_cfg| {
+            let (qp, conn_id) = device.connect(sim, remote, qp_cfg, Vec::new())?;
+            Ok((qp, Some(conn_id), false))
+        })
+    }
+
+    /// Creates the server-side channel for an accepted connection request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verbs errors from accepting or buffer posting.
+    pub fn from_accepted(
+        sim: &mut Simulator,
+        device: &RdmaDevice,
+        req: ConnRequest,
+        cfg: RubinConfig,
+        core: CoreId,
+    ) -> Result<RdmaChannel, ChannelError> {
+        RdmaChannel::build(sim, device, cfg, core, |sim, qp_cfg| {
+            let qp = req.accept(sim, qp_cfg, Vec::new())?;
+            Ok((qp, None, true))
+        })
+    }
+
+    fn post_initial_receives(&self, sim: &mut Simulator) -> Result<(), ChannelError> {
+        let (qp, wrs, batch_limit) = {
+            let mut inner = self.inner.borrow_mut();
+            let mut wrs = Vec::with_capacity(inner.cfg.recv_buffers);
+            for _ in 0..inner.cfg.recv_buffers {
+                let (idx, mr) = inner
+                    .recv_pool
+                    .lend()
+                    .expect("fresh pool has all slabs free");
+                wrs.push(RecvWr::new(WrId(idx as u64), Sge::whole(mr)));
+            }
+            let limit = inner.device.model().max_post_batch;
+            (inner.qp.clone(), wrs, limit)
+        };
+        for chunk in wrs.chunks(batch_limit) {
+            qp.post_recv_batch(sim, chunk.to_vec())?;
+        }
+        Ok(())
+    }
+
+    /// The underlying queue pair (hook installation, tests).
+    pub fn qp(&self) -> QueuePair {
+        self.inner.borrow().qp.clone()
+    }
+
+    /// The connection id of an outgoing connection.
+    pub fn conn_id(&self) -> Option<u64> {
+        self.inner.borrow().conn_id
+    }
+
+    /// True once connected.
+    pub fn is_established(&self) -> bool {
+        self.inner.borrow().established
+    }
+
+    /// True if the peer disconnected or the QP failed.
+    pub fn is_eof(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.eof || inner.broken.is_some()
+    }
+
+    /// Channel statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.inner.borrow().stats
+    }
+
+    /// The channel's configuration.
+    pub fn config(&self) -> RubinConfig {
+        self.inner.borrow().cfg.clone()
+    }
+
+    pub(crate) fn set_registration(&self, selector: &RdmaSelector, key: RubinKey) {
+        self.inner.borrow_mut().reg = Some((selector.clone(), key));
+    }
+
+    /// Marks the channel established (selector dispatch of the
+    /// `Established` CM event; exposed for driving channels without a
+    /// selector).
+    pub fn mark_established(&self, sim: &mut Simulator) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.established = true;
+            inner.accept_ready = true;
+        }
+        self.refresh_readiness(sim);
+    }
+
+    /// Marks the channel failed.
+    pub fn mark_broken(&self, sim: &mut Simulator, reason: impl Into<String>) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.broken = Some(reason.into());
+        }
+        self.refresh_readiness(sim);
+    }
+
+    /// Marks the peer as disconnected (EOF after draining).
+    pub fn mark_disconnected(&self, sim: &mut Simulator) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.eof = true;
+        }
+        self.refresh_readiness(sim);
+    }
+
+    /// Consumes the one-shot `OP_ACCEPT` readiness; returns whether the
+    /// channel is established.
+    pub fn finish_connect(&self, sim: &mut Simulator) -> bool {
+        let est = {
+            let mut inner = self.inner.borrow_mut();
+            inner.accept_ready = false;
+            inner.established
+        };
+        self.refresh_readiness(sim);
+        est
+    }
+
+    /// Non-blocking message send. Returns `Ok(true)` if the message was
+    /// accepted, `Ok(false)` if the channel is temporarily full
+    /// (`OP_SEND` readiness will fire when space frees up).
+    ///
+    /// # Errors
+    ///
+    /// * [`ChannelError::NotConnected`] before establishment.
+    /// * [`ChannelError::Broken`] after a failure.
+    /// * [`ChannelError::MessageTooLarge`] if `data` exceeds the buffer
+    ///   size.
+    /// * [`ChannelError::Verbs`] on posting errors.
+    pub fn write(&self, sim: &mut Simulator, data: &[u8]) -> Result<bool, ChannelError> {
+        enum Path {
+            Inline(SlabIndex, rdma_verbs::MemoryRegion),
+            Pooled(SlabIndex, rdma_verbs::MemoryRegion),
+            ZeroCopy(rdma_verbs::MemoryRegion),
+        }
+        let (qp, wr) = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(why) = &inner.broken {
+                return Err(ChannelError::Broken(why.clone()));
+            }
+            if !inner.established {
+                return Err(ChannelError::NotConnected);
+            }
+            if data.len() > inner.cfg.buffer_size {
+                return Err(ChannelError::MessageTooLarge {
+                    len: data.len(),
+                    max: inner.cfg.buffer_size,
+                });
+            }
+            if inner.outstanding_sends >= inner.cfg.send_buffers {
+                inner.stats.send_stalls += 1;
+                drop(inner);
+                self.refresh_readiness(sim);
+                return Ok(false);
+            }
+            let use_inline = data.len() <= inner.cfg.inline_threshold;
+            let use_zero_copy = !use_inline
+                && inner.cfg.zero_copy_send
+                && data.len() > inner.cfg.small_copy_threshold;
+            let path = if use_zero_copy {
+                // Models registering the application's own buffer: the
+                // payload is not copied on the send side; only a
+                // registration-cache lookup is charged.
+                let mr = inner.device.reg_mr(&inner.pd, data.len(), Access::NONE);
+                mr.write(0, data).expect("fresh region fits payload");
+                Path::ZeroCopy(mr)
+            } else {
+                let Some((idx, mr)) = inner.send_pool.lend() else {
+                    inner.stats.send_stalls += 1;
+                    drop(inner);
+                    self.refresh_readiness(sim);
+                    return Ok(false);
+                };
+                mr.write(0, data).expect("slab fits message");
+                if use_inline {
+                    Path::Inline(idx, mr)
+                } else {
+                    Path::Pooled(idx, mr)
+                }
+            };
+
+            // CPU cost of the channel write: managed-runtime overhead plus
+            // the copy into the registered buffer (skipped for zero copy,
+            // where only the registration cache is consulted).
+            let cpu = inner.device.net().host(inner.device.host()).borrow().cpu().clone();
+            let work = match &path {
+                Path::ZeroCopy(_) => {
+                    Nanos::from_nanos(cpu.runtime_io_ns + inner.cfg.reg_cache_ns)
+                }
+                _ => Nanos::from_nanos(cpu.runtime_io_ns) + cpu.copy_cost(data.len()),
+            };
+            inner
+                .device
+                .net()
+                .host(inner.device.host())
+                .borrow_mut()
+                .exec(sim.now(), inner.core, work);
+
+            inner.since_signal += 1;
+            let signaled = inner.since_signal >= inner.cfg.signal_interval;
+            if signaled {
+                inner.since_signal = 0;
+                inner.stats.signaled_sends += 1;
+            }
+            let wr_id = inner.send_count;
+            inner.send_count += 1;
+            inner.outstanding_sends += 1;
+            let (sge, slab, inline) = match path {
+                Path::Inline(idx, mr) => {
+                    inner.stats.inline_sends += 1;
+                    (Sge::new(mr, 0, data.len()), Some(idx), true)
+                }
+                Path::Pooled(idx, mr) => {
+                    inner.stats.copied_sends += 1;
+                    (Sge::new(mr, 0, data.len()), Some(idx), false)
+                }
+                Path::ZeroCopy(mr) => {
+                    inner.stats.zero_copy_sends += 1;
+                    (Sge::new(mr, 0, data.len()), None, false)
+                }
+            };
+            inner.inflight.push_back((wr_id, slab));
+            inner.stats.msgs_sent += 1;
+            inner.stats.bytes_sent += data.len() as u64;
+            let mut wr = SendWr::send(WrId(wr_id), sge);
+            if signaled {
+                wr = wr.signaled();
+            }
+            if inline {
+                wr = wr.with_inline();
+            }
+            (inner.qp.clone(), wr)
+        };
+        qp.post_send(sim, wr)?;
+        self.refresh_readiness(sim);
+        Ok(true)
+    }
+
+    /// Non-blocking message receive.
+    ///
+    /// Copies the message out of the pre-posted registered buffer (the
+    /// receive-side copy of paper §IV) and batches the freed buffer for
+    /// re-posting.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Broken`] after a queue-pair failure, or posting
+    /// errors while re-posting receive buffers.
+    pub fn read(&self, sim: &mut Simulator) -> Result<RecvOutcome, ChannelError> {
+        if !self.inner.borrow().parked_slabs.is_empty() {
+            self.return_slab(sim, None)?;
+        }
+        let (data, repost) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some((slab, len)) = inner.rx_ready.pop_front() else {
+                if inner.eof {
+                    return Ok(RecvOutcome::Eof);
+                }
+                if let Some(why) = &inner.broken {
+                    return Err(ChannelError::Broken(why.clone()));
+                }
+                return Ok(RecvOutcome::WouldBlock);
+            };
+            let cpu = inner.device.net().host(inner.device.host()).borrow().cpu().clone();
+            let work = Nanos::from_nanos(cpu.runtime_io_ns) + cpu.copy_cost(len);
+            inner
+                .device
+                .net()
+                .host(inner.device.host())
+                .borrow_mut()
+                .exec(sim.now(), inner.core, work);
+            let data = inner
+                .recv_pool
+                .slab(slab)
+                .read(0, len)
+                .expect("received message fits its slab");
+            inner.stats.msgs_received += 1;
+            inner.stats.bytes_received += len as u64;
+            inner.to_repost.push(slab);
+            let repost = if inner.to_repost.len() >= inner.cfg.recv_batch {
+                inner.stats.repost_batches += 1;
+                let slabs = std::mem::take(&mut inner.to_repost);
+                let wrs: Vec<RecvWr> = slabs
+                    .iter()
+                    .map(|&idx| {
+                        RecvWr::new(WrId(idx as u64), Sge::whole(inner.recv_pool.slab(idx).clone()))
+                    })
+                    .collect();
+                Some((inner.qp.clone(), wrs, inner.device.model().max_post_batch))
+            } else {
+                None
+            };
+            (data, repost)
+        };
+        if let Some((qp, wrs, limit)) = repost {
+            for chunk in wrs.chunks(limit) {
+                qp.post_recv_batch(sim, chunk.to_vec())?;
+            }
+        }
+        self.refresh_readiness(sim);
+        Ok(RecvOutcome::Msg(data))
+    }
+
+    /// Returns a consumed receive slab (if any) to the batched re-posting
+    /// queue, also reclaiming slabs parked by dropped [`BorrowedMsg`]s.
+    fn return_slab(
+        &self,
+        sim: &mut Simulator,
+        slab: Option<SlabIndex>,
+    ) -> Result<(), ChannelError> {
+        let repost = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(slab) = slab {
+                inner.to_repost.push(slab);
+            }
+            // Reclaim any slabs parked by dropped `BorrowedMsg`s.
+            let parked = std::mem::take(&mut inner.parked_slabs);
+            inner.to_repost.extend(parked);
+            if inner.to_repost.len() >= inner.cfg.recv_batch {
+                inner.stats.repost_batches += 1;
+                let slabs = std::mem::take(&mut inner.to_repost);
+                let wrs: Vec<RecvWr> = slabs
+                    .iter()
+                    .map(|&idx| {
+                        RecvWr::new(
+                            WrId(idx as u64),
+                            Sge::whole(inner.recv_pool.slab(idx).clone()),
+                        )
+                    })
+                    .collect();
+                Some((inner.qp.clone(), wrs, inner.device.model().max_post_batch))
+            } else {
+                None
+            }
+        };
+        if let Some((qp, wrs, limit)) = repost {
+            for chunk in wrs.chunks(limit) {
+                qp.post_recv_batch(sim, chunk.to_vec())?;
+            }
+        }
+        self.refresh_readiness(sim);
+        Ok(())
+    }
+
+    /// Zero-copy receive: borrows the next message in place instead of
+    /// copying it out (paper §VII: "remove any additional buffer copy
+    /// steps"). Charges only the runtime dispatch overhead.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Broken`] after a queue-pair failure.
+    pub fn read_borrowed(
+        &self,
+        sim: &mut Simulator,
+    ) -> Result<Option<BorrowedMsg>, ChannelError> {
+        // Reclaim buffers parked by earlier dropped borrows.
+        if !self.inner.borrow().parked_slabs.is_empty() {
+            self.return_slab(sim, None)?;
+        }
+        let msg = {
+            let mut inner = self.inner.borrow_mut();
+            let Some((slab, len)) = inner.rx_ready.pop_front() else {
+                if let Some(why) = &inner.broken {
+                    return Err(ChannelError::Broken(why.clone()));
+                }
+                return Ok(None);
+            };
+            let cpu = inner
+                .device
+                .net()
+                .host(inner.device.host())
+                .borrow()
+                .cpu()
+                .clone();
+            inner.device.net().host(inner.device.host()).borrow_mut().exec(
+                sim.now(),
+                inner.core,
+                Nanos::from_nanos(cpu.runtime_io_ns),
+            );
+            inner.stats.msgs_received += 1;
+            inner.stats.bytes_received += len as u64;
+            inner.stats.borrowed_reads += 1;
+            BorrowedMsg {
+                chan: self.clone(),
+                slab,
+                len,
+                released: false,
+            }
+        };
+        self.refresh_readiness(sim);
+        Ok(Some(msg))
+    }
+
+    /// Drains this channel's completion queues, recycling send buffers and
+    /// queueing received messages. Charges one poll call. Registered
+    /// channels have this driven by the selector's event manager; manual
+    /// drivers call it directly.
+    pub fn process_completions(&self, sim: &mut Simulator) {
+        let (send_wcs, recv_wcs) = {
+            let inner = self.inner.borrow();
+            let s = inner.qp.send_cq().poll(usize::MAX);
+            let r = inner.qp.recv_cq().poll(usize::MAX);
+            (s, r)
+        };
+        let total = send_wcs.len() + recv_wcs.len();
+        {
+            let inner = self.inner.borrow();
+            inner.device.charge_poll(sim, inner.core, total);
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            for wc in send_wcs {
+                match wc.status {
+                    WcStatus::Success => {
+                        // RC completes in order: everything up to and
+                        // including this wr_id is done.
+                        while let Some(&(id, slab)) = inner.inflight.front() {
+                            if id > wc.wr_id.0 {
+                                break;
+                            }
+                            inner.inflight.pop_front();
+                            inner.outstanding_sends -= 1;
+                            if let Some(idx) = slab {
+                                inner.send_pool.give_back(idx);
+                            }
+                        }
+                    }
+                    WcStatus::WorkRequestFlushed => {
+                        inner.eof = true;
+                    }
+                    other => {
+                        inner.broken = Some(format!("send failed: {other:?}"));
+                    }
+                }
+            }
+            for wc in recv_wcs {
+                match wc.status {
+                    WcStatus::Success
+                        if matches!(wc.opcode, WcOpcode::Recv | WcOpcode::RecvRdmaWithImm) =>
+                    {
+                        inner.rx_ready.push_back((wc.wr_id.0 as usize, wc.byte_len));
+                    }
+                    WcStatus::WorkRequestFlushed => {
+                        inner.eof = true;
+                    }
+                    other => {
+                        inner.broken = Some(format!("receive failed: {other:?}"));
+                    }
+                }
+            }
+        }
+        self.refresh_readiness(sim);
+    }
+
+    /// Recomputes readiness and reports it to the registered selector.
+    pub(crate) fn refresh_readiness(&self, sim: &mut Simulator) {
+        let (reg, receive, send, accept) = {
+            let inner = self.inner.borrow();
+            let receive =
+                !inner.rx_ready.is_empty() || inner.eof || inner.broken.is_some();
+            let send = inner.established
+                && inner.broken.is_none()
+                && inner.outstanding_sends < inner.cfg.send_buffers
+                && inner.send_pool.available() > 0;
+            (inner.reg.clone(), receive, send, inner.accept_ready)
+        };
+        if let Some((sel, key)) = reg {
+            sel.set_ready(sim, key, Interest::OP_RECEIVE, receive);
+            sel.set_ready(sim, key, Interest::OP_SEND, send);
+            sel.set_ready(sim, key, Interest::OP_ACCEPT, accept);
+        }
+    }
+
+    /// Disconnects the channel, notifying the peer.
+    pub fn close(&self, sim: &mut Simulator) {
+        let qp = self.qp();
+        qp.disconnect(sim);
+        let mut inner = self.inner.borrow_mut();
+        inner.eof = true;
+    }
+}

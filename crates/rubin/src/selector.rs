@@ -1,0 +1,487 @@
+//! The RDMA selector and its event manager.
+//!
+//! The selector is "the key component in RUBIN" (paper §III-B): it lets one
+//! simulated thread multiplex many RDMA channels. Registered channels get
+//! an [`RubinKey`] selection key with an interest set; the **event
+//! manager** — RUBIN's replacement for epoll — copies every completion and
+//! connection event into the **hybrid event queue** and notifies the
+//! selector, which matches events to channels, updates the keys' ready
+//! sets and wakes the parked `select()` (paper Figure 2, steps 1–5).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use rdma_verbs::{CmEvent, QpNum, RdmaDevice};
+use simnet::{CoreId, Nanos, Simulator};
+
+use crate::channel::RdmaChannel;
+use crate::event::{HybridEventQueue, Interest, RubinEvent, RubinKey};
+use crate::server::RdmaServerChannel;
+
+/// One ready key returned by a select call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectedKey {
+    /// The registration.
+    pub key: RubinKey,
+    /// Ready ops intersected with the interest set.
+    pub ready: Interest,
+}
+
+enum Registered {
+    Channel(RdmaChannel),
+    Server(RdmaServerChannel),
+}
+
+struct KeyEntry {
+    what: Registered,
+    interest: Interest,
+    ready: Interest,
+    cancelled: bool,
+}
+
+type SelectCb = Box<dyn FnOnce(&mut Simulator, Vec<SelectedKey>)>;
+
+struct SelInner {
+    device: RdmaDevice,
+    core: CoreId,
+    select_ns: u64,
+    keys: BTreeMap<RubinKey, KeyEntry>,
+    next_key: u64,
+    hybrid: HybridEventQueue,
+    parked: Option<SelectCb>,
+    wake_scheduled: bool,
+    process_scheduled: bool,
+    cm_hooked: bool,
+    selects: u64,
+}
+
+/// The RUBIN selector: multiplexes RDMA channels on one simulated thread.
+#[derive(Clone)]
+pub struct RdmaSelector {
+    inner: Rc<RefCell<SelInner>>,
+}
+
+impl fmt::Debug for RdmaSelector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("RdmaSelector")
+            .field("keys", &inner.keys.len())
+            .field("hybrid_pending", &inner.hybrid.len())
+            .field("parked", &inner.parked.is_some())
+            .field("selects", &inner.selects)
+            .finish()
+    }
+}
+
+impl RdmaSelector {
+    /// Creates a selector on `device`, charging `select_ns` per select
+    /// call to `core`.
+    pub fn new(device: &RdmaDevice, core: CoreId, select_ns: u64) -> RdmaSelector {
+        RdmaSelector {
+            inner: Rc::new(RefCell::new(SelInner {
+                device: device.clone(),
+                core,
+                select_ns,
+                keys: BTreeMap::new(),
+                next_key: 0,
+                hybrid: HybridEventQueue::new(),
+                parked: None,
+                wake_scheduled: false,
+                process_scheduled: false,
+                cm_hooked: false,
+                selects: 0,
+            })),
+        }
+    }
+
+    fn alloc_key(&self, what: Registered, interest: Interest) -> RubinKey {
+        let mut inner = self.inner.borrow_mut();
+        let key = RubinKey(inner.next_key);
+        inner.next_key += 1;
+        inner.keys.insert(
+            key,
+            KeyEntry {
+                what,
+                interest,
+                ready: Interest::NONE,
+                cancelled: false,
+            },
+        );
+        key
+    }
+
+    /// Ensures the device's CM events flow into the hybrid queue.
+    fn hook_cm(&self, _sim: &mut Simulator) {
+        let already = {
+            let mut inner = self.inner.borrow_mut();
+            let was = inner.cm_hooked;
+            inner.cm_hooked = true;
+            was
+        };
+        if already {
+            return;
+        }
+        let sel = self.clone();
+        let device = self.inner.borrow().device.clone();
+        device.set_cm_hook(Rc::new(move |sim| {
+            // Event manager: copy CM events into the hybrid queue.
+            let dev = sel.inner.borrow().device.clone();
+            while let Some(ev) = dev.poll_cm_event() {
+                sel.inner
+                    .borrow_mut()
+                    .hybrid
+                    .push(RubinEvent::Connection(ev));
+            }
+            sel.schedule_process(sim);
+        }));
+    }
+
+    /// Registers an [`RdmaChannel`] with the given interest set and wires
+    /// its completion events into the event manager.
+    pub fn register_channel(
+        &self,
+        sim: &mut Simulator,
+        channel: &RdmaChannel,
+        interest: Interest,
+    ) -> RubinKey {
+        let key = self.alloc_key(Registered::Channel(channel.clone()), interest);
+        channel.set_registration(self, key);
+        let sel = self.clone();
+        channel.qp().set_event_hook(Rc::new(move |sim| {
+            sel.inner
+                .borrow_mut()
+                .hybrid
+                .push(RubinEvent::Completion { key });
+            sel.schedule_process(sim);
+        }));
+        self.hook_cm(sim);
+        // Report the channel's current readiness under the new key.
+        channel.refresh_readiness(sim);
+        key
+    }
+
+    /// Registers a server channel for `OP_CONNECT` readiness.
+    pub fn register_server(&self, sim: &mut Simulator, server: &RdmaServerChannel) -> RubinKey {
+        let key = self.alloc_key(Registered::Server(server.clone()), Interest::OP_CONNECT);
+        server.set_registration(self, key);
+        self.hook_cm(sim);
+        if server.pending_count() > 0 {
+            self.set_ready(sim, key, Interest::OP_CONNECT, true);
+        }
+        key
+    }
+
+    /// Replaces a key's interest set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown key.
+    pub fn set_interest(&self, sim: &mut Simulator, key: RubinKey, interest: Interest) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner
+                .keys
+                .get_mut(&key)
+                .expect("unknown selection key")
+                .interest = interest;
+        }
+        self.maybe_wake(sim);
+    }
+
+    /// A key's interest set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown key.
+    pub fn interest(&self, key: RubinKey) -> Interest {
+        self.inner.borrow().keys[&key].interest
+    }
+
+    /// Cancels a registration.
+    pub fn cancel(&self, key: RubinKey) {
+        if let Some(entry) = self.inner.borrow_mut().keys.get_mut(&key) {
+            entry.cancelled = true;
+            entry.interest = Interest::NONE;
+        }
+    }
+
+    /// Channel-side readiness report.
+    pub(crate) fn set_ready(&self, sim: &mut Simulator, key: RubinKey, op: Interest, on: bool) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let Some(entry) = inner.keys.get_mut(&key) else {
+                return;
+            };
+            if entry.cancelled {
+                return;
+            }
+            if on {
+                entry.ready |= op;
+            } else {
+                entry.ready = entry.ready.without(op);
+            }
+        }
+        if on {
+            self.maybe_wake(sim);
+        }
+    }
+
+    /// Schedules hybrid-queue processing (the event-manager notification).
+    fn schedule_process(&self, sim: &mut Simulator) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.process_scheduled {
+                return;
+            }
+            inner.process_scheduled = true;
+        }
+        let sel = self.clone();
+        sim.schedule_in(
+            Nanos::ZERO,
+            Box::new(move |sim| {
+                sel.inner.borrow_mut().process_scheduled = false;
+                sel.process(sim);
+            }),
+        );
+    }
+
+    /// Drains the hybrid event queue, dispatching each event to the
+    /// matching selection key (paper Figure 2, step 5: compare ids and
+    /// event type, update the key's ready set).
+    fn process(&self, sim: &mut Simulator) {
+        loop {
+            let ev = { self.inner.borrow_mut().hybrid.pop() };
+            let Some(ev) = ev else { break };
+            match ev {
+                RubinEvent::Completion { key } => {
+                    let chan = {
+                        let inner = self.inner.borrow();
+                        match inner.keys.get(&key) {
+                            Some(KeyEntry {
+                                what: Registered::Channel(c),
+                                cancelled: false,
+                                ..
+                            }) => Some(c.clone()),
+                            _ => None,
+                        }
+                    };
+                    if let Some(c) = chan {
+                        c.process_completions(sim);
+                    }
+                }
+                RubinEvent::Connection(cm) => self.dispatch_cm(sim, cm),
+            }
+        }
+        self.maybe_wake(sim);
+    }
+
+    fn dispatch_cm(&self, sim: &mut Simulator, ev: CmEvent) {
+        match ev {
+            CmEvent::ConnectRequest(req) => {
+                let server = self.find_server(req.listen_port);
+                match server {
+                    Some(s) => s.push_request(sim, req),
+                    None => {
+                        // No registered server: refuse politely.
+                        req.reject(sim, "no listening server channel");
+                    }
+                }
+            }
+            CmEvent::Established { qp, conn_id, .. } => {
+                if let Some(c) = self.find_channel_by_conn(conn_id, qp.num()) {
+                    c.mark_established(sim);
+                }
+            }
+            CmEvent::ConnectFailed { conn_id, reason } => {
+                if let Some(c) = self.find_channel_by_conn_id(conn_id) {
+                    c.mark_broken(sim, reason);
+                }
+            }
+            CmEvent::Disconnected { qp } => {
+                if let Some(c) = self.find_channel_by_qp(qp) {
+                    c.mark_disconnected(sim);
+                }
+            }
+        }
+    }
+
+    fn find_server(&self, port: u32) -> Option<RdmaServerChannel> {
+        let inner = self.inner.borrow();
+        inner.keys.values().find_map(|e| match &e.what {
+            Registered::Server(s) if !e.cancelled && s.port() == port => Some(s.clone()),
+            _ => None,
+        })
+    }
+
+    fn find_channel_by_conn_id(&self, conn_id: u64) -> Option<RdmaChannel> {
+        let inner = self.inner.borrow();
+        inner.keys.values().find_map(|e| match &e.what {
+            Registered::Channel(c) if !e.cancelled && c.conn_id() == Some(conn_id) => {
+                Some(c.clone())
+            }
+            _ => None,
+        })
+    }
+
+    fn find_channel_by_qp(&self, qp: QpNum) -> Option<RdmaChannel> {
+        let inner = self.inner.borrow();
+        inner.keys.values().find_map(|e| match &e.what {
+            Registered::Channel(c) if !e.cancelled && c.qp().num() == qp => Some(c.clone()),
+            _ => None,
+        })
+    }
+
+    fn find_channel_by_conn(&self, conn_id: u64, qp: QpNum) -> Option<RdmaChannel> {
+        self.find_channel_by_conn_id(conn_id)
+            .or_else(|| self.find_channel_by_qp(qp))
+    }
+
+    /// The channel registered under `key`, if it is a (live) channel key.
+    pub fn channel_for(&self, key: RubinKey) -> Option<RdmaChannel> {
+        let inner = self.inner.borrow();
+        match inner.keys.get(&key) {
+            Some(KeyEntry {
+                what: Registered::Channel(c),
+                cancelled: false,
+                ..
+            }) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    /// The server channel registered under `key`, if any.
+    pub fn server_for(&self, key: RubinKey) -> Option<RdmaServerChannel> {
+        let inner = self.inner.borrow();
+        match inner.keys.get(&key) {
+            Some(KeyEntry {
+                what: Registered::Server(s),
+                cancelled: false,
+                ..
+            }) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    /// Non-blocking select: charges one select call and returns the
+    /// currently ready keys.
+    pub fn select_now(&self, sim: &mut Simulator) -> Vec<SelectedKey> {
+        self.charge_select(sim);
+        self.collect_ready()
+    }
+
+    /// Blocking select: `f` runs (after one select-call cost) once at least
+    /// one registered key is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a select is already parked (single selector thread).
+    pub fn select(
+        &self,
+        sim: &mut Simulator,
+        f: impl FnOnce(&mut Simulator, Vec<SelectedKey>) + 'static,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            assert!(
+                inner.parked.is_none(),
+                "selector already has a parked select call"
+            );
+            inner.parked = Some(Box::new(f));
+        }
+        self.maybe_wake(sim);
+    }
+
+    /// Select calls performed.
+    pub fn selects_performed(&self) -> u64 {
+        self.inner.borrow().selects
+    }
+
+    /// Diagnostic dump of every key's interest/ready sets.
+    pub fn debug_keys(&self) -> String {
+        let inner = self.inner.borrow();
+        inner
+            .keys
+            .iter()
+            .map(|(k, e)| {
+                let what = match &e.what {
+                    Registered::Channel(_) => "chan",
+                    Registered::Server(_) => "srv",
+                };
+                format!(
+                    "{k:?}:{what} interest={:?} ready={:?} cancelled={}",
+                    e.interest, e.ready, e.cancelled
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// Total events that flowed through the hybrid queue.
+    pub fn hybrid_events_total(&self) -> u64 {
+        self.inner.borrow().hybrid.total_events()
+    }
+
+    fn charge_select(&self, sim: &mut Simulator) -> Nanos {
+        let mut inner = self.inner.borrow_mut();
+        inner.selects += 1;
+        let (core, ns) = (inner.core, inner.select_ns);
+        let device = inner.device.clone();
+        drop(inner);
+        device
+            .net()
+            .host(device.host())
+            .borrow_mut()
+            .exec(sim.now(), core, Nanos::from_nanos(ns))
+    }
+
+    fn collect_ready(&self) -> Vec<SelectedKey> {
+        let inner = self.inner.borrow();
+        inner
+            .keys
+            .iter()
+            .filter(|(_, e)| !e.cancelled)
+            .filter_map(|(k, e)| {
+                let ready = e.ready.and(e.interest);
+                (!ready.is_empty()).then_some(SelectedKey { key: *k, ready })
+            })
+            .collect()
+    }
+
+    fn maybe_wake(&self, sim: &mut Simulator) {
+        {
+            let inner = self.inner.borrow();
+            if inner.parked.is_none() || inner.wake_scheduled {
+                return;
+            }
+            let any = inner
+                .keys
+                .values()
+                .any(|e| !e.cancelled && e.ready.intersects(e.interest));
+            if !any {
+                return;
+            }
+        }
+        self.inner.borrow_mut().wake_scheduled = true;
+        let fire_at = self.charge_select(sim);
+        let sel = self.clone();
+        sim.schedule_at(
+            fire_at,
+            Box::new(move |sim| {
+                let cb = {
+                    let mut inner = sel.inner.borrow_mut();
+                    inner.wake_scheduled = false;
+                    inner.parked.take()
+                };
+                let Some(cb) = cb else { return };
+                let ready = sel.collect_ready();
+                if ready.is_empty() {
+                    sel.inner.borrow_mut().parked = Some(cb);
+                } else {
+                    cb(sim, ready);
+                }
+            }),
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! The RDMA server channel: RUBIN's analogue of `ServerSocketChannel`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use rdma_verbs::{CmListener, ConnRequest, RdmaDevice};
+use simnet::{Addr, CoreId, Simulator};
+
+use crate::channel::{ChannelError, RdmaChannel};
+use crate::config::RubinConfig;
+use crate::event::{Interest, RubinKey};
+use crate::selector::RdmaSelector;
+
+struct ServerInner {
+    device: RdmaDevice,
+    #[allow(dead_code)]
+    listener: CmListener,
+    port: u32,
+    cfg: RubinConfig,
+    core: CoreId,
+    pending: VecDeque<ConnRequest>,
+    reg: Option<(RdmaSelector, RubinKey)>,
+    accepted: u64,
+}
+
+/// A listening RDMA channel that accepts inbound connections.
+///
+/// Incoming connection requests raise `OP_CONNECT` readiness (paper
+/// §III-B naming); [`RdmaServerChannel::accept`] turns each request into a
+/// fully configured [`RdmaChannel`].
+#[derive(Clone)]
+pub struct RdmaServerChannel {
+    inner: Rc<RefCell<ServerInner>>,
+}
+
+impl fmt::Debug for RdmaServerChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("RdmaServerChannel")
+            .field("port", &inner.port)
+            .field("pending", &inner.pending.len())
+            .field("accepted", &inner.accepted)
+            .finish()
+    }
+}
+
+impl RdmaServerChannel {
+    /// Binds a server channel on `port`. Accepted channels use `cfg` and
+    /// are charged to `core`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Verbs`] if the port is in use.
+    pub fn bind(
+        device: &RdmaDevice,
+        port: u32,
+        cfg: RubinConfig,
+        core: CoreId,
+    ) -> Result<RdmaServerChannel, ChannelError> {
+        cfg.validate();
+        let listener = device.listen(port)?;
+        Ok(RdmaServerChannel {
+            inner: Rc::new(RefCell::new(ServerInner {
+                device: device.clone(),
+                listener,
+                port,
+                cfg,
+                core,
+                pending: VecDeque::new(),
+                reg: None,
+                accepted: 0,
+            })),
+        })
+    }
+
+    /// The port this server listens on.
+    pub fn port(&self) -> u32 {
+        self.inner.borrow().port
+    }
+
+    /// The listening address.
+    pub fn local_addr(&self) -> Addr {
+        Addr::new(self.inner.borrow().device.host(), self.port())
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted_count(&self) -> u64 {
+        self.inner.borrow().accepted
+    }
+
+    /// Number of queued, not-yet-accepted connection requests.
+    pub fn pending_count(&self) -> usize {
+        self.inner.borrow().pending.len()
+    }
+
+    pub(crate) fn set_registration(&self, selector: &RdmaSelector, key: RubinKey) {
+        self.inner.borrow_mut().reg = Some((selector.clone(), key));
+    }
+
+    /// Queues an inbound connection request (selector dispatch; exposed for
+    /// driving servers without a selector).
+    pub fn push_request(&self, sim: &mut Simulator, req: ConnRequest) {
+        let reg = {
+            let mut inner = self.inner.borrow_mut();
+            inner.pending.push_back(req);
+            inner.reg.clone()
+        };
+        if let Some((sel, key)) = reg {
+            sel.set_ready(sim, key, Interest::OP_CONNECT, true);
+        }
+    }
+
+    /// Accepts one pending connection, returning the connected channel.
+    /// `None` if nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-construction failures.
+    pub fn accept(&self, sim: &mut Simulator) -> Result<Option<RdmaChannel>, ChannelError> {
+        let (req, device, cfg, core) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(req) = inner.pending.pop_front() else {
+                return Ok(None);
+            };
+            (req, inner.device.clone(), inner.cfg.clone(), inner.core)
+        };
+        let channel = RdmaChannel::from_accepted(sim, &device, req, cfg, core)?;
+        let reg = {
+            let mut inner = self.inner.borrow_mut();
+            inner.accepted += 1;
+            inner.reg.clone()
+        };
+        if let Some((sel, key)) = reg {
+            let still = self.pending_count() > 0;
+            sel.set_ready(sim, key, Interest::OP_CONNECT, still);
+        }
+        Ok(Some(channel))
+    }
+}

@@ -1,0 +1,693 @@
+//! Simulated TCP streams and listeners.
+//!
+//! The stream models the parts of kernel TCP that matter for the paper's
+//! comparison:
+//!
+//! * **Two copies per message** — `write` copies user→socket buffer,
+//!   `read` copies socket buffer→user, both charged to the caller's core
+//!   (plus a kernel crossing and the managed-runtime I/O overhead).
+//! * **Per-segment processing** — transmit and receive path CPU per MSS
+//!   segment, and an interrupt per inbound segment.
+//! * **Flow control** — a byte-credit window the size of the peer's receive
+//!   buffer; senders stall when it is exhausted, which is what throttles
+//!   messages larger than the socket buffers (visible in Figure 4's
+//!   mid-range payloads).
+//!
+//! Reliability and ordering come from the simulated fabric (no
+//! retransmission machinery); loss injected by the fault plane therefore
+//! breaks a stream, which tests use to exercise failure paths.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::{Addr, CoreId, CpuModel, Frame, HostId, Nanos, Network, Simulator};
+
+use crate::model::TcpModel;
+use crate::selector::{KeyId, Ops, Selector};
+
+/// Errors surfaced by socket operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SockError {
+    /// Operation requires an established connection.
+    NotConnected,
+    /// The stream was closed locally.
+    Closed,
+    /// The port is already in use.
+    AddrInUse,
+}
+
+impl fmt::Display for SockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SockError::NotConnected => write!(f, "socket is not connected"),
+            SockError::Closed => write!(f, "socket is closed"),
+            SockError::AddrInUse => write!(f, "address already in use"),
+        }
+    }
+}
+
+impl std::error::Error for SockError {}
+
+/// Result of a non-blocking read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Bytes were available and copied out.
+    Data(Vec<u8>),
+    /// No bytes available right now.
+    WouldBlock,
+    /// The peer closed and the buffer is drained.
+    Eof,
+}
+
+/// Per-stream statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Payload bytes accepted by `write`.
+    pub bytes_written: u64,
+    /// Payload bytes returned by `read`.
+    pub bytes_read: u64,
+    /// Data segments transmitted.
+    pub segments_tx: u64,
+    /// Data segments received.
+    pub segments_rx: u64,
+    /// Times `write` could not accept any bytes (send buffer full).
+    pub write_stalls: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamState {
+    Connecting,
+    Established,
+    Closed,
+}
+
+pub(crate) enum TcpSegment {
+    Syn { reply_to: Addr },
+    SynAck { data_port: Addr, credit: usize },
+    Data { bytes: Vec<u8> },
+    Credit { bytes: usize },
+    Fin,
+}
+
+struct StreamInner {
+    net: Network,
+    host: HostId,
+    core: CoreId,
+    model: TcpModel,
+    cpu: CpuModel,
+    local: Addr,
+    remote: Option<Addr>,
+    state: StreamState,
+    send_buf: VecDeque<u8>,
+    recv_buf: VecDeque<u8>,
+    /// Bytes we may still push into the peer's receive buffer.
+    credit: usize,
+    eof: bool,
+    connect_ready: bool,
+    reg: Option<(Selector, KeyId)>,
+    stats: TcpStats,
+}
+
+/// A non-blocking simulated TCP stream.
+#[derive(Clone)]
+pub struct TcpStream {
+    inner: Rc<RefCell<StreamInner>>,
+}
+
+impl fmt::Debug for TcpStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("TcpStream")
+            .field("local", &inner.local)
+            .field("remote", &inner.remote)
+            .field("state", &inner.state)
+            .field("send_buf", &inner.send_buf.len())
+            .field("recv_buf", &inner.recv_buf.len())
+            .field("credit", &inner.credit)
+            .finish()
+    }
+}
+
+impl TcpStream {
+    fn create(
+        net: &Network,
+        host: HostId,
+        core: CoreId,
+        model: TcpModel,
+        local: Addr,
+        remote: Option<Addr>,
+        state: StreamState,
+        credit: usize,
+    ) -> TcpStream {
+        let cpu = net.host(host).borrow().cpu().clone();
+        let stream = TcpStream {
+            inner: Rc::new(RefCell::new(StreamInner {
+                net: net.clone(),
+                host,
+                core,
+                model,
+                cpu,
+                local,
+                remote,
+                state,
+                send_buf: VecDeque::new(),
+                recv_buf: VecDeque::new(),
+                credit,
+                eof: false,
+                connect_ready: false,
+                reg: None,
+                stats: TcpStats::default(),
+            })),
+        };
+        let s = stream.clone();
+        net.bind(
+            local,
+            Box::new(move |sim, frame| {
+                if let Ok(seg) = frame.into_payload::<TcpSegment>() {
+                    s.handle_segment(sim, seg);
+                }
+            }),
+        );
+        stream
+    }
+
+    /// Initiates a non-blocking connection to a [`TcpListener`] at
+    /// `remote`. Readiness `OP_CONNECT` fires when established.
+    pub fn connect(
+        sim: &mut Simulator,
+        net: &Network,
+        host: HostId,
+        core: CoreId,
+        model: TcpModel,
+        remote: Addr,
+    ) -> TcpStream {
+        let local = net.ephemeral_port(host);
+        let stream = TcpStream::create(
+            net,
+            host,
+            core,
+            model.clone(),
+            local,
+            Some(remote),
+            StreamState::Connecting,
+            0,
+        );
+        // Handshake cost, then SYN on the wire.
+        let done = {
+            let inner = stream.inner.borrow();
+            inner.net.host(host).borrow_mut().exec(
+                sim.now(),
+                core,
+                Nanos::from_nanos(model.connect_ns),
+            )
+        };
+        let s = stream.clone();
+        sim.schedule_at(
+            done,
+            Box::new(move |sim| {
+                let (net, local) = {
+                    let inner = s.inner.borrow();
+                    (inner.net.clone(), inner.local)
+                };
+                net.send(
+                    sim,
+                    Frame::new(local, remote, 40, TcpSegment::Syn { reply_to: local }),
+                );
+            }),
+        );
+        stream
+    }
+
+    /// The local address.
+    pub fn local_addr(&self) -> Addr {
+        self.inner.borrow().local
+    }
+
+    /// The peer's data address, once known.
+    pub fn peer_addr(&self) -> Option<Addr> {
+        self.inner.borrow().remote
+    }
+
+    /// True once the connection is established.
+    pub fn is_established(&self) -> bool {
+        self.inner.borrow().state == StreamState::Established
+    }
+
+    /// Per-stream statistics.
+    pub fn stats(&self) -> TcpStats {
+        self.inner.borrow().stats
+    }
+
+    /// Free space in the send buffer (bytes a `write` would accept now).
+    pub fn free_send_space(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.model.send_buf - inner.send_buf.len()
+    }
+
+    /// Bytes currently readable without blocking.
+    pub fn available(&self) -> usize {
+        self.inner.borrow().recv_buf.len()
+    }
+
+    /// Registers the stream with a selector for the given interest ops.
+    /// Current readiness is reported immediately.
+    pub fn register(&self, sim: &mut Simulator, selector: &Selector, interest: Ops) -> KeyId {
+        let key = selector.register(interest);
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.reg = Some((selector.clone(), key));
+        }
+        self.refresh_readiness(sim);
+        key
+    }
+
+    fn refresh_readiness(&self, sim: &mut Simulator) {
+        let (reg, readable, writable, connectable) = {
+            let inner = self.inner.borrow();
+            let readable = !inner.recv_buf.is_empty() || inner.eof;
+            let writable = inner.state == StreamState::Established
+                && inner.send_buf.len() < inner.model.send_buf;
+            (
+                inner.reg.clone(),
+                readable,
+                writable,
+                inner.connect_ready,
+            )
+        };
+        if let Some((sel, key)) = reg {
+            sel.set_ready(sim, key, Ops::READ, readable);
+            sel.set_ready(sim, key, Ops::WRITE, writable);
+            sel.set_ready(sim, key, Ops::CONNECT, connectable);
+        }
+    }
+
+    /// Consumes the one-shot connect-ready flag (Java's `finishConnect`).
+    /// Returns true if the connection is established.
+    pub fn finish_connect(&self, sim: &mut Simulator) -> bool {
+        let established = {
+            let mut inner = self.inner.borrow_mut();
+            inner.connect_ready = false;
+            inner.state == StreamState::Established
+        };
+        self.refresh_readiness(sim);
+        established
+    }
+
+    /// Non-blocking write: copies as much of `data` as fits in the send
+    /// buffer (possibly zero bytes) and returns the accepted count.
+    ///
+    /// Charges one kernel crossing, the managed-runtime I/O overhead, and
+    /// the user→kernel copy for the accepted bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::NotConnected`] before establishment,
+    /// [`SockError::Closed`] after close.
+    pub fn write(&self, sim: &mut Simulator, data: &[u8]) -> Result<usize, SockError> {
+        let (n, pump_at) = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.state {
+                StreamState::Connecting => return Err(SockError::NotConnected),
+                StreamState::Closed => return Err(SockError::Closed),
+                StreamState::Established => {}
+            }
+            let free = inner.model.send_buf - inner.send_buf.len();
+            let n = free.min(data.len());
+            if n == 0 {
+                inner.stats.write_stalls += 1;
+                return Ok(0);
+            }
+            let work = Nanos::from_nanos(inner.cpu.syscall_ns + inner.cpu.runtime_io_ns)
+                + inner.cpu.copy_cost(n);
+            let host = inner.host;
+            let core = inner.core;
+            let done = inner
+                .net
+                .host(host)
+                .borrow_mut()
+                .exec(sim.now(), core, work);
+            inner.send_buf.extend(&data[..n]);
+            inner.stats.bytes_written += n as u64;
+            (n, done)
+        };
+        let s = self.clone();
+        sim.schedule_at(pump_at, Box::new(move |sim| s.pump(sim)));
+        self.refresh_readiness(sim);
+        Ok(n)
+    }
+
+    /// Transmit pump: pushes segments onto the wire within the credit
+    /// window, charging per-segment kernel cost.
+    fn pump(&self, sim: &mut Simulator) {
+        loop {
+            let (seg_bytes, send_at) = {
+                let mut inner = self.inner.borrow_mut();
+                if inner.state != StreamState::Established {
+                    break;
+                }
+                let window = inner.credit.min(inner.send_buf.len());
+                if window == 0 {
+                    break;
+                }
+                let n = window.min(inner.model.mss);
+                let bytes: Vec<u8> = inner.send_buf.drain(..n).collect();
+                inner.credit -= n;
+                inner.stats.segments_tx += 1;
+                let work = Nanos::from_nanos(inner.model.segment_tx_ns);
+                let host = inner.host;
+                let core = inner.core;
+                let done = inner
+                    .net
+                    .host(host)
+                    .borrow_mut()
+                    .exec(sim.now(), core, work);
+                (bytes, done)
+            };
+            let (net, local, remote, header) = {
+                let inner = self.inner.borrow();
+                (
+                    inner.net.clone(),
+                    inner.local,
+                    inner.remote.expect("established stream has a peer"),
+                    inner.model.header_bytes,
+                )
+            };
+            let wire = seg_bytes.len() + header;
+            // Schedule the wire transmission when the kernel work is done.
+            sim.schedule_at(
+                send_at,
+                Box::new(move |sim| {
+                    net.send(
+                        sim,
+                        Frame::new(local, remote, wire, TcpSegment::Data { bytes: seg_bytes }),
+                    );
+                }),
+            );
+        }
+        // Draining the send buffer may have made the stream writable again.
+        self.refresh_readiness(sim);
+    }
+
+    /// Non-blocking read of up to `max` bytes.
+    ///
+    /// Charges one kernel crossing, the managed-runtime overhead, and the
+    /// kernel→user copy; returns freed window credit to the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::Closed`] if the stream was closed locally.
+    pub fn read(&self, sim: &mut Simulator, max: usize) -> Result<ReadOutcome, SockError> {
+        let (data, credit_at) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.state == StreamState::Closed {
+                return Err(SockError::Closed);
+            }
+            if inner.recv_buf.is_empty() {
+                return Ok(if inner.eof {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::WouldBlock
+                });
+            }
+            let n = max.min(inner.recv_buf.len());
+            let work = Nanos::from_nanos(inner.cpu.syscall_ns + inner.cpu.runtime_io_ns)
+                + inner.cpu.copy_cost(n);
+            let host = inner.host;
+            let core = inner.core;
+            let done = inner
+                .net
+                .host(host)
+                .borrow_mut()
+                .exec(sim.now(), core, work);
+            let data: Vec<u8> = inner.recv_buf.drain(..n).collect();
+            inner.stats.bytes_read += n as u64;
+            (data, done)
+        };
+        // Return window credit to the peer.
+        let (net, local, remote, ack_bytes) = {
+            let inner = self.inner.borrow();
+            (
+                inner.net.clone(),
+                inner.local,
+                inner.remote,
+                inner.model.ack_bytes,
+            )
+        };
+        if let Some(remote) = remote {
+            let n = data.len();
+            sim.schedule_at(
+                credit_at,
+                Box::new(move |sim| {
+                    net.send(
+                        sim,
+                        Frame::new(local, remote, ack_bytes, TcpSegment::Credit { bytes: n }),
+                    );
+                }),
+            );
+        }
+        self.refresh_readiness(sim);
+        Ok(ReadOutcome::Data(data))
+    }
+
+    /// Closes the stream, notifying the peer (FIN).
+    pub fn close(&self, sim: &mut Simulator) {
+        let (net, local, remote, ack_bytes, already_closed) = {
+            let mut inner = self.inner.borrow_mut();
+            let already = inner.state == StreamState::Closed;
+            inner.state = StreamState::Closed;
+            (
+                inner.net.clone(),
+                inner.local,
+                inner.remote,
+                inner.model.ack_bytes,
+                already,
+            )
+        };
+        if already_closed {
+            return;
+        }
+        if let Some(remote) = remote {
+            net.send(sim, Frame::new(local, remote, ack_bytes, TcpSegment::Fin));
+        }
+        net.unbind(local);
+    }
+
+    fn handle_segment(&self, sim: &mut Simulator, seg: TcpSegment) {
+        match seg {
+            TcpSegment::SynAck { data_port, credit } => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.remote = Some(data_port);
+                    inner.credit = credit;
+                    inner.state = StreamState::Established;
+                    inner.connect_ready = true;
+                }
+                self.refresh_readiness(sim);
+                // Anything already buffered can flow now.
+                self.pump(sim);
+            }
+            TcpSegment::Data { bytes } => {
+                let done = {
+                    let mut inner = self.inner.borrow_mut();
+                    if inner.state != StreamState::Established {
+                        return;
+                    }
+                    inner.stats.segments_rx += 1;
+                    let work = Nanos::from_nanos(
+                        inner.cpu.interrupt_ns + inner.model.segment_rx_ns,
+                    );
+                    let host = inner.host;
+                    let core = inner.core;
+                    inner
+                        .net
+                        .host(host)
+                        .borrow_mut()
+                        .exec(sim.now(), core, work)
+                };
+                let s = self.clone();
+                sim.schedule_at(
+                    done,
+                    Box::new(move |sim| {
+                        {
+                            let mut inner = s.inner.borrow_mut();
+                            inner.recv_buf.extend(bytes.iter());
+                        }
+                        s.refresh_readiness(sim);
+                    }),
+                );
+            }
+            TcpSegment::Credit { bytes } => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.credit += bytes;
+                }
+                self.pump(sim);
+                self.refresh_readiness(sim);
+            }
+            TcpSegment::Fin => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.eof = true;
+                }
+                self.refresh_readiness(sim);
+            }
+            TcpSegment::Syn { .. } => {
+                debug_assert!(false, "SYN delivered to a data port");
+            }
+        }
+    }
+}
+
+struct ListenerInner {
+    net: Network,
+    host: HostId,
+    core: CoreId,
+    model: TcpModel,
+    addr: Addr,
+    pending: VecDeque<TcpStream>,
+    reg: Option<(Selector, KeyId)>,
+}
+
+/// A listening TCP socket.
+#[derive(Clone)]
+pub struct TcpListener {
+    inner: Rc<RefCell<ListenerInner>>,
+}
+
+impl fmt::Debug for TcpListener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("TcpListener")
+            .field("addr", &inner.addr)
+            .field("pending", &inner.pending.len())
+            .finish()
+    }
+}
+
+impl TcpListener {
+    /// Binds a listener on `host:port`. Accepted streams are charged to
+    /// `core`.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::AddrInUse`] if the port is taken.
+    pub fn bind(
+        net: &Network,
+        host: HostId,
+        port: u32,
+        core: CoreId,
+        model: TcpModel,
+    ) -> Result<TcpListener, SockError> {
+        let addr = Addr::new(host, port);
+        if net.is_bound(addr) {
+            return Err(SockError::AddrInUse);
+        }
+        let listener = TcpListener {
+            inner: Rc::new(RefCell::new(ListenerInner {
+                net: net.clone(),
+                host,
+                core,
+                model,
+                addr,
+                pending: VecDeque::new(),
+                reg: None,
+            })),
+        };
+        let l = listener.clone();
+        net.bind(
+            addr,
+            Box::new(move |sim, frame| {
+                if let Ok(TcpSegment::Syn { reply_to }) = frame.into_payload::<TcpSegment>() {
+                    l.handle_syn(sim, reply_to);
+                }
+            }),
+        );
+        Ok(listener)
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> Addr {
+        self.inner.borrow().addr
+    }
+
+    /// Registers the listener for `OP_ACCEPT` readiness.
+    pub fn register(&self, sim: &mut Simulator, selector: &Selector) -> KeyId {
+        let key = selector.register(Ops::ACCEPT);
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.reg = Some((selector.clone(), key));
+        }
+        let pending = !self.inner.borrow().pending.is_empty();
+        if pending {
+            selector.set_ready(sim, key, Ops::ACCEPT, true);
+        }
+        key
+    }
+
+    /// Accepts a pending connection, if any (non-blocking).
+    pub fn accept(&self, sim: &mut Simulator) -> Option<TcpStream> {
+        let (stream, reg, still_pending) = {
+            let mut inner = self.inner.borrow_mut();
+            let s = inner.pending.pop_front();
+            (s, inner.reg.clone(), !inner.pending.is_empty())
+        };
+        if let Some((sel, key)) = reg {
+            sel.set_ready(sim, key, Ops::ACCEPT, still_pending);
+        }
+        stream
+    }
+
+    fn handle_syn(&self, sim: &mut Simulator, reply_to: Addr) {
+        let (net, host, core, model, local_port) = {
+            let inner = self.inner.borrow();
+            (
+                inner.net.clone(),
+                inner.host,
+                inner.core,
+                inner.model.clone(),
+                inner.net.ephemeral_port(inner.host),
+            )
+        };
+        let credit = model.recv_buf;
+        let stream = TcpStream::create(
+            &net,
+            host,
+            core,
+            model.clone(),
+            local_port,
+            Some(reply_to),
+            StreamState::Established,
+            // The client's initial credit towards us is our recv_buf; our
+            // credit towards the client is its recv_buf (symmetric model).
+            model.recv_buf,
+        );
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.pending.push_back(stream);
+        }
+        net.send(
+            sim,
+            Frame::new(
+                local_port,
+                reply_to,
+                40,
+                TcpSegment::SynAck {
+                    data_port: local_port,
+                    credit,
+                },
+            ),
+        );
+        let reg = self.inner.borrow().reg.clone();
+        if let Some((sel, key)) = reg {
+            sel.set_ready(sim, key, Ops::ACCEPT, true);
+        }
+    }
+
+    /// Stops listening.
+    pub fn close(&self) {
+        let inner = self.inner.borrow();
+        inner.net.unbind(inner.addr);
+    }
+}

@@ -1,0 +1,165 @@
+//! The simulator's event queue.
+//!
+//! Events are closures scheduled for a future instant. Ordering is total and
+//! deterministic: ties on the timestamp are broken by the monotonically
+//! increasing sequence number assigned at scheduling time, so two runs of the
+//! same program always execute events in the same order.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::sim::Simulator;
+use crate::time::Nanos;
+
+/// An event action: a one-shot closure run at its scheduled time.
+pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+/// Handle identifying a scheduled event, usable with
+/// [`Simulator::cancel`](crate::Simulator::cancel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+pub(crate) struct ScheduledEvent {
+    pub at: Nanos,
+    pub id: EventId,
+    pub action: EventFn,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties broken by scheduling order (lower id first).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Deterministic priority queue of scheduled events with O(1) cancellation.
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> EventQueue {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: Nanos, action: EventFn) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(ScheduledEvent { at, id, action });
+        id
+    }
+
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Pops the next live (non-cancelled) event, discarding cancelled ones.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        loop {
+            match self.heap.peek() {
+                None => return None,
+                Some(ev) if self.cancelled.contains(&ev.id) => {
+                    let ev = self.heap.pop().expect("peeked event exists");
+                    self.cancelled.remove(&ev.id);
+                }
+                Some(ev) => return Some(ev.at),
+            }
+        }
+    }
+
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    pub fn len(&self) -> usize {
+        // Upper bound: may include cancelled events not yet discarded.
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> EventFn {
+        Box::new(|_| {})
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_nanos(30), noop());
+        q.push(Nanos::from_nanos(10), noop());
+        q.push(Nanos::from_nanos(20), noop());
+        assert_eq!(q.pop().unwrap().at.as_nanos(), 10);
+        assert_eq!(q.pop().unwrap().at.as_nanos(), 20);
+        assert_eq!(q.pop().unwrap().at.as_nanos(), 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos::from_nanos(5), noop());
+        let b = q.push(Nanos::from_nanos(5), noop());
+        assert_eq!(q.pop().unwrap().id, a);
+        assert_eq!(q.pop().unwrap().id, b);
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos::from_nanos(1), noop());
+        let b = q.push(Nanos::from_nanos(2), noop());
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().id, b);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos::from_nanos(1), noop());
+        q.push(Nanos::from_nanos(7), noop());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(7)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

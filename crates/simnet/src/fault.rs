@@ -1,0 +1,183 @@
+//! Fault injection: partitions, probabilistic loss, and added delay.
+//!
+//! Faults are applied at frame-delivery time by the [`Network`](crate::Network).
+//! All knobs are *directional*: `set_loss(a, b, p)` only affects frames from
+//! `a` to `b`. [`FaultPlane::partition`] cuts both directions at once since a
+//! network partition is symmetric.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::host::HostId;
+use crate::time::Nanos;
+
+/// The verdict for a frame about to be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Deliver, possibly after an extra delay.
+    Deliver {
+        /// Additional delay injected on top of the link model.
+        extra_delay: Nanos,
+    },
+    /// Silently drop the frame.
+    Drop,
+}
+
+/// Mutable record of injected network faults.
+#[derive(Debug, Default)]
+pub struct FaultPlane {
+    partitioned: HashSet<(HostId, HostId)>,
+    loss: HashMap<(HostId, HostId), f64>,
+    delay: HashMap<(HostId, HostId), Nanos>,
+}
+
+impl FaultPlane {
+    /// Creates a fault-free plane.
+    pub fn new() -> FaultPlane {
+        FaultPlane::default()
+    }
+
+    /// Cuts connectivity between `a` and `b` in both directions.
+    pub fn partition(&mut self, a: HostId, b: HostId) {
+        self.partitioned.insert((a, b));
+        self.partitioned.insert((b, a));
+    }
+
+    /// Restores connectivity between `a` and `b`.
+    pub fn heal(&mut self, a: HostId, b: HostId) {
+        self.partitioned.remove(&(a, b));
+        self.partitioned.remove(&(b, a));
+    }
+
+    /// True if frames from `a` to `b` are currently blackholed.
+    pub fn is_partitioned(&self, a: HostId, b: HostId) -> bool {
+        self.partitioned.contains(&(a, b))
+    }
+
+    /// Drops frames from `src` to `dst` with probability `p` (0.0..=1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn set_loss(&mut self, src: HostId, dst: HostId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        if p == 0.0 {
+            self.loss.remove(&(src, dst));
+        } else {
+            self.loss.insert((src, dst), p);
+        }
+    }
+
+    /// Adds `d` of extra one-way delay to frames from `src` to `dst`.
+    pub fn set_extra_delay(&mut self, src: HostId, dst: HostId, d: Nanos) {
+        if d == Nanos::ZERO {
+            self.delay.remove(&(src, dst));
+        } else {
+            self.delay.insert((src, dst), d);
+        }
+    }
+
+    /// Decides the fate of one frame from `src` to `dst`.
+    ///
+    /// `coin` must be a uniform sample from `[0, 1)` drawn from the
+    /// simulator's RNG so runs stay deterministic.
+    pub fn judge(&self, src: HostId, dst: HostId, coin: f64) -> FaultVerdict {
+        if self.is_partitioned(src, dst) {
+            return FaultVerdict::Drop;
+        }
+        if let Some(&p) = self.loss.get(&(src, dst)) {
+            if coin < p {
+                return FaultVerdict::Drop;
+            }
+        }
+        let extra_delay = self
+            .delay
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(Nanos::ZERO);
+        FaultVerdict::Deliver { extra_delay }
+    }
+
+    /// Removes every fault.
+    pub fn clear(&mut self) {
+        self.partitioned.clear();
+        self.loss.clear();
+        self.delay.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: HostId = HostId(0);
+    const B: HostId = HostId(1);
+
+    #[test]
+    fn default_delivers() {
+        let f = FaultPlane::new();
+        assert_eq!(
+            f.judge(A, B, 0.5),
+            FaultVerdict::Deliver {
+                extra_delay: Nanos::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_healable() {
+        let mut f = FaultPlane::new();
+        f.partition(A, B);
+        assert_eq!(f.judge(A, B, 0.5), FaultVerdict::Drop);
+        assert_eq!(f.judge(B, A, 0.5), FaultVerdict::Drop);
+        f.heal(A, B);
+        assert!(matches!(f.judge(A, B, 0.5), FaultVerdict::Deliver { .. }));
+    }
+
+    #[test]
+    fn loss_is_directional_and_thresholded() {
+        let mut f = FaultPlane::new();
+        f.set_loss(A, B, 0.3);
+        assert_eq!(f.judge(A, B, 0.2), FaultVerdict::Drop);
+        assert!(matches!(f.judge(A, B, 0.4), FaultVerdict::Deliver { .. }));
+        // Reverse direction unaffected.
+        assert!(matches!(f.judge(B, A, 0.0), FaultVerdict::Deliver { .. }));
+        // Setting zero removes the rule.
+        f.set_loss(A, B, 0.0);
+        assert!(matches!(f.judge(A, B, 0.0), FaultVerdict::Deliver { .. }));
+    }
+
+    #[test]
+    fn extra_delay_applied() {
+        let mut f = FaultPlane::new();
+        f.set_extra_delay(A, B, Nanos::from_micros(10));
+        assert_eq!(
+            f.judge(A, B, 0.9),
+            FaultVerdict::Deliver {
+                extra_delay: Nanos::from_micros(10)
+            }
+        );
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut f = FaultPlane::new();
+        f.partition(A, B);
+        f.set_loss(B, A, 1.0);
+        f.set_extra_delay(A, B, Nanos::from_nanos(5));
+        f.clear();
+        assert_eq!(
+            f.judge(A, B, 0.0),
+            FaultVerdict::Deliver {
+                extra_delay: Nanos::ZERO
+            }
+        );
+        assert!(matches!(f.judge(B, A, 0.0), FaultVerdict::Deliver { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_panics() {
+        let mut f = FaultPlane::new();
+        f.set_loss(A, B, 1.5);
+    }
+}

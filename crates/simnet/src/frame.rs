@@ -1,0 +1,115 @@
+//! Frames: the unit of delivery on the simulated network.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::host::HostId;
+
+/// A network address: host plus port (a demultiplexing key on the NIC).
+///
+/// Ports below 1024 are conventionally used by listeners in this simulator,
+/// but nothing enforces that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr {
+    /// The host the port lives on.
+    pub host: HostId,
+    /// The port number on that host.
+    pub port: u32,
+}
+
+impl Addr {
+    /// Creates an address from host and port.
+    pub fn new(host: HostId, port: u32) -> Addr {
+        Addr { host, port }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+/// A frame in flight between two addresses.
+///
+/// The `payload` is a type-erased message owned by the protocol layer that
+/// sent it (TCP segment, RoCE packet, …); `wire_bytes` is the size the link
+/// timing model charges for it. Keeping payloads as `Box<dyn Any>` lets every
+/// protocol layer define its own message types without a central enum, while
+/// the real bytes still travel end to end so data integrity is genuine.
+pub struct Frame {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Size charged on the wire (payload + protocol headers), in bytes.
+    pub wire_bytes: usize,
+    /// The protocol message being carried.
+    pub payload: Box<dyn Any>,
+}
+
+impl Frame {
+    /// Creates a frame carrying `payload`, charged as `wire_bytes` on the
+    /// wire.
+    pub fn new<T: Any>(src: Addr, dst: Addr, wire_bytes: usize, payload: T) -> Frame {
+        Frame {
+            src,
+            dst,
+            wire_bytes,
+            payload: Box::new(payload),
+        }
+    }
+
+    /// Downcasts the payload to `T`, consuming the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frame unchanged if the payload is not a `T`.
+    pub fn into_payload<T: Any>(self) -> Result<T, Frame> {
+        match self.payload.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(payload) => Err(Frame { payload, ..self }),
+        }
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Frame")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("wire_bytes", &self.wire_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_display() {
+        let a = Addr::new(HostId(3), 80);
+        assert_eq!(a.to_string(), "h3:80");
+    }
+
+    #[test]
+    fn payload_downcast_roundtrip() {
+        let a = Addr::new(HostId(0), 1);
+        let b = Addr::new(HostId(1), 2);
+        let f = Frame::new(a, b, 100, String::from("hello"));
+        let s: String = f.into_payload().expect("payload is a String");
+        assert_eq!(s, "hello");
+    }
+
+    #[test]
+    fn payload_downcast_wrong_type_returns_frame() {
+        let a = Addr::new(HostId(0), 1);
+        let b = Addr::new(HostId(1), 2);
+        let f = Frame::new(a, b, 100, 42u64);
+        let f = f.into_payload::<String>().expect_err("not a String");
+        assert_eq!(f.wire_bytes, 100);
+        let v: u64 = f.into_payload().expect("payload is u64");
+        assert_eq!(v, 42);
+    }
+}

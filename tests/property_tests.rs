@@ -1,0 +1,346 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning every crate in the workspace.
+
+use bft_crypto::{hmac_sha256, sha256, verify_hmac, Digest, KeyTable, Sha256};
+use chainstore::{Chain, Transaction};
+use proptest::prelude::*;
+use reptor::{KvOp, Message, PreparedProof, Request, SignedMessage};
+use rubin::HybridEventQueue;
+use simnet::{Bandwidth, Nanos, Simulator};
+
+// ---------------------------------------------------------------------
+// Crypto
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Incremental hashing over arbitrary chunk boundaries equals the
+    /// one-shot digest.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                 cuts in proptest::collection::vec(0usize..4096, 0..8)) {
+        let oneshot = sha256(&data);
+        let mut h = Sha256::new();
+        let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        points.sort_unstable();
+        let mut prev = 0;
+        for p in points {
+            h.update(&data[prev..p]);
+            prev = p;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// HMAC verifies for the exact (key, message) pair and fails for any
+    /// modified message.
+    #[test]
+    fn hmac_roundtrip_and_tamper(key in proptest::collection::vec(any::<u8>(), 0..128),
+                                 msg in proptest::collection::vec(any::<u8>(), 0..512),
+                                 flip in 0usize..512) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac(&key, &msg, &tag));
+        if !msg.is_empty() {
+            let mut tampered = msg.clone();
+            let idx = flip % tampered.len();
+            tampered[idx] ^= 0x01;
+            prop_assert!(!verify_hmac(&key, &tampered, &tag));
+        }
+    }
+
+    /// MAC-vector authenticators verify for every listed receiver and for
+    /// no one else.
+    #[test]
+    fn authenticator_receiver_set(msg in proptest::collection::vec(any::<u8>(), 0..256),
+                                  receivers in proptest::collection::btree_set(0u32..16, 1..8),
+                                  outsider in 16u32..32) {
+        let sender = KeyTable::new(99, b"prop-domain".to_vec());
+        let rvec: Vec<u32> = receivers.iter().copied().collect();
+        let auth = sender.authenticate(&msg, &rvec);
+        for &r in &rvec {
+            let table = KeyTable::new(r, b"prop-domain".to_vec());
+            prop_assert!(table.verify(&msg, &auth));
+        }
+        let stranger = KeyTable::new(outsider, b"prop-domain".to_vec());
+        prop_assert!(!stranger.verify(&msg, &auth));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec / messages
+// ---------------------------------------------------------------------
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (any::<u32>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(
+        |(client, timestamp, payload)| Request {
+            client,
+            timestamp,
+            payload,
+        },
+    )
+}
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    any::<[u8; 32]>().prop_map(Digest)
+}
+
+fn arb_batch() -> impl Strategy<Value = Vec<Request>> {
+    proptest::collection::vec(arb_request(), 0..4)
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let batch = arb_batch();
+    prop_oneof![
+        arb_request().prop_map(Message::Request),
+        (any::<u64>(), any::<u64>(), arb_digest(), arb_batch()).prop_map(
+            |(view, seq, digest, batch)| Message::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch
+            }
+        ),
+        (any::<u64>(), any::<u64>(), arb_digest(), any::<u32>()).prop_map(
+            |(view, seq, digest, replica)| Message::Prepare {
+                view,
+                seq,
+                digest,
+                replica
+            }
+        ),
+        (any::<u64>(), any::<u64>(), arb_digest(), any::<u32>()).prop_map(
+            |(view, seq, digest, replica)| Message::Commit {
+                view,
+                seq,
+                digest,
+                replica
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(view, client, timestamp, replica, result)| Message::Reply {
+                view,
+                client,
+                timestamp,
+                replica,
+                result
+            }),
+        (any::<u64>(), arb_digest(), any::<u32>()).prop_map(
+            |(seq, state_digest, replica)| Message::Checkpoint {
+                seq,
+                state_digest,
+                replica
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            arb_digest(),
+            proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), arb_digest(), arb_batch()).prop_map(
+                    |(seq, view, digest, batch)| PreparedProof {
+                        seq,
+                        view,
+                        digest,
+                        batch
+                    }
+                ),
+                0..3
+            ),
+            any::<u32>()
+        )
+            .prop_map(
+                |(new_view, last_stable, checkpoint_digest, prepared, replica)| {
+                    Message::ViewChange {
+                        new_view,
+                        last_stable,
+                        checkpoint_digest,
+                        prepared,
+                        replica,
+                    }
+                }
+            ),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), arb_digest(), batch), 0..3),
+            any::<u32>()
+        )
+            .prop_map(|(view, pre_prepares, replica)| Message::NewView {
+                view,
+                pre_prepares,
+                replica
+            }),
+    ]
+}
+
+proptest! {
+    /// Every protocol message round-trips through the wire codec.
+    #[test]
+    fn message_codec_roundtrip(msg in arb_message()) {
+        let enc = msg.encode();
+        let dec = Message::decode(&enc).expect("well-formed encoding decodes");
+        prop_assert_eq!(dec, msg);
+    }
+
+    /// Decoding arbitrary bytes never panics (Byzantine input hardening).
+    #[test]
+    fn message_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes);
+        let _ = SignedMessage::decode(&bytes);
+    }
+
+    /// Signed messages round-trip and verify end to end.
+    #[test]
+    fn signed_message_roundtrip(msg in arb_message(),
+                                receivers in proptest::collection::btree_set(0u32..8, 1..5)) {
+        let keys = KeyTable::new(0, b"prop".to_vec());
+        let rvec: Vec<u32> = receivers.iter().copied().collect();
+        let signed = SignedMessage::create(&msg, &keys, &rvec);
+        let wire = signed.encode();
+        let back = SignedMessage::decode(&wire).expect("decodes");
+        let table = KeyTable::new(rvec[0], b"prop".to_vec());
+        prop_assert_eq!(back.verify_and_decode(&table).expect("no codec error"), Some(msg));
+    }
+
+    /// KV operations round-trip; arbitrary payloads never panic the
+    /// decoder.
+    #[test]
+    fn kv_op_roundtrip(k in proptest::collection::vec(any::<u8>(), 0..64),
+                       v in proptest::collection::vec(any::<u8>(), 0..64),
+                       garbage in proptest::collection::vec(any::<u8>(), 0..128)) {
+        for op in [KvOp::Get(k.clone()), KvOp::Put(k.clone(), v), KvOp::Del(k)] {
+            prop_assert_eq!(KvOp::decode(&op.encode()), Some(op));
+        }
+        let _ = KvOp::decode(&garbage);
+    }
+
+    /// Ledger transactions round-trip; garbage never panics.
+    #[test]
+    fn transaction_roundtrip(a in "[a-z]{1,12}", b in "[a-z]{1,12}", amount in any::<u64>(),
+                             garbage in proptest::collection::vec(any::<u8>(), 0..128)) {
+        for tx in [
+            Transaction::transfer(&a, &b, amount),
+            Transaction::mint(&a, amount),
+            Transaction::shipment(&a, &b, &a, &b),
+        ] {
+            prop_assert_eq!(Transaction::decode(&tx.encode()), Some(tx));
+        }
+        let _ = Transaction::decode(&garbage);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator & fabric
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Events always execute in non-decreasing time order, regardless of
+    /// scheduling order.
+    #[test]
+    fn simulator_time_is_monotone(delays in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut sim = Simulator::new(7);
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(vec![]));
+        for d in delays {
+            let log = log.clone();
+            sim.schedule_in(Nanos::from_nanos(d), Box::new(move |sim| {
+                log.borrow_mut().push(sim.now().as_nanos());
+            }));
+        }
+        sim.run_until_idle();
+        let log = log.borrow();
+        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Bandwidth serialization is additive and monotone in message size.
+    #[test]
+    fn bandwidth_monotone(bytes_a in 1usize..1_000_000, bytes_b in 1usize..1_000_000) {
+        let bw = Bandwidth::gbps(10);
+        let ta = bw.transmit_time(bytes_a);
+        let tb = bw.transmit_time(bytes_b);
+        if bytes_a <= bytes_b {
+            prop_assert!(ta <= tb);
+        }
+        // Serializing both takes at least as long as the bigger one.
+        let both = bw.transmit_time(bytes_a + bytes_b);
+        prop_assert!(both >= ta.max(tb));
+    }
+
+    /// Identical seeds produce identical simulations (determinism).
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>(),
+                                   payloads in proptest::collection::vec(1usize..4096, 1..8)) {
+        use simnet::{Addr, Frame, TestBed};
+        let run = |seed: u64, payloads: &[usize]| -> Vec<u64> {
+            use std::cell::RefCell;
+            use std::rc::Rc;
+            let mut tb = TestBed::paper_testbed(seed);
+            let times: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(vec![]));
+            let t = times.clone();
+            tb.net.bind(Addr::new(tb.b, 1), Box::new(move |sim, _f| {
+                t.borrow_mut().push(sim.now().as_nanos());
+            }));
+            for &p in payloads {
+                tb.net.send(&mut tb.sim, Frame::new(Addr::new(tb.a, 1), Addr::new(tb.b, 1), p, ()));
+            }
+            tb.sim.run_until_idle();
+            let out = times.borrow().clone();
+            out
+        };
+        prop_assert_eq!(run(seed, &payloads), run(seed, &payloads));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blockchain
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A chain built through `next_block`/`append` always verifies, and
+    /// flipping any transaction breaks verification from that height on.
+    #[test]
+    fn chain_integrity(amounts in proptest::collection::vec(1u64..1_000, 1..12),
+                       tamper_at in any::<prop::sample::Index>()) {
+        let mut chain = Chain::new();
+        for &a in &amounts {
+            let b = chain.next_block(vec![Transaction::mint("acct", a)]);
+            chain.append(b).expect("extends tip");
+        }
+        chain.verify().expect("untampered chain verifies");
+
+        if chain.len() > 2 {
+            let h = 1 + tamper_at.index(chain.len() - 2) as u64;
+            chain.tamper(h, |b| {
+                b.transactions[0] = Transaction::mint("mallory", u64::MAX);
+            });
+            prop_assert!(chain.verify().is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RUBIN data structures
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The hybrid event queue is strictly FIFO.
+    #[test]
+    fn hybrid_queue_fifo(keys in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut q = HybridEventQueue::new();
+        for &k in &keys {
+            q.push(rubin::RubinEvent::Completion { key: rubin::RubinKey(k) });
+        }
+        let mut out = Vec::new();
+        while let Some(ev) = q.pop() {
+            if let rubin::RubinEvent::Completion { key } = ev {
+                out.push(key.0);
+            }
+        }
+        prop_assert_eq!(out, keys);
+    }
+}

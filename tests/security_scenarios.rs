@@ -1,0 +1,226 @@
+//! Security scenarios from the paper's §III-C analysis.
+//!
+//! The paper argues RUBIN's two-sided design avoids the attacks that
+//! plague one-sided RDMA deployments: buffer races, Steering-Tag (STag)
+//! theft enabling man-in-the-middle reads/writes, and STag invalidation
+//! denial-of-service. These tests exercise the corresponding enforcement
+//! in the verbs layer, and the protocol-level containment (a replica with
+//! compromised memory "cannot operate reliably ... and will therefore be
+//! considered faulty, which can be tolerated by the protocol").
+
+use rdma_verbs::{
+    connect_pair, Access, QpConfig, RdmaDevice, RecvWr, RnicModel, SendWr, Sge, WcStatus, WrId,
+};
+use simnet::{CoreId, TestBed};
+
+struct Host {
+    dev: RdmaDevice,
+    pd: rdma_verbs::ProtectionDomain,
+    cq: rdma_verbs::CompletionQueue,
+}
+
+fn host_on(tb: &TestBed, id: simnet::HostId) -> Host {
+    let dev = RdmaDevice::open(&tb.net, id, RnicModel::mt27520());
+    let pd = dev.alloc_pd();
+    let cq = dev.create_cq(64, None);
+    Host { dev, pd, cq }
+}
+
+fn qp_for(h: &Host) -> rdma_verbs::QueuePair {
+    h.dev.create_qp(&QpConfig {
+        pd: h.pd,
+        send_cq: h.cq.clone(),
+        recv_cq: h.cq.clone(),
+        core: CoreId(0),
+    })
+}
+
+/// §III-C: "An adversary might get access to a buffer with STag enabled
+/// access, which allows her to conduct a Man-in-the-Middle attack. She can
+/// now read or modify the contents of this buffer." — possible only for
+/// regions that *grant* remote access; a two-sided deployment grants none,
+/// so the same stolen STag is useless.
+#[test]
+fn stolen_stag_useless_against_two_sided_buffers() {
+    let mut tb = TestBed::paper_testbed(51);
+    let victim = host_on(&tb, tb.b);
+    let attacker = host_on(&tb, tb.a);
+
+    // The victim's receive buffer, as RUBIN would register it: local write
+    // only, no remote rights.
+    let secret = victim.dev.reg_mr(&victim.pd, 4096, Access::LOCAL_WRITE);
+    secret.write(0, b"replica private state").unwrap();
+    let stolen_stag = secret.rkey(); // assume the attacker learned the key
+
+    let vqp = qp_for(&victim);
+    let aqp = qp_for(&attacker);
+    connect_pair(&aqp, &vqp).unwrap();
+
+    // Attempted MITM read.
+    let sink = attacker.dev.reg_mr(&attacker.pd, 4096, Access::LOCAL_WRITE);
+    aqp.post_send(
+        &mut tb.sim,
+        SendWr::read(WrId(1), Sge::whole(sink.clone()), stolen_stag, 0).signaled(),
+    )
+    .unwrap();
+    tb.sim.run_until_idle();
+    let wc = attacker.cq.poll(8);
+    assert_eq!(wc[0].status, WcStatus::RemoteAccessError, "read refused");
+    assert_eq!(sink.read(0, 7).unwrap(), vec![0; 7], "no data leaked");
+
+    // Attempted MITM write (fresh connection: the NAK broke the first).
+    let vqp2 = qp_for(&victim);
+    let aqp2 = qp_for(&attacker);
+    connect_pair(&aqp2, &vqp2).unwrap();
+    let payload = attacker.dev.reg_mr(&attacker.pd, 32, Access::NONE);
+    payload.write(0, b"overwritten-by-mallory!").unwrap();
+    aqp2.post_send(
+        &mut tb.sim,
+        SendWr::write(WrId(2), Sge::whole(payload), stolen_stag, 0).signaled(),
+    )
+    .unwrap();
+    tb.sim.run_until_idle();
+    let wc = attacker.cq.poll(8);
+    assert_eq!(wc[0].status, WcStatus::RemoteAccessError, "write refused");
+    assert_eq!(
+        secret.read(0, 21).unwrap(),
+        b"replica private state",
+        "victim memory untouched"
+    );
+}
+
+/// §III-C: even when a deployment does expose a region, the access flags
+/// bound what a stolen STag can do (read-only stays read-only).
+#[test]
+fn access_flags_bound_remote_capability() {
+    let mut tb = TestBed::paper_testbed(52);
+    let victim = host_on(&tb, tb.b);
+    let attacker = host_on(&tb, tb.a);
+    let exposed = victim
+        .dev
+        .reg_mr(&victim.pd, 1024, Access::LOCAL_WRITE | Access::REMOTE_READ);
+    exposed.write(0, b"public-read-only").unwrap();
+
+    let vqp = qp_for(&victim);
+    let aqp = qp_for(&attacker);
+    connect_pair(&aqp, &vqp).unwrap();
+
+    // Reads succeed…
+    let sink = attacker.dev.reg_mr(&attacker.pd, 1024, Access::LOCAL_WRITE);
+    aqp.post_send(
+        &mut tb.sim,
+        SendWr::read(WrId(1), Sge::new(sink.clone(), 0, 16), exposed.rkey(), 0).signaled(),
+    )
+    .unwrap();
+    tb.sim.run_until_idle();
+    assert!(attacker.cq.poll(8)[0].is_ok());
+    assert_eq!(sink.read(0, 16).unwrap(), b"public-read-only");
+
+    // …but writes through the same STag are refused.
+    let vqp2 = qp_for(&victim);
+    let aqp2 = qp_for(&attacker);
+    connect_pair(&aqp2, &vqp2).unwrap();
+    let payload = attacker.dev.reg_mr(&attacker.pd, 16, Access::NONE);
+    aqp2.post_send(
+        &mut tb.sim,
+        SendWr::write(WrId(2), Sge::whole(payload), exposed.rkey(), 0).signaled(),
+    )
+    .unwrap();
+    tb.sim.run_until_idle();
+    assert_eq!(
+        attacker.cq.poll(8)[0].status,
+        WcStatus::RemoteAccessError
+    );
+    assert_eq!(exposed.read(0, 16).unwrap(), b"public-read-only");
+}
+
+/// §III-C: "or even invalidate the STag which prevents access of
+/// legitimate applications" — invalidation makes every subsequent access
+/// fail, which the affected replica must surface as a fault rather than
+/// serve corrupt data.
+#[test]
+fn invalidated_stag_denies_everyone_loudly() {
+    let mut tb = TestBed::paper_testbed(53);
+    let victim = host_on(&tb, tb.b);
+    let peer = host_on(&tb, tb.a);
+    let region = victim
+        .dev
+        .reg_mr(&victim.pd, 1024, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+
+    let vqp = qp_for(&victim);
+    let pqp = qp_for(&peer);
+    connect_pair(&pqp, &vqp).unwrap();
+
+    // Attacker invalidates the STag (compromised victim process).
+    region.invalidate();
+
+    // The legitimate peer's write now fails with an explicit error — the
+    // replica is observably faulty, not silently corrupt.
+    let payload = peer.dev.reg_mr(&peer.pd, 64, Access::NONE);
+    pqp.post_send(
+        &mut tb.sim,
+        SendWr::write(WrId(1), Sge::whole(payload), region.rkey(), 0).signaled(),
+    )
+    .unwrap();
+    tb.sim.run_until_idle();
+    assert_eq!(peer.cq.poll(8)[0].status, WcStatus::RemoteAccessError);
+    // And local application access fails too.
+    assert!(region.read(0, 1).is_err());
+}
+
+/// §III-C + §III-A: two-sided transfers place data only where the
+/// *receiver* decided — a sender cannot steer a SEND into memory of its
+/// choosing, and out-of-bounds placement is impossible by construction.
+#[test]
+fn receiver_chooses_placement_for_two_sided_transfers() {
+    let mut tb = TestBed::paper_testbed(54);
+    let rx = host_on(&tb, tb.b);
+    let tx = host_on(&tb, tb.a);
+    let rqp = qp_for(&rx);
+    let sqp = qp_for(&tx);
+    connect_pair(&sqp, &rqp).unwrap();
+
+    // Receiver posts two disjoint slots in one region.
+    let buf = rx.dev.reg_mr(&rx.pd, 256, Access::LOCAL_WRITE);
+    rqp.post_recv(&mut tb.sim, RecvWr::new(WrId(10), Sge::new(buf.clone(), 0, 128)))
+        .unwrap();
+    rqp.post_recv(&mut tb.sim, RecvWr::new(WrId(11), Sge::new(buf.clone(), 128, 128)))
+        .unwrap();
+
+    for (i, msg) in [b"first!", b"second"].iter().enumerate() {
+        let src = tx.dev.reg_mr(&tx.pd, 6, Access::NONE);
+        src.write(0, *msg).unwrap();
+        sqp.post_send(
+            &mut tb.sim,
+            SendWr::send(WrId(i as u64), Sge::whole(src)).signaled(),
+        )
+        .unwrap();
+    }
+    tb.sim.run_until_idle();
+    // Data landed exactly in the receiver-chosen slots, in order.
+    assert_eq!(buf.read(0, 6).unwrap(), b"first!");
+    assert_eq!(buf.read(128, 6).unwrap(), b"second");
+}
+
+/// The protocol-level containment claim: a replica whose memory keys were
+/// compromised (modelled as corrupted MACs / silence) is simply tolerated
+/// as one of the `f` faults.
+#[test]
+fn compromised_replica_is_contained_by_the_protocol() {
+    use reptor::{ByzantineMode, Cluster, CounterService, ReptorConfig};
+    let mut c = Cluster::sim_transport(ReptorConfig::small(), 1, 55, || {
+        Box::new(CounterService::default())
+    });
+    // Replica 1's "memory was compromised": it now emits garbage MACs.
+    c.replicas[1].set_byzantine(ByzantineMode::CorruptMacs);
+    let client = c.clients[0].clone();
+    for _ in 0..5 {
+        client.submit(&mut c.sim, b"inc".to_vec());
+    }
+    assert!(c.run_until_completed(5, 3_000_000));
+    c.settle();
+    c.assert_safety();
+    let dropped: u64 = c.replicas.iter().map(|r| r.stats().bad_mac_dropped).sum();
+    assert!(dropped > 0, "the compromise is detected, not absorbed");
+    assert_eq!(c.replicas[0].last_executed(), 5, "service unaffected");
+}
