@@ -38,9 +38,11 @@ fn fig3_points(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("send_recv", payload), &payload, |b, &p| {
             b.iter(|| bench::fig3::send_recv_echo(p, 10))
         });
-        g.bench_with_input(BenchmarkId::new("read_write", payload), &payload, |b, &p| {
-            b.iter(|| bench::fig3::write_oneway(p, 10))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("read_write", payload),
+            &payload,
+            |b, &p| b.iter(|| bench::fig3::write_oneway(p, 10)),
+        );
         g.bench_with_input(
             BenchmarkId::new("rubin_channel", payload),
             &payload,

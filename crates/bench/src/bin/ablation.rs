@@ -11,5 +11,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(100usize);
     let series = ablation::run(msgs);
-    print!("{}", render_table("RUBIN optimization ablation — latency", "us", &series));
+    print!(
+        "{}",
+        render_table("RUBIN optimization ablation — latency", "us", &series)
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
                 k
             })
             .collect();
-        print!("{}", render_table("Figure 3b — echo throughput", "krps", &krps));
+        print!(
+            "{}",
+            render_table("Figure 3b — echo throughput", "krps", &krps)
+        );
     }
     println!("\n# Shape checks vs. paper §V");
     for (desc, ok) in fig3::shape_report(&lat, &thr) {

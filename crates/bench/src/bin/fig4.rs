@@ -13,10 +13,16 @@ fn main() {
         .unwrap_or(bench::DEFAULT_MSGS);
     let (lat, thr) = fig4::run(msgs);
     if mode == "latency" || mode == "both" {
-        print!("{}", render_table("Figure 4a — selector echo latency", "us", &lat));
+        print!(
+            "{}",
+            render_table("Figure 4a — selector echo latency", "us", &lat)
+        );
     }
     if mode == "throughput" || mode == "both" {
-        print!("{}", render_table("Figure 4b — selector echo throughput", "rps", &thr));
+        print!(
+            "{}",
+            render_table("Figure 4b — selector echo throughput", "rps", &thr)
+        );
     }
     println!("\n# Shape checks vs. paper §V");
     for (desc, ok) in fig4::shape_report(&lat, &thr) {

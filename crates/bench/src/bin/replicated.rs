@@ -15,8 +15,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(8usize);
     let (lat, thr) = replicated::run(total, depth);
-    print!("{}", render_table("Replicated BFT — request latency", "us", &lat));
-    print!("{}", render_table("Replicated BFT — throughput", "req/s", &thr));
+    print!(
+        "{}",
+        render_table("Replicated BFT — request latency", "us", &lat)
+    );
+    print!(
+        "{}",
+        render_table("Replicated BFT — throughput", "req/s", &thr)
+    );
 
     println!("\n# COP scaling (consensus pillars, direct transport)");
     println!("{:>10} {:>12}", "pillars", "req/s");
@@ -25,8 +31,14 @@ fn main() {
     }
 
     println!("\n# Mixed workloads (Troxy-style request mixes)");
-    println!("{:>16} {:>14} {:>14} {:>12}", "mix", "stack", "latency(us)", "req/s");
+    println!(
+        "{:>16} {:>14} {:>14} {:>12}",
+        "mix", "stack", "latency(us)", "req/s"
+    );
     for (mix, stack, r) in replicated::run_mixes(total, depth) {
-        println!("{mix:>16} {stack:>14} {:>14.1} {:>12.0}", r.latency_us, r.rps);
+        println!(
+            "{mix:>16} {stack:>14} {:>14.1} {:>12.0}",
+            r.latency_us, r.rps
+        );
     }
 }

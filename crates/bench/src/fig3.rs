@@ -47,7 +47,14 @@ pub fn run(msgs: usize) -> (Vec<Series>, Vec<Series>) {
 /// Plain TCP echo: the client ping-pongs `msgs` messages of `payload`
 /// bytes with a server on the other machine.
 pub fn tcp_echo(payload: usize, msgs: usize) -> EchoResult {
-    let mut tb = TestBed::paper_testbed(0xF16_3);
+    tcp_echo_instrumented(payload, msgs).0
+}
+
+/// As [`tcp_echo`], additionally returning the run's full cross-layer
+/// [`simnet::MetricsSnapshot`] (used by the report sidecar and the stack
+/// invariant tests).
+pub fn tcp_echo_instrumented(payload: usize, msgs: usize) -> (EchoResult, simnet::MetricsSnapshot) {
+    let mut tb = TestBed::paper_testbed(0xF163);
     let model = TcpModel::linux_xeon();
     let listener =
         TcpListener::bind(&tb.net, tb.b, 80, CoreId(0), model.clone()).expect("port free");
@@ -98,10 +105,11 @@ pub fn tcp_echo(payload: usize, msgs: usize) -> EchoResult {
         }
         rec.record(tb.sim.now() - start);
     }
-    EchoResult {
+    let result = EchoResult {
         latency_us: rec.mean().as_micros_f64(),
         rps: throughput_ops_per_sec(msgs as u64, tb.sim.now() - t0),
-    }
+    };
+    (result, tb.net.metrics().snapshot())
 }
 
 struct VerbsEnd {
@@ -125,7 +133,11 @@ fn verbs_pair(tb: &mut TestBed, payload: usize) -> (VerbsEnd, VerbsEnd) {
             core: CoreId(0),
         });
         let sbuf = dev.reg_mr(&pd, payload.max(1), Access::LOCAL_WRITE);
-        let rbuf = dev.reg_mr(&pd, payload.max(1), Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+        let rbuf = dev.reg_mr(
+            &pd,
+            payload.max(1),
+            Access::LOCAL_WRITE | Access::REMOTE_WRITE,
+        );
         VerbsEnd {
             dev,
             pd,
@@ -154,14 +166,18 @@ fn charge_runtime(tb: &mut TestBed, host: simnet::HostId) {
     let h = tb.net.host(host);
     let mut h = h.borrow_mut();
     let cpu = h.cpu().clone();
-    h.exec(tb.sim.now(), CoreId(0), Nanos::from_nanos(cpu.runtime_io_ns));
+    h.exec(
+        tb.sim.now(),
+        CoreId(0),
+        Nanos::from_nanos(cpu.runtime_io_ns),
+    );
 }
 
 /// Raw two-sided echo: every send signaled, both sides copy between
 /// application and registered buffers — the unoptimized baseline RUBIN
 /// improves on.
 pub fn send_recv_echo(payload: usize, msgs: usize) -> EchoResult {
-    let mut tb = TestBed::paper_testbed(0xF16_32);
+    let mut tb = TestBed::paper_testbed(0xF1632);
     let (client, server) = verbs_pair(&mut tb, payload);
     let data = pattern(payload);
 
@@ -169,11 +185,17 @@ pub fn send_recv_echo(payload: usize, msgs: usize) -> EchoResult {
     // on the critical path, as naive per-message code does.
     client
         .qp
-        .post_recv(&mut tb.sim, RecvWr::new(WrId(0), Sge::whole(client.rbuf.clone())))
+        .post_recv(
+            &mut tb.sim,
+            RecvWr::new(WrId(0), Sge::whole(client.rbuf.clone())),
+        )
         .expect("post recv");
     server
         .qp
-        .post_recv(&mut tb.sim, RecvWr::new(WrId(0), Sge::whole(server.rbuf.clone())))
+        .post_recv(
+            &mut tb.sim,
+            RecvWr::new(WrId(0), Sge::whole(server.rbuf.clone())),
+        )
         .expect("post recv");
 
     let mut rec = LatencyRecorder::new();
@@ -181,7 +203,8 @@ pub fn send_recv_echo(payload: usize, msgs: usize) -> EchoResult {
     for m in 0..msgs {
         let start = tb.sim.now();
         // Client: copy into the registered buffer and send (signaled).
-        let ha = tb.a; charge_copy(&mut tb, ha, payload);
+        let ha = tb.a;
+        charge_copy(&mut tb, ha, payload);
         client.sbuf.write(0, &data).expect("fits");
         client
             .qp
@@ -266,7 +289,7 @@ pub fn send_recv_echo(payload: usize, msgs: usize) -> EchoResult {
 /// would poll on; the tail write is the signaled one (RC ordering makes
 /// its completion imply the payload landed).
 pub fn write_oneway(payload: usize, msgs: usize) -> EchoResult {
-    let mut tb = TestBed::paper_testbed(0xF16_33);
+    let mut tb = TestBed::paper_testbed(0xF1633);
     let (client, server) = verbs_pair(&mut tb, payload);
     let data = pattern(payload);
     let rkey = server.rbuf.rkey();
@@ -322,7 +345,18 @@ fn client_pd(end: &VerbsEnd) -> rdma_verbs::ProtectionDomain {
 /// The RUBIN RDMA channel echo with a configurable optimization set (the
 /// ablation benchmark reuses this with other configs).
 pub fn channel_echo(payload: usize, msgs: usize, cfg: RubinConfig) -> EchoResult {
-    let mut tb = TestBed::paper_testbed(0xF16_34);
+    channel_echo_instrumented(payload, msgs, cfg).0
+}
+
+/// As [`channel_echo`], additionally returning the run's full cross-layer
+/// [`simnet::MetricsSnapshot`] (used by the report sidecar and the stack
+/// invariant tests).
+pub fn channel_echo_instrumented(
+    payload: usize,
+    msgs: usize,
+    cfg: RubinConfig,
+) -> (EchoResult, simnet::MetricsSnapshot) {
+    let mut tb = TestBed::paper_testbed(0xF1634);
     let dev_a = RdmaDevice::open(&tb.net, tb.a, RnicModel::mt27520());
     let dev_b = RdmaDevice::open(&tb.net, tb.b, RnicModel::mt27520());
     let _listener = dev_b.listen(4000).expect("port free");
@@ -379,10 +413,11 @@ pub fn channel_echo(payload: usize, msgs: usize, cfg: RubinConfig) -> EchoResult
         }
         rec.record(tb.sim.now() - start);
     }
-    EchoResult {
+    let result = EchoResult {
         latency_us: rec.mean().as_micros_f64(),
         rps: throughput_ops_per_sec(msgs as u64, tb.sim.now() - t0),
-    }
+    };
+    (result, tb.net.metrics().snapshot())
 }
 
 /// Pipelined RUBIN channel echo: keeps `window` messages outstanding so
@@ -395,7 +430,7 @@ pub fn channel_echo_pipelined(
     window: usize,
     cfg: RubinConfig,
 ) -> EchoResult {
-    let mut tb = TestBed::paper_testbed(0xF16_35);
+    let mut tb = TestBed::paper_testbed(0xF1635);
     let dev_a = RdmaDevice::open(&tb.net, tb.a, RnicModel::mt27520());
     let dev_b = RdmaDevice::open(&tb.net, tb.b, RnicModel::mt27520());
     let _listener = dev_b.listen(4000).expect("port free");
@@ -498,7 +533,10 @@ pub fn shape_report(lat: &[Series], thr: &[Series]) -> Vec<(String, bool)> {
         .sum::<f64>()
         / PAYLOAD_SWEEP.len() as f64;
     out.push((
-        format!("Read/Write ≈46% below Send/Recv (measured {:.0}%)", rw_vs_sr * 100.0),
+        format!(
+            "Read/Write ≈46% below Send/Recv (measured {:.0}%)",
+            rw_vs_sr * 100.0
+        ),
         (0.35..=0.70).contains(&rw_vs_sr),
     ));
 
@@ -539,9 +577,7 @@ pub fn shape_report(lat: &[Series], thr: &[Series]) -> Vec<(String, bool)> {
     // Channel beats Send/Recv at small payloads and loses above the
     // crossover (the receive-side copy). The simulated crossover sits at
     // ~4–8 KB versus the paper's 16 KB; see EXPERIMENTS.md.
-    let small_better = [1024usize, 2048, 4096]
-        .iter()
-        .all(|&p| v(ch, p) < v(sr, p));
+    let small_better = [1024usize, 2048, 4096].iter().all(|&p| v(ch, p) < v(sr, p));
     let large_worse = [32_768usize, 65_536, 102_400]
         .iter()
         .all(|&p| v(ch, p) > v(sr, p));

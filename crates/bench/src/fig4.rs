@@ -150,7 +150,7 @@ fn local_host(seed: u64) -> (Simulator, Network, simnet::HostId) {
 
 /// Echo over the Java-NIO-style selector stack.
 pub fn nio_selector_echo(payload: usize, msgs: usize) -> EchoResult {
-    let (mut sim, net, host) = local_host(0xF16_41);
+    let (mut sim, net, host) = local_host(0xF1641);
     let nodes = [(0u32, host, CoreId(0)), (1u32, host, CoreId(2))];
     let ts = NioTransport::build_group(&mut sim, &net, &nodes, TcpModel::linux_xeon());
     sim.run_until_idle(); // connections + hellos settle
@@ -161,7 +161,7 @@ pub fn nio_selector_echo(payload: usize, msgs: usize) -> EchoResult {
 
 /// Echo over the RUBIN selector stack.
 pub fn rubin_selector_echo(payload: usize, msgs: usize) -> EchoResult {
-    let (mut sim, net, host) = local_host(0xF16_42);
+    let (mut sim, net, host) = local_host(0xF1642);
     let nodes = [(0u32, host, CoreId(0)), (1u32, host, CoreId(2))];
     let ts = RubinTransport::build_group(
         &mut sim,
@@ -186,7 +186,10 @@ pub fn shape_report(lat: &[Series], thr: &[Series]) -> Vec<(String, bool)> {
 
     let small = 1.0 - v(rubin, 1024) / v(tcp, 1024);
     out.push((
-        format!("RUBIN ≈19% below TCP at 1KB (measured {:.0}%)", small * 100.0),
+        format!(
+            "RUBIN ≈19% below TCP at 1KB (measured {:.0}%)",
+            small * 100.0
+        ),
         (0.05..=0.45).contains(&small),
     ));
     // The paper reports ≈20% at 100KB; the simulation's kernel TCP model
@@ -194,7 +197,10 @@ pub fn shape_report(lat: &[Series], thr: &[Series]) -> Vec<(String, bool)> {
     // is directional with a wide band.
     let large = 1.0 - v(rubin, 102_400) / v(tcp, 102_400);
     out.push((
-        format!("RUBIN ≈20% below TCP at 100KB (measured {:.0}%)", large * 100.0),
+        format!(
+            "RUBIN ≈20% below TCP at 100KB (measured {:.0}%)",
+            large * 100.0
+        ),
         (0.05..=0.75).contains(&large),
     ));
     let gains: Vec<f64> = PAYLOAD_SWEEP

@@ -91,6 +91,25 @@ pub fn bft_workload(
     bft_configured(stack, mix, total, depth, seed, ReptorConfig::small())
 }
 
+/// As [`bft_echo`], additionally returning the run's full cross-layer
+/// [`simnet::MetricsSnapshot`] (used by the report sidecar).
+pub fn bft_echo_instrumented(
+    stack: Stack,
+    payload: usize,
+    total: u64,
+    depth: usize,
+    seed: u64,
+) -> (EchoResult, simnet::MetricsSnapshot) {
+    bft_instrumented(
+        stack,
+        crate::workload::Mix::Fixed(payload),
+        total,
+        depth,
+        seed,
+        ReptorConfig::small(),
+    )
+}
+
 /// As [`bft_workload`], with an explicit replica-group configuration.
 pub fn bft_configured(
     stack: Stack,
@@ -100,6 +119,17 @@ pub fn bft_configured(
     seed: u64,
     cfg: ReptorConfig,
 ) -> EchoResult {
+    bft_instrumented(stack, mix, total, depth, seed, cfg).0
+}
+
+fn bft_instrumented(
+    stack: Stack,
+    mix: crate::workload::Mix,
+    total: u64,
+    depth: usize,
+    seed: u64,
+    cfg: ReptorConfig,
+) -> (EchoResult, simnet::MetricsSnapshot) {
     let n = cfg.n;
     let (mut sim, net, hosts) = TestBed::cluster(seed, n + 1);
     let nodes: Vec<(u32, simnet::HostId, CoreId)> = hosts
@@ -110,8 +140,7 @@ pub fn bft_configured(
 
     let transports: Vec<Rc<dyn Transport>> = match stack {
         Stack::Direct => {
-            let pairs: Vec<(u32, simnet::HostId)> =
-                nodes.iter().map(|&(n, h, _)| (n, h)).collect();
+            let pairs: Vec<(u32, simnet::HostId)> = nodes.iter().map(|&(n, h, _)| (n, h)).collect();
             SimTransport::build_group(&net, &pairs)
                 .into_iter()
                 .map(|t| Rc::new(t) as Rc<dyn Transport>)
@@ -120,7 +149,9 @@ pub fn bft_configured(
         Stack::Nio => {
             let ts = NioTransport::build_group(&mut sim, &net, &nodes, TcpModel::linux_xeon());
             sim.run_until_idle();
-            ts.into_iter().map(|t| Rc::new(t) as Rc<dyn Transport>).collect()
+            ts.into_iter()
+                .map(|t| Rc::new(t) as Rc<dyn Transport>)
+                .collect()
         }
         Stack::Rubin => {
             let ts = RubinTransport::build_group(
@@ -131,7 +162,9 @@ pub fn bft_configured(
                 RubinConfig::paper(),
             );
             sim.run_until_idle();
-            ts.into_iter().map(|t| Rc::new(t) as Rc<dyn Transport>).collect()
+            ts.into_iter()
+                .map(|t| Rc::new(t) as Rc<dyn Transport>)
+                .collect()
         }
     };
 
@@ -172,15 +205,19 @@ pub fn bft_configured(
         );
     }
     let completed = client.stats().completed;
-    assert_eq!(completed, total, "not all requests completed over {stack:?}");
+    assert_eq!(
+        completed, total,
+        "not all requests completed over {stack:?}"
+    );
     let mut rec = LatencyRecorder::new();
     for c in client.completions() {
         rec.record(c.latency());
     }
-    EchoResult {
+    let result = EchoResult {
         latency_us: rec.mean().as_micros_f64(),
         rps: throughput_ops_per_sec(total, sim.now() - t0),
-    }
+    };
+    (result, net.metrics().snapshot())
 }
 
 /// The payload sweep for the replicated experiment (BFT messages are

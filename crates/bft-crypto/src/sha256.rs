@@ -241,7 +241,10 @@ mod tests {
         // Feed in irregular chunk sizes crossing block boundaries.
         let mut h = Sha256::new();
         let mut off = 0;
-        for (i, step) in [1usize, 63, 64, 65, 127, 128, 1000, 9000].iter().enumerate() {
+        for (i, step) in [1usize, 63, 64, 65, 127, 128, 1000, 9000]
+            .iter()
+            .enumerate()
+        {
             let end = (off + step).min(data.len());
             h.update(&data[off..end]);
             off = end;

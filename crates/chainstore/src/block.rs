@@ -208,7 +208,10 @@ mod tests {
         b.height = 7;
         assert!(matches!(
             chain.append(b),
-            Err(ChainError::WrongHeight { expected: 1, got: 7 })
+            Err(ChainError::WrongHeight {
+                expected: 1,
+                got: 7
+            })
         ));
     }
 

@@ -99,10 +99,7 @@ impl LedgerService {
                 results::OK.to_vec()
             }
             Transaction::Shipment {
-                item,
-                to,
-                location,
-                ..
+                item, to, location, ..
             } => {
                 self.custody
                     .entry(item.clone())
@@ -216,8 +213,12 @@ mod tests {
     #[test]
     fn custody_trail_accumulates() {
         let mut l = LedgerService::new(8);
-        l.apply(&req(&Transaction::shipment("item-1", "factory", "carrier", "hamburg")));
-        l.apply(&req(&Transaction::shipment("item-1", "carrier", "store", "berlin")));
+        l.apply(&req(&Transaction::shipment(
+            "item-1", "factory", "carrier", "hamburg",
+        )));
+        l.apply(&req(&Transaction::shipment(
+            "item-1", "carrier", "store", "berlin",
+        )));
         let trail = l.custody_of("item-1");
         assert_eq!(trail.len(), 2);
         assert_eq!(trail[0], ("hamburg".to_string(), "carrier".to_string()));

@@ -50,8 +50,14 @@ mod tests {
         });
         let client = c.clients[0].clone();
         client.submit(&mut c.sim, Transaction::mint("alice", 100).encode());
-        client.submit(&mut c.sim, Transaction::transfer("alice", "bob", 10).encode());
-        client.submit(&mut c.sim, Transaction::transfer("alice", "bob", 20).encode());
+        client.submit(
+            &mut c.sim,
+            Transaction::transfer("alice", "bob", 10).encode(),
+        );
+        client.submit(
+            &mut c.sim,
+            Transaction::transfer("alice", "bob", 20).encode(),
+        );
         client.submit(
             &mut c.sim,
             Transaction::shipment("item-7", "alice", "bob", "hamburg").encode(),
@@ -78,7 +84,10 @@ mod tests {
         });
         let client = c.clients[0].clone();
         client.submit(&mut c.sim, Transaction::mint("alice", 50).encode());
-        client.submit(&mut c.sim, Transaction::transfer("alice", "bob", 40).encode());
+        client.submit(
+            &mut c.sim,
+            Transaction::transfer("alice", "bob", 40).encode(),
+        );
         // Alice only has 10 left; this must be rejected deterministically.
         client.submit(
             &mut c.sim,

@@ -124,10 +124,7 @@ impl Transaction {
             if buf.len() < 8 {
                 return None;
             }
-            Some((
-                u64::from_le_bytes(buf[..8].try_into().ok()?),
-                &buf[8..],
-            ))
+            Some((u64::from_le_bytes(buf[..8].try_into().ok()?), &buf[8..]))
         }
         let (&tag, rest) = buf.split_first()?;
         match tag {

@@ -157,15 +157,18 @@ pub(crate) fn listen(device: &RdmaDevice, port: u32) -> VerbsResult<CmListener> 
                 conn_id,
             } = pkt
             {
-                dev.push_cm_event(sim, CmEvent::ConnectRequest(ConnRequest {
-                    device: dev.clone(),
-                    listen_port: port,
-                    private,
-                    peer_reply: reply_to,
-                    peer_data_addr: src_data_addr,
-                    peer_qp: src_qp,
-                    conn_id,
-                }));
+                dev.push_cm_event(
+                    sim,
+                    CmEvent::ConnectRequest(ConnRequest {
+                        device: dev.clone(),
+                        listen_port: port,
+                        private,
+                        peer_reply: reply_to,
+                        peer_data_addr: src_data_addr,
+                        peer_qp: src_qp,
+                        conn_id,
+                    }),
+                );
             }
         }),
     );
@@ -207,15 +210,21 @@ pub(crate) fn connect(
                         .modify_to_rtr(src_data_addr, src_qp)
                         .and_then(|()| qp_for_reply.modify_to_rts());
                     match established {
-                        Ok(()) => dev.push_cm_event(sim, CmEvent::Established {
-                            qp: qp_for_reply.clone(),
-                            private,
-                            conn_id,
-                        }),
-                        Err(e) => dev.push_cm_event(sim, CmEvent::ConnectFailed {
-                            conn_id,
-                            reason: e.to_string(),
-                        }),
+                        Ok(()) => dev.push_cm_event(
+                            sim,
+                            CmEvent::Established {
+                                qp: qp_for_reply.clone(),
+                                private,
+                                conn_id,
+                            },
+                        ),
+                        Err(e) => dev.push_cm_event(
+                            sim,
+                            CmEvent::ConnectFailed {
+                                conn_id,
+                                reason: e.to_string(),
+                            },
+                        ),
                     }
                     dev.net().unbind(reply_addr);
                 }

@@ -16,6 +16,10 @@ use crate::packet::RdmaPacket;
 use crate::qp::QueuePair;
 use crate::types::{Access, CqId, LKey, PdId, QpNum, RKey};
 
+/// A callback invoked when device or queue-pair events arrive (used by
+/// selectors to wake their event loops).
+pub type EventHook = Rc<dyn Fn(&mut Simulator)>;
+
 /// Configuration for creating a queue pair.
 #[derive(Debug, Clone)]
 pub struct QpConfig {
@@ -40,7 +44,7 @@ pub(crate) struct DeviceInner {
     next_key: Cell<u32>,
     next_conn: Cell<u64>,
     cm_events: RefCell<VecDeque<CmEvent>>,
-    cm_hook: RefCell<Option<Rc<dyn Fn(&mut Simulator)>>>,
+    cm_hook: RefCell<Option<EventHook>>,
     mrs_registered: Cell<u64>,
 }
 
@@ -178,7 +182,10 @@ impl RdmaDevice {
         len: usize,
         required: Access,
     ) -> VerbsResult<MemoryRegion> {
-        self.inner.mr_table.borrow().validate(rkey, offset, len, required)
+        self.inner
+            .mr_table
+            .borrow()
+            .validate(rkey, offset, len, required)
     }
 
     /// Charges `work` to `core` of this device's host; returns completion.
@@ -252,7 +259,7 @@ impl RdmaDevice {
     /// Installs a hook invoked whenever a CM event is queued (RUBIN's
     /// event manager uses this to surface connection events in its hybrid
     /// event queue). Replaces any previous hook.
-    pub fn set_cm_hook(&self, hook: Rc<dyn Fn(&mut Simulator)>) {
+    pub fn set_cm_hook(&self, hook: EventHook) {
         *self.inner.cm_hook.borrow_mut() = Some(hook);
     }
 

@@ -98,9 +98,14 @@ impl fmt::Display for VerbsError {
                 write!(f, "{qp} queue full (capacity {capacity})")
             }
             VerbsError::InlineTooLarge { len, max } => {
-                write!(f, "inline payload of {len} bytes exceeds device limit {max}")
+                write!(
+                    f,
+                    "inline payload of {len} bytes exceeds device limit {max}"
+                )
             }
-            VerbsError::PdMismatch => write!(f, "memory region belongs to a different protection domain"),
+            VerbsError::PdMismatch => {
+                write!(f, "memory region belongs to a different protection domain")
+            }
             VerbsError::BatchTooLarge { len, max } => {
                 write!(f, "posted batch of {len} exceeds device limit {max}")
             }

@@ -72,13 +72,11 @@ mod wr;
 pub use cm::{CmEvent, CmListener, ConnRequest};
 pub use config::RnicModel;
 pub use cq::{CompChannel, CompletionQueue};
-pub use device::{QpConfig, RdmaDevice};
+pub use device::{EventHook, QpConfig, RdmaDevice};
 pub use error::{VerbsError, VerbsResult};
 pub use mr::{MemoryRegion, ProtectionDomain};
 pub use qp::{connect_pair, QpStats, QueuePair};
-pub use types::{
-    Access, CqId, LKey, PdId, QpNum, QpState, RKey, Wc, WcOpcode, WcStatus, WrId,
-};
+pub use types::{Access, CqId, LKey, PdId, QpNum, QpState, RKey, Wc, WcOpcode, WcStatus, WrId};
 pub use wr::{RecvWr, SendOp, SendWr, Sge};
 
 #[cfg(test)]
@@ -154,7 +152,10 @@ mod tests {
         let mut p = connected_pair();
         let rbuf = p.dev_b.reg_mr(&p.pd_b, 8192, Access::LOCAL_WRITE);
         p.qp_b
-            .post_recv(&mut p.tb.sim, RecvWr::new(WrId(1), Sge::whole(rbuf.clone())))
+            .post_recv(
+                &mut p.tb.sim,
+                RecvWr::new(WrId(1), Sge::whole(rbuf.clone())),
+            )
             .unwrap();
         let payload: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
         send_bytes(&mut p, &payload, true);
@@ -196,7 +197,10 @@ mod tests {
         // Now post the receive; message must be delivered.
         let rbuf = p.dev_b.reg_mr(&p.pd_b, 4096, Access::LOCAL_WRITE);
         p.qp_b
-            .post_recv(&mut p.tb.sim, RecvWr::new(WrId(1), Sge::whole(rbuf.clone())))
+            .post_recv(
+                &mut p.tb.sim,
+                RecvWr::new(WrId(1), Sge::whole(rbuf.clone())),
+            )
             .unwrap();
         p.tb.sim.run_until_idle();
         assert_eq!(p.rcq_b.poll(8).len(), 1);
@@ -303,7 +307,11 @@ mod tests {
         p.qp_a.post_send(&mut p.tb.sim, wr).unwrap();
         p.tb.sim.run_until_idle();
         assert_eq!(p.scq_a.poll(8)[0].status, WcStatus::RemoteAccessError);
-        assert_eq!(target.read(0, 16).unwrap(), before, "data must be untouched");
+        assert_eq!(
+            target.read(0, 16).unwrap(),
+            before,
+            "data must be untouched"
+        );
     }
 
     #[test]
@@ -379,7 +387,9 @@ mod tests {
         p.qp_a
             .post_send(
                 &mut p.tb.sim,
-                SendWr::send(WrId(2), Sge::whole(small)).with_inline().signaled(),
+                SendWr::send(WrId(2), Sge::whole(small))
+                    .with_inline()
+                    .signaled(),
             )
             .unwrap();
         p.tb.sim.run_until_idle();
@@ -578,8 +588,11 @@ mod tests {
             .unwrap();
         let sbuf = dev_a.reg_mr(&pd_a, 5, Access::NONE);
         sbuf.write(0, b"ping!").unwrap();
-        qp_a.post_send(&mut tb.sim, SendWr::send(WrId(2), Sge::whole(sbuf)).signaled())
-            .unwrap();
+        qp_a.post_send(
+            &mut tb.sim,
+            SendWr::send(WrId(2), Sge::whole(sbuf)).signaled(),
+        )
+        .unwrap();
         tb.sim.run_until_idle();
         assert_eq!(rbuf.read(0, 5).unwrap(), b"ping!");
     }
@@ -742,11 +755,8 @@ mod tests {
             qp_b.post_recv(&mut sim, RecvWr::new(WrId(i), Sge::whole(rbuf)))
                 .unwrap();
             let sbuf = dev_a.reg_mr(&pd_a, 16, Access::NONE);
-            qp_a.post_send(
-                &mut sim,
-                SendWr::send(WrId(i), Sge::whole(sbuf)).signaled(),
-            )
-            .unwrap();
+            qp_a.post_send(&mut sim, SendWr::send(WrId(i), Sge::whole(sbuf)).signaled())
+                .unwrap();
         }
         sim.run_until_idle();
         assert!(tiny_scq.overflowed(), "overflow must be flagged");
@@ -782,7 +792,10 @@ mod tests {
         let rbuf = p.dev_b.reg_mr(&p.pd_b, 4096, Access::LOCAL_WRITE);
         for i in 0..5 {
             p.qp_b
-                .post_recv(&mut p.tb.sim, RecvWr::new(WrId(i), Sge::whole(rbuf.clone())))
+                .post_recv(
+                    &mut p.tb.sim,
+                    RecvWr::new(WrId(i), Sge::whole(rbuf.clone())),
+                )
                 .unwrap();
         }
         assert_eq!(p.qp_b.recv_posted(), 5);
@@ -801,8 +814,7 @@ mod tests {
             .reg_mr(&p.pd_b, 1024, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
         let src = p.dev_a.reg_mr(&p.pd_a, 64, Access::NONE);
         // No receive posted: WRITE_WITH_IMM is held in the RNR window.
-        let wr =
-            SendWr::write_with_imm(WrId(1), Sge::whole(src), target.rkey(), 0, 7).signaled();
+        let wr = SendWr::write_with_imm(WrId(1), Sge::whole(src), target.rkey(), 0, 7).signaled();
         p.qp_a.post_send(&mut p.tb.sim, wr).unwrap();
         p.tb.sim.run_for(Nanos::from_micros(50));
         assert_eq!(p.rcq_b.poll(8).len(), 0, "held, not delivered");

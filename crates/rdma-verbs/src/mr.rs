@@ -219,10 +219,7 @@ impl MrTable {
         len: usize,
         required: Access,
     ) -> VerbsResult<MemoryRegion> {
-        let mr = self
-            .by_rkey
-            .get(&rkey.0)
-            .ok_or(VerbsError::BadRKey(rkey))?;
+        let mr = self.by_rkey.get(&rkey.0).ok_or(VerbsError::BadRKey(rkey))?;
         if !mr.is_valid() {
             return Err(VerbsError::Deregistered);
         }

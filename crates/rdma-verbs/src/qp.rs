@@ -24,7 +24,7 @@ use std::rc::Rc;
 
 use simnet::{Addr, CoreId, Frame, Nanos, Simulator};
 
-use crate::device::RdmaDevice;
+use crate::device::{EventHook, RdmaDevice};
 use crate::error::{VerbsError, VerbsResult};
 use crate::packet::RdmaPacket;
 use crate::types::{Access, QpNum, QpState, Wc, WcOpcode, WcStatus, WrId};
@@ -83,10 +83,21 @@ pub(crate) struct QpInner {
     nic_busy_until: Nanos,
     next_seq: u64,
     stats: QpStats,
+    /// Shared cross-layer registry (the owning network's), plus this QP's
+    /// key prefix `rdma.{host}.{qpnum}.`.
+    metrics: simnet::Metrics,
+    metrics_prefix: String,
     /// Invoked after packet processing that may have produced completions
     /// or state changes — the completion-interrupt analogue RUBIN's event
     /// manager hooks into.
-    event_hook: Option<Rc<dyn Fn(&mut Simulator)>>,
+    event_hook: Option<EventHook>,
+}
+
+impl QpInner {
+    fn bump(&self, metric: &str, n: u64) {
+        self.metrics
+            .incr_by(&format!("{}{metric}", self.metrics_prefix), n);
+    }
 }
 
 /// A reliable-connection queue pair.
@@ -126,6 +137,8 @@ impl QueuePair {
         recv_cq: CompletionQueue,
         local_addr: Addr,
     ) -> QueuePair {
+        let metrics = device.net().metrics();
+        let metrics_prefix = format!("rdma.{}.{num}.", local_addr.host);
         QueuePair {
             inner: Rc::new(RefCell::new(QpInner {
                 num,
@@ -143,6 +156,8 @@ impl QueuePair {
                 nic_busy_until: Nanos::ZERO,
                 next_seq: 0,
                 stats: QpStats::default(),
+                metrics,
+                metrics_prefix,
                 event_hook: None,
             })),
             device,
@@ -197,7 +212,7 @@ impl QueuePair {
     /// Installs a hook invoked after any NIC activity that may have pushed
     /// a completion or changed connection state (the completion-event
     /// interrupt). Replaces any previous hook.
-    pub fn set_event_hook(&self, hook: Rc<dyn Fn(&mut Simulator)>) {
+    pub fn set_event_hook(&self, hook: EventHook) {
         self.inner.borrow_mut().event_hook = Some(hook);
     }
 
@@ -313,19 +328,15 @@ impl QueuePair {
             }
             let cost = model.post_batch_cost(wrs.len());
             let core = inner.core;
-            cpu_done = self
-                .device
-                .host_exec(sim, core, cost);
+            cpu_done = self.device.host_exec(sim, core, cost);
             inner.stats.recvs_posted += wrs.len() as u64;
+            inner.bump("recvs_posted", wrs.len() as u64);
             inner.recv_queue.extend(wrs);
         }
         // Any held inbound messages can now be delivered (after the posting
         // CPU work completes).
         let qp = self.clone();
-        sim.schedule_at(
-            cpu_done,
-            Box::new(move |sim| qp.drain_held(sim)),
-        );
+        sim.schedule_at(cpu_done, Box::new(move |sim| qp.drain_held(sim)));
         Ok(())
     }
 
@@ -396,6 +407,14 @@ impl QueuePair {
             let core = inner.core;
             cpu_done = self.device.host_exec(sim, core, cost);
             inner.stats.sends_posted += wrs.len() as u64;
+            inner.bump("sends_posted", wrs.len() as u64);
+            for wr in &wrs {
+                if wr.inline {
+                    inner.bump("inline_sends", 1);
+                } else {
+                    inner.bump("dma_sends", 1);
+                }
+            }
             inner.outstanding_sends += wrs.len();
         }
         // NIC processing: WQE fetch plus payload DMA (skipped inline).
@@ -407,16 +426,19 @@ impl QueuePair {
                 let mut ready = start + Nanos::from_nanos(model.wqe_fetch_ns);
                 let needs_dma = !wr.inline && !matches!(wr.op, SendOp::Read { .. });
                 if needs_dma {
-                    ready += Nanos::from_nanos(model.dma_fetch_base_ns) + model.dma_cost(wr.sge.len);
+                    ready +=
+                        Nanos::from_nanos(model.dma_fetch_base_ns) + model.dma_cost(wr.sge.len);
+                    self.device
+                        .net()
+                        .host(inner.local_addr.host)
+                        .borrow()
+                        .count_dma(wr.sge.len);
                 }
                 inner.nic_busy_until = ready;
                 ready
             };
             let qp = self.clone();
-            sim.schedule_at(
-                nic_ready,
-                Box::new(move |sim| qp.nic_transmit(sim, wr)),
-            );
+            sim.schedule_at(nic_ready, Box::new(move |sim| qp.nic_transmit(sim, wr)));
         }
         Ok(())
     }
@@ -440,29 +462,25 @@ impl QueuePair {
                 inner.send_cq.push(wc);
                 return;
             }
-            let remote = inner
-                .remote
-                .expect("QP in RTS must have a remote endpoint");
+            let remote = inner.remote.expect("QP in RTS must have a remote endpoint");
             let seq = inner.next_seq;
             inner.next_seq += 1;
 
             let packet = match &wr.op {
-                SendOp::Send { imm } => {
-                    match wr.sge.mr.dma_read(wr.sge.offset, wr.sge.len) {
-                        Ok(data) => RdmaPacket::Send {
-                            src_qp: inner.num,
-                            data,
-                            imm: *imm,
-                            seq,
-                        },
-                        Err(_) => {
-                            let num = inner.num;
-                            drop(inner);
-                            self.complete_error(sim, wr.wr_id, opcode_of(&wr.op), num);
-                            return;
-                        }
+                SendOp::Send { imm } => match wr.sge.mr.dma_read(wr.sge.offset, wr.sge.len) {
+                    Ok(data) => RdmaPacket::Send {
+                        src_qp: inner.num,
+                        data,
+                        imm: *imm,
+                        seq,
+                    },
+                    Err(_) => {
+                        let num = inner.num;
+                        drop(inner);
+                        self.complete_error(sim, wr.wr_id, opcode_of(&wr.op), num);
+                        return;
                     }
-                }
+                },
                 SendOp::Write {
                     rkey,
                     remote_offset,
@@ -483,7 +501,10 @@ impl QueuePair {
                         return;
                     }
                 },
-                SendOp::Read { rkey, remote_offset } => RdmaPacket::ReadReq {
+                SendOp::Read {
+                    rkey,
+                    remote_offset,
+                } => RdmaPacket::ReadReq {
                     src_qp: inner.num,
                     rkey: rkey.0,
                     offset: *remote_offset,
@@ -614,6 +635,12 @@ impl QueuePair {
             } else {
                 if !redelivery {
                     inner.stats.rnr_stalls += 1;
+                    inner.bump("rnr_retries", 1);
+                    inner.metrics.trace(
+                        sim.now(),
+                        "rdma",
+                        format!("{}rnr_hold seq={seq}", inner.metrics_prefix),
+                    );
                 }
                 Action::Hold
             }
@@ -632,6 +659,12 @@ impl QueuePair {
                             let mut inner = qp.inner.borrow_mut();
                             let _ = rwr.sge.mr.dma_write(rwr.sge.offset, &data);
                             inner.stats.bytes_received += len as u64;
+                            inner.bump("recvs_completed", 1);
+                            qp.device
+                                .net()
+                                .host(inner.local_addr.host)
+                                .borrow()
+                                .count_dma(len);
                             let wc = Wc {
                                 wr_id: rwr.wr_id,
                                 status: WcStatus::Success,
@@ -647,7 +680,9 @@ impl QueuePair {
                         if let Some((raddr, _)) = remote {
                             let ack = RdmaPacket::Ack { seq };
                             let wire = ack.wire_bytes(model.ack_bytes);
-                            qp.device.net().send(sim, Frame::new(local, raddr, wire, ack));
+                            qp.device
+                                .net()
+                                .send(sim, Frame::new(local, raddr, wire, ack));
                         }
                         qp.fire_hook(sim);
                     }),
@@ -682,9 +717,7 @@ impl QueuePair {
             }
             Action::Hold => {
                 let deadline = sim.now()
-                    + Nanos::from_nanos(
-                        model.rnr_timer.as_nanos() * (model.rnr_retry as u64 + 1),
-                    );
+                    + Nanos::from_nanos(model.rnr_timer.as_nanos() * (model.rnr_retry as u64 + 1));
                 {
                     let mut inner = self.inner.borrow_mut();
                     inner.held.push_back(HeldInbound {
@@ -698,10 +731,7 @@ impl QueuePair {
                     });
                 }
                 let qp = self.clone();
-                sim.schedule_at(
-                    deadline,
-                    Box::new(move |sim| qp.expire_held(sim, seq)),
-                );
+                sim.schedule_at(deadline, Box::new(move |sim| qp.expire_held(sim, seq)));
             }
         }
     }
@@ -713,11 +743,7 @@ impl QueuePair {
             let mut inner = self.inner.borrow_mut();
             let before = inner.held.len();
             inner.held.retain(|h| h.seq != seq);
-            (
-                inner.held.len() != before,
-                inner.local_addr,
-                inner.remote,
-            )
+            (inner.held.len() != before, inner.local_addr, inner.remote)
         };
         if expired {
             if let Some((raddr, _)) = remote {
@@ -768,6 +794,7 @@ impl QueuePair {
                 {
                     let mut inner = self.inner.borrow_mut();
                     inner.stats.rnr_stalls += 1;
+                    inner.bump("rnr_retries", 1);
                     inner.held.push_back(HeldInbound {
                         seq,
                         packet: RdmaPacket::WriteReq {
@@ -781,9 +808,7 @@ impl QueuePair {
                     });
                 }
                 let deadline = sim.now()
-                    + Nanos::from_nanos(
-                        model.rnr_timer.as_nanos() * (model.rnr_retry as u64 + 1),
-                    );
+                    + Nanos::from_nanos(model.rnr_timer.as_nanos() * (model.rnr_retry as u64 + 1));
                 let qp = self.clone();
                 sim.schedule_at(deadline, Box::new(move |sim| qp.expire_held(sim, seq)));
                 return;
@@ -803,8 +828,14 @@ impl QueuePair {
                 let (local, remote) = {
                     let mut inner = qp.inner.borrow_mut();
                     inner.stats.bytes_received += len as u64;
+                    qp.device
+                        .net()
+                        .host(inner.local_addr.host)
+                        .borrow()
+                        .count_dma(len);
                     if let Some(iv) = imm {
                         if let Some(rwr) = inner.recv_queue.pop_front() {
+                            inner.bump("recvs_completed", 1);
                             let wc = Wc {
                                 wr_id: rwr.wr_id,
                                 status: WcStatus::Success,
@@ -821,7 +852,9 @@ impl QueuePair {
                 if let Some((raddr, _)) = remote {
                     let ack = RdmaPacket::Ack { seq };
                     let wire = ack.wire_bytes(model.ack_bytes);
-                    qp.device.net().send(sim, Frame::new(local, raddr, wire, ack));
+                    qp.device
+                        .net()
+                        .send(sim, Frame::new(local, raddr, wire, ack));
                 }
                 qp.fire_hook(sim);
             }),
@@ -836,12 +869,9 @@ impl QueuePair {
                 return;
             }
         }
-        let target = self.device.validate_remote(
-            crate::types::RKey(rkey),
-            offset,
-            len,
-            Access::REMOTE_READ,
-        );
+        let target =
+            self.device
+                .validate_remote(crate::types::RKey(rkey), offset, len, Access::REMOTE_READ);
         let target = match target {
             Ok(mr) => mr,
             Err(_) => {
@@ -897,7 +927,14 @@ impl QueuePair {
                 {
                     let mut inner = qp.inner.borrow_mut();
                     inner.stats.bytes_sent += data.len() as u64;
+                    inner.bump("sends_completed", 1);
+                    qp.device
+                        .net()
+                        .host(inner.local_addr.host)
+                        .borrow()
+                        .count_dma(data.len());
                     if p.signaled || !ok {
+                        inner.bump("signaled_completions", 1);
                         let wc = Wc {
                             wr_id: p.wr_id,
                             status: if ok {
@@ -913,6 +950,7 @@ impl QueuePair {
                         inner.send_cq.push(wc);
                     } else {
                         inner.stats.completions_suppressed += 1;
+                        inner.bump("unsignaled_completions", 1);
                     }
                 }
                 qp.fire_hook(sim);
@@ -922,24 +960,27 @@ impl QueuePair {
 
     fn handle_ack(&self, sim: &mut Simulator, seq: u64) {
         {
-        let mut inner = self.inner.borrow_mut();
-        if let Some(p) = inner.pending.remove(&seq) {
-            inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
-            inner.stats.bytes_sent += p.byte_len as u64;
-            if p.signaled {
-                let wc = Wc {
-                    wr_id: p.wr_id,
-                    status: WcStatus::Success,
-                    opcode: p.opcode,
-                    byte_len: p.byte_len,
-                    qp: inner.num,
-                    imm: None,
-                };
-                inner.send_cq.push(wc);
-            } else {
-                inner.stats.completions_suppressed += 1;
+            let mut inner = self.inner.borrow_mut();
+            if let Some(p) = inner.pending.remove(&seq) {
+                inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
+                inner.stats.bytes_sent += p.byte_len as u64;
+                inner.bump("sends_completed", 1);
+                if p.signaled {
+                    inner.bump("signaled_completions", 1);
+                    let wc = Wc {
+                        wr_id: p.wr_id,
+                        status: WcStatus::Success,
+                        opcode: p.opcode,
+                        byte_len: p.byte_len,
+                        qp: inner.num,
+                        imm: None,
+                    };
+                    inner.send_cq.push(wc);
+                } else {
+                    inner.stats.completions_suppressed += 1;
+                    inner.bump("unsignaled_completions", 1);
+                }
             }
-        }
         }
         self.fire_hook(sim);
     }

@@ -148,7 +148,10 @@ impl SendWr {
         SendWr {
             wr_id,
             sge,
-            op: SendOp::Read { rkey, remote_offset },
+            op: SendOp::Read {
+                rkey,
+                remote_offset,
+            },
             signaled: false,
             inline: false,
         }
@@ -205,7 +208,14 @@ mod tests {
         assert_eq!(wr.op, SendOp::Send { imm: Some(9) });
 
         let wr = SendWr::write(WrId(2), Sge::whole(mr()), RKey(5), 8).signaled();
-        assert!(matches!(wr.op, SendOp::Write { rkey: RKey(5), remote_offset: 8, imm: None }));
+        assert!(matches!(
+            wr.op,
+            SendOp::Write {
+                rkey: RKey(5),
+                remote_offset: 8,
+                imm: None
+            }
+        ));
         assert!(wr.signaled);
 
         let wr = SendWr::write_with_imm(WrId(2), Sge::whole(mr()), RKey(5), 0, 3);

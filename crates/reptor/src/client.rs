@@ -170,11 +170,8 @@ impl Client {
         let (signed, transport, replicas) = {
             let inner = self.inner.borrow();
             let replicas: Vec<u32> = (0..inner.cfg.n as u32).collect();
-            let signed = SignedMessage::create(
-                &Message::Request(request.clone()),
-                &inner.keys,
-                &replicas,
-            );
+            let signed =
+                SignedMessage::create(&Message::Request(request.clone()), &inner.keys, &replicas);
             (signed, inner.transport.clone(), replicas)
         };
         let bytes = signed.encode();

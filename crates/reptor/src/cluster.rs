@@ -89,6 +89,18 @@ impl Cluster {
         }
     }
 
+    /// The cluster-wide metrics registry (shared by every layer on the
+    /// fabric: hosts, transports, and replicas).
+    pub fn metrics(&self) -> simnet::Metrics {
+        self.net.metrics()
+    }
+
+    /// A deterministic snapshot of every counter, gauge, histogram and
+    /// trace event accumulated so far.
+    pub fn metrics_snapshot(&self) -> simnet::MetricsSnapshot {
+        self.net.metrics().snapshot()
+    }
+
     /// Runs until the simulator is idle.
     pub fn settle(&mut self) {
         self.sim.run_until_idle();
@@ -99,11 +111,7 @@ impl Cluster {
     pub fn run_until_completed(&mut self, want: u64, max_events: u64) -> bool {
         let start = self.sim.executed_events();
         loop {
-            if self
-                .clients
-                .iter()
-                .all(|c| c.stats().completed >= want)
-            {
+            if self.clients.iter().all(|c| c.stats().completed >= want) {
                 return true;
             }
             if !self.sim.step() {
@@ -123,11 +131,8 @@ impl Cluster {
     ///
     /// Panics with a description of the violation, if any.
     pub fn assert_safety(&self) {
-        let logs: Vec<Vec<(u64, bft_crypto::Digest)>> = self
-            .replicas
-            .iter()
-            .map(Replica::executed_log)
-            .collect();
+        let logs: Vec<Vec<(u64, bft_crypto::Digest)>> =
+            self.replicas.iter().map(Replica::executed_log).collect();
         for (i, a) in logs.iter().enumerate() {
             for (j, b) in logs.iter().enumerate().skip(i + 1) {
                 for (seq_a, dig_a) in a {

@@ -40,7 +40,10 @@ impl fmt::Display for CodecError {
             }
             CodecError::BadTag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
             CodecError::BadLength { claimed, remaining } => {
-                write!(f, "length prefix {claimed} exceeds remaining {remaining} bytes")
+                write!(
+                    f,
+                    "length prefix {claimed} exceeds remaining {remaining} bytes"
+                )
             }
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
         }
@@ -157,7 +160,11 @@ impl<'a> Reader<'a> {
         if self.remaining() < 4 {
             return Err(CodecError::UnexpectedEnd { wanted: "u32" });
         }
-        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
         self.pos += 4;
         Ok(v)
     }
@@ -171,7 +178,11 @@ impl<'a> Reader<'a> {
         if self.remaining() < 8 {
             return Err(CodecError::UnexpectedEnd { wanted: "u64" });
         }
-        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes"));
+        let v = u64::from_le_bytes(
+            self.buf[self.pos..self.pos + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
         self.pos += 8;
         Ok(v)
     }

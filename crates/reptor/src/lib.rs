@@ -52,8 +52,7 @@ pub use cluster::{Cluster, DOMAIN_SECRET};
 pub use codec::{CodecError, Reader, Writer};
 pub use config::ReptorConfig;
 pub use messages::{
-    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage,
-    View,
+    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage, View,
 };
 pub use nio_transport::NioTransport;
 pub use replica::{ByzantineMode, Replica, ReplicaStats};
@@ -193,7 +192,12 @@ mod tests {
         c.assert_safety();
         // Correct replicas moved past view 0.
         for r in &c.replicas[1..] {
-            assert!(r.view() >= 1, "replica {} still in view {}", r.id(), r.view());
+            assert!(
+                r.view() >= 1,
+                "replica {} still in view {}",
+                r.id(),
+                r.view()
+            );
         }
         assert!(c.replicas[1].stats().view_changes_sent >= 1);
     }
@@ -308,8 +312,14 @@ mod tests {
         let cfg = ReptorConfig::small();
         let mut c = Cluster::sim_transport(cfg, 1, 12, || Box::new(KvService::default()));
         let client = c.clients[0].clone();
-        client.submit(&mut c.sim, KvOp::Put(b"k1".to_vec(), b"v1".to_vec()).encode());
-        client.submit(&mut c.sim, KvOp::Put(b"k2".to_vec(), b"v2".to_vec()).encode());
+        client.submit(
+            &mut c.sim,
+            KvOp::Put(b"k1".to_vec(), b"v1".to_vec()).encode(),
+        );
+        client.submit(
+            &mut c.sim,
+            KvOp::Put(b"k2".to_vec(), b"v2".to_vec()).encode(),
+        );
         client.submit(&mut c.sim, KvOp::Del(b"k1".to_vec()).encode());
         client.submit(&mut c.sim, KvOp::Get(b"k2".to_vec()).encode());
         assert!(c.run_until_completed(4, 2_000_000));

@@ -393,7 +393,12 @@ impl Message {
                     replica: r.u32()?,
                 }
             }
-            tag => return Err(CodecError::BadTag { what: "Message", tag }),
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "Message",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -568,10 +573,7 @@ mod tests {
     fn batch_digest_is_order_sensitive() {
         let a = req(1, 1);
         let b = req(2, 2);
-        assert_ne!(
-            batch_digest(&[a.clone(), b.clone()]),
-            batch_digest(&[b, a])
-        );
+        assert_ne!(batch_digest(&[a.clone(), b.clone()]), batch_digest(&[b, a]));
     }
 
     #[test]

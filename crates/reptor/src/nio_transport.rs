@@ -159,6 +159,11 @@ impl NioTransport {
         self.inner.borrow().selector.selects_performed()
     }
 
+    /// The shared metrics registry of the fabric this endpoint runs on.
+    pub fn metrics(&self) -> simnet::Metrics {
+        self.inner.borrow().net.metrics()
+    }
+
     /// The reactor: parks a select and handles whatever becomes ready.
     fn pump(&self, sim: &mut Simulator) {
         let selector = self.inner.borrow().selector.clone();

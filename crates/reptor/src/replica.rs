@@ -18,8 +18,7 @@ use simnet::{CoreId, HostId, Nanos, Network, Simulator};
 
 use crate::config::ReptorConfig;
 use crate::messages::{
-    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage,
-    View,
+    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage, View,
 };
 use crate::state::StateMachine;
 use crate::transport::Transport;
@@ -79,6 +78,10 @@ struct Instance {
     prepared: bool,
     committed: bool,
     executed: bool,
+    /// Phase timestamps feeding the `reptor.r{id}.phase.*` histograms.
+    pre_prepared_at: Option<Nanos>,
+    prepared_at: Option<Nanos>,
+    committed_at: Option<Nanos>,
 }
 
 struct ReplicaInner {
@@ -116,6 +119,12 @@ struct ReplicaInner {
     /// tests.
     executed_log: Vec<(SeqNum, Digest)>,
     stats: ReplicaStats,
+    /// Shared registry plus this replica's `reptor.r{id}.` key prefix.
+    metrics: simnet::Metrics,
+    metrics_prefix: String,
+    /// Request arrival instants, consumed when a request first appears in
+    /// an accepted pre-prepare (feeds `phase.request_to_preprepare`).
+    arrivals: HashMap<(ClientId, u64), Nanos>,
 }
 
 /// A PBFT replica.
@@ -175,6 +184,9 @@ impl Replica {
                 send_horizon: Nanos::ZERO,
                 executed_log: Vec::new(),
                 stats: ReplicaStats::default(),
+                metrics: net.metrics(),
+                metrics_prefix: format!("reptor.r{id}."),
+                arrivals: HashMap::new(),
             })),
         };
         let r = replica.clone();
@@ -353,6 +365,7 @@ impl Replica {
                 && !inner.pending.iter().any(|r| (r.client, r.timestamp) == key)
             {
                 inner.pending.push_back(req.clone());
+                inner.arrivals.entry(key).or_insert_with(|| sim.now());
             }
             inner.cfg.primary(inner.view) == inner.id
         };
@@ -444,6 +457,11 @@ impl Replica {
                         let cost = inner.cfg.crypto.digest_cost(batch_bytes(&batch));
                         inner.charge(sim, core, cost);
                         inner.stats.pre_prepares_sent += 1;
+                        inner.bump("pre_prepares_sent", 1);
+                        inner.observe(
+                            "batch_fill_pct",
+                            (batch.len() as u64 * 100) / inner.cfg.batch_size as u64,
+                        );
                         Some((seq, digest, batch, inner.view, inner.byzantine))
                     }
                 }
@@ -452,7 +470,7 @@ impl Replica {
                 return;
             };
 
-            if byz == ByzantineMode::EquivocatingPrimary && batch.len() >= 1 {
+            if byz == ByzantineMode::EquivocatingPrimary && !batch.is_empty() {
                 // Conflicting proposals: half the group sees the real batch,
                 // the other half sees it reversed (different order, different
                 // digest when len > 1; with len == 1 the payload is tweaked).
@@ -556,6 +574,8 @@ impl Replica {
                     }
                     entry.prepares.insert(me);
                     inner.stats.prepares_sent += 1;
+                    inner.bump("prepares_sent", 1);
+                    inner.note_pre_prepare(sim.now(), seq);
                     true
                 }
             }
@@ -595,6 +615,7 @@ impl Replica {
                 pre_prepared: true,
                 ..Instance::default()
             };
+            inner.note_pre_prepare(sim.now(), seq);
         }
         self.maybe_prepared(sim, seq);
     }
@@ -641,9 +662,17 @@ impl Replica {
                 return;
             }
             entry.prepared = true;
+            entry.prepared_at = Some(sim.now());
             entry.commits.insert(me);
             let digest = entry.digest.expect("prepared instance has a digest");
+            let since_pp = entry
+                .pre_prepared_at
+                .map(|t| sim.now().as_nanos().saturating_sub(t.as_nanos()));
             inner.stats.commits_sent += 1;
+            inner.bump("commits_sent", 1);
+            if let Some(d) = since_pp {
+                inner.observe("phase.preprepare_to_prepared", d);
+            }
             Some((view, digest))
         };
         let Some((view, digest)) = commit else { return };
@@ -693,6 +722,13 @@ impl Replica {
                 return;
             }
             entry.committed = true;
+            entry.committed_at = Some(sim.now());
+            let since_prep = entry
+                .prepared_at
+                .map(|t| sim.now().as_nanos().saturating_sub(t.as_nanos()));
+            if let Some(d) = since_prep {
+                inner.observe("phase.prepared_to_committed", d);
+            }
         }
         self.try_execute(sim);
     }
@@ -717,9 +753,16 @@ impl Replica {
                 entry.executed = true;
                 let digest = entry.digest.expect("committed instance has digest");
                 let batch = entry.batch.clone().expect("committed instance has batch");
+                let since_commit = entry
+                    .committed_at
+                    .map(|t| sim.now().as_nanos().saturating_sub(t.as_nanos()));
                 inner.last_executed = next;
                 inner.executed_log.push((next, digest));
                 inner.stats.executed_batches += 1;
+                inner.bump("batches_executed", 1);
+                if let Some(d) = since_commit {
+                    inner.observe("phase.committed_to_executed", d);
+                }
                 batch
             };
             let mut replies = Vec::new();
@@ -742,6 +785,7 @@ impl Replica {
                         .insert(req.client, (req.timestamp, result.clone()));
                     inner.proposed.remove(&(req.client, req.timestamp));
                     inner.stats.executed_requests += 1;
+                    inner.bump("requests_executed", 1);
                     replies.push((req.client, req.timestamp, result));
                 }
             }
@@ -752,7 +796,7 @@ impl Replica {
             let checkpoint = {
                 let mut inner = self.inner.borrow_mut();
                 let seq = inner.last_executed;
-                if seq % inner.cfg.checkpoint_interval == 0 {
+                if seq.is_multiple_of(inner.cfg.checkpoint_interval) {
                     let digest = inner.service.state_digest();
                     let cost = inner.cfg.crypto.digest_cost(64);
                     inner.charge(sim, CoreId(0), cost);
@@ -832,7 +876,7 @@ impl Replica {
         self.maybe_stable_checkpoint(sim, seq, digest);
     }
 
-    fn maybe_stable_checkpoint(&self, _sim: &mut Simulator, seq: SeqNum, digest: Digest) {
+    fn maybe_stable_checkpoint(&self, sim: &mut Simulator, seq: SeqNum, digest: Digest) {
         let mut inner = self.inner.borrow_mut();
         if seq <= inner.low_mark {
             return;
@@ -849,9 +893,31 @@ impl Replica {
         // Stable: advance the low watermark and truncate.
         inner.low_mark = seq;
         inner.stats.stable_checkpoints += 1;
+        let log_before = inner.log.len();
         inner.log.retain(|&s, _| s > seq);
+        let freed = (log_before - inner.log.len()) as u64;
         inner.checkpoint_votes.retain(|&s, _| s > seq);
         inner.own_checkpoints.retain(|&s, _| s >= seq);
+        // Executed requests can no longer feed phase latencies; drop their
+        // arrival stamps so the map stays bounded by the window.
+        {
+            let ReplicaInner {
+                arrivals,
+                client_state,
+                ..
+            } = &mut *inner;
+            arrivals.retain(|(c, ts), _| client_state.get(c).is_none_or(|(t, _)| *t < *ts));
+        }
+        inner.bump("checkpoints_stable", 1);
+        inner.bump("checkpoint_gc_freed", freed);
+        inner.metrics.trace(
+            sim.now(),
+            "reptor",
+            format!(
+                "{}checkpoint_stable seq={seq} freed={freed}",
+                inner.metrics_prefix
+            ),
+        );
     }
 
     // ------------------------------------------------------------------
@@ -867,6 +933,12 @@ impl Replica {
             inner.in_view_change = true;
             inner.voted_view = new_view;
             inner.stats.view_changes_sent += 1;
+            inner.bump("view_changes", 1);
+            inner.metrics.trace(
+                sim.now(),
+                "reptor",
+                format!("{}view_change new_view={new_view}", inner.metrics_prefix),
+            );
             let prepared: Vec<PreparedProof> = inner
                 .log
                 .iter()
@@ -1053,6 +1125,12 @@ impl Replica {
             inner.view = view;
             inner.in_view_change = false;
             inner.vc_attempts = 0;
+            inner.bump("new_views_entered", 1);
+            inner.metrics.trace(
+                sim.now(),
+                "reptor",
+                format!("{}enter_view view={view}", inner.metrics_prefix),
+            );
             inner.vc_votes.retain(|&v, _| v > view);
             let mut max_seq = inner.next_seq - 1;
             let mut to_send = Vec::new();
@@ -1074,6 +1152,7 @@ impl Replica {
                     ..Instance::default()
                 };
                 entry.prepares.insert(me);
+                inner.note_pre_prepare(sim.now(), seq);
                 if !as_primary {
                     to_send.push((seq, digest));
                 }
@@ -1083,7 +1162,11 @@ impl Replica {
         };
         let me = self.id();
         for (seq, digest) in prepares_to_send {
-            self.inner.borrow_mut().stats.prepares_sent += 1;
+            {
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.prepares_sent += 1;
+                inner.bump("prepares_sent", 1);
+            }
             self.broadcast_to_replicas(
                 sim,
                 Message::Prepare {
@@ -1152,6 +1235,43 @@ impl Replica {
 }
 
 impl ReplicaInner {
+    /// Increments `reptor.r{id}.{metric}` by `n`.
+    fn bump(&self, metric: &str, n: u64) {
+        self.metrics
+            .incr_by(&format!("{}{metric}", self.metrics_prefix), n);
+    }
+
+    /// Records `value` in the `reptor.r{id}.{metric}` histogram.
+    fn observe(&self, metric: &str, value: u64) {
+        self.metrics
+            .observe(&format!("{}{metric}", self.metrics_prefix), value);
+    }
+
+    /// Marks `seq` as pre-prepared at `now`: stamps the instance and
+    /// settles the request→pre-prepare latency for every request in the
+    /// batch whose arrival this replica witnessed.
+    fn note_pre_prepare(&mut self, now: Nanos, seq: SeqNum) {
+        let keys: Vec<(ClientId, u64)> = {
+            let Some(entry) = self.log.get_mut(&seq) else {
+                return;
+            };
+            entry.pre_prepared_at = Some(now);
+            entry
+                .batch
+                .as_ref()
+                .map(|b| b.iter().map(|r| (r.client, r.timestamp)).collect())
+                .unwrap_or_default()
+        };
+        for key in keys {
+            if let Some(t0) = self.arrivals.remove(&key) {
+                self.observe(
+                    "phase.request_to_preprepare",
+                    now.as_nanos().saturating_sub(t0.as_nanos()),
+                );
+            }
+        }
+    }
+
     fn in_watermarks(&self, seq: SeqNum) -> bool {
         seq > self.low_mark && seq <= self.low_mark + 2 * self.cfg.checkpoint_interval
     }

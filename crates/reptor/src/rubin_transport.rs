@@ -65,6 +65,11 @@ impl fmt::Debug for RubinTransport {
 }
 
 impl RubinTransport {
+    /// The shared metrics registry of the fabric this endpoint runs on.
+    pub fn metrics(&self) -> simnet::Metrics {
+        self.inner.borrow().device.net().metrics()
+    }
+
     /// Builds a fully meshed group over RUBIN channels. Run the simulator
     /// (or start sending) to let connections complete.
     pub fn build_group(
@@ -79,13 +84,9 @@ impl RubinTransport {
             .map(|&(node, host, core)| {
                 let device = RdmaDevice::open(net, host, rnic.clone());
                 let selector = RdmaSelector::new(&device, core, cfg.select_ns);
-                let server = RdmaServerChannel::bind(
-                    &device,
-                    RUBIN_PORT_BASE + node,
-                    cfg.clone(),
-                    core,
-                )
-                .expect("transport port free");
+                let server =
+                    RdmaServerChannel::bind(&device, RUBIN_PORT_BASE + node, cfg.clone(), core)
+                        .expect("transport port free");
                 RubinTransport {
                     inner: Rc::new(RefCell::new(RubinInner {
                         node,
@@ -315,7 +316,10 @@ impl RubinTransport {
                 if c.outq.is_empty() || !c.channel.is_established() || !c.hello_sent {
                     break;
                 }
-                (c.channel.clone(), c.outq.front().cloned().expect("nonempty"))
+                (
+                    c.channel.clone(),
+                    c.outq.front().cloned().expect("nonempty"),
+                )
             };
             match channel.write(sim, &msg) {
                 Ok(true) => {

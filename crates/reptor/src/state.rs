@@ -229,7 +229,10 @@ mod tests {
             assert_eq!(KvOp::decode(&op.encode()), Some(op));
         }
         let mut kv = KvService::default();
-        assert_eq!(kv.apply(&req(KvOp::Put(b"a".to_vec(), b"1".to_vec()).encode())), b"OK");
+        assert_eq!(
+            kv.apply(&req(KvOp::Put(b"a".to_vec(), b"1".to_vec()).encode())),
+            b"OK"
+        );
         assert_eq!(kv.apply(&req(KvOp::Get(b"a".to_vec()).encode())), b"1");
         assert_eq!(kv.apply(&req(KvOp::Del(b"a".to_vec()).encode())), b"OK");
         assert_eq!(kv.apply(&req(KvOp::Del(b"a".to_vec()).encode())), b"MISS");

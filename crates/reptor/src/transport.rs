@@ -179,11 +179,15 @@ mod tests {
     #[test]
     fn group_members_can_exchange_messages() {
         let (mut sim, net, hosts) = TestBed::cluster(0, 3);
-        let nodes: Vec<(NodeId, HostId)> =
-            hosts.iter().enumerate().map(|(i, &h)| (i as u32, h)).collect();
+        let nodes: Vec<(NodeId, HostId)> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (i as u32, h))
+            .collect();
         let group = SimTransport::build_group(&net, &nodes);
 
-        let got: Rc<RefCell<Vec<(NodeId, Vec<u8>)>>> = Rc::new(RefCell::new(vec![]));
+        type Inbox = Rc<RefCell<Vec<(NodeId, Vec<u8>)>>>;
+        let got: Inbox = Rc::new(RefCell::new(vec![]));
         for t in &group {
             let g = got.clone();
             let me = t.node();
@@ -205,8 +209,11 @@ mod tests {
     #[test]
     fn unknown_peer_is_dropped_silently() {
         let (mut sim, net, hosts) = TestBed::cluster(0, 2);
-        let nodes: Vec<(NodeId, HostId)> =
-            hosts.iter().enumerate().map(|(i, &h)| (i as u32, h)).collect();
+        let nodes: Vec<(NodeId, HostId)> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (i as u32, h))
+            .collect();
         let group = SimTransport::build_group(&net, &nodes);
         group[0].send(&mut sim, 99, b"nowhere".to_vec());
         sim.run_until_idle();
@@ -215,8 +222,11 @@ mod tests {
     #[test]
     fn partition_blocks_delivery() {
         let (mut sim, net, hosts) = TestBed::cluster(0, 2);
-        let nodes: Vec<(NodeId, HostId)> =
-            hosts.iter().enumerate().map(|(i, &h)| (i as u32, h)).collect();
+        let nodes: Vec<(NodeId, HostId)> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (i as u32, h))
+            .collect();
         let group = SimTransport::build_group(&net, &nodes);
         let hit = Rc::new(RefCell::new(false));
         let h = hit.clone();

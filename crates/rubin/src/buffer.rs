@@ -28,6 +28,10 @@ pub struct BufferPool {
     free: Vec<SlabIndex>,
     outstanding: usize,
     stats: PoolStats,
+    /// Shared registry plus this pool's `rubin.{host}.pool.` key prefix
+    /// (pools on one host aggregate into the same counters).
+    metrics: simnet::Metrics,
+    metrics_prefix: String,
 }
 
 impl BufferPool {
@@ -41,12 +45,16 @@ impl BufferPool {
         access: Access,
     ) -> BufferPool {
         assert!(count > 0 && size > 0, "pool must have positive dimensions");
-        let slabs = (0..count).map(|_| device.reg_mr(pd, size, access)).collect();
+        let slabs = (0..count)
+            .map(|_| device.reg_mr(pd, size, access))
+            .collect();
         BufferPool {
             slabs,
             free: (0..count).rev().collect(),
             outstanding: 0,
             stats: PoolStats::default(),
+            metrics: device.net().metrics(),
+            metrics_prefix: format!("rubin.{}.pool.", device.host()),
         }
     }
 
@@ -67,10 +75,13 @@ impl BufferPool {
                 self.outstanding += 1;
                 self.stats.lends += 1;
                 self.stats.high_water = self.stats.high_water.max(self.outstanding);
+                self.metrics.incr(&format!("{}lends", self.metrics_prefix));
                 Some((idx, self.slabs[idx].clone()))
             }
             None => {
                 self.stats.exhaustions += 1;
+                self.metrics
+                    .incr(&format!("{}exhaustions", self.metrics_prefix));
                 None
             }
         }

@@ -50,7 +50,10 @@ impl fmt::Display for ChannelError {
         match self {
             ChannelError::NotConnected => write!(f, "channel is not connected"),
             ChannelError::MessageTooLarge { len, max } => {
-                write!(f, "message of {len} bytes exceeds channel buffer size {max}")
+                write!(
+                    f,
+                    "message of {len} bytes exceeds channel buffer size {max}"
+                )
             }
             ChannelError::Broken(why) => write!(f, "channel broken: {why}"),
             ChannelError::Verbs(e) => write!(f, "verbs error: {e}"),
@@ -106,7 +109,10 @@ impl BorrowedMsg {
     /// Runs `f` over the message bytes in place (no copy).
     pub fn with_data<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
         let inner = self.chan.inner.borrow();
-        inner.recv_pool.slab(self.slab).with_slice(|s| f(&s[..self.len]))
+        inner
+            .recv_pool
+            .slab(self.slab)
+            .with_slice(|s| f(&s[..self.len]))
     }
 
     /// Returns the buffer to the channel for batched re-posting.
@@ -126,11 +132,7 @@ impl Drop for BorrowedMsg {
         if !self.released {
             // No simulator here: park the slab; the channel reclaims it on
             // the next read call.
-            self.chan
-                .inner
-                .borrow_mut()
-                .parked_slabs
-                .push(self.slab);
+            self.chan.inner.borrow_mut().parked_slabs.push(self.slab);
         }
     }
 }
@@ -480,19 +482,21 @@ impl RdmaChannel {
             // CPU cost of the channel write: managed-runtime overhead plus
             // the copy into the registered buffer (skipped for zero copy,
             // where only the registration cache is consulted).
-            let cpu = inner.device.net().host(inner.device.host()).borrow().cpu().clone();
-            let work = match &path {
-                Path::ZeroCopy(_) => {
-                    Nanos::from_nanos(cpu.runtime_io_ns + inner.cfg.reg_cache_ns)
+            {
+                let host_ref = inner.device.net().host(inner.device.host());
+                let mut h = host_ref.borrow_mut();
+                let runtime = Nanos::from_nanos(h.cpu().runtime_io_ns);
+                match &path {
+                    Path::ZeroCopy(_) => {
+                        let work = runtime + Nanos::from_nanos(inner.cfg.reg_cache_ns);
+                        h.exec(sim.now(), inner.core, work);
+                    }
+                    _ => {
+                        h.charge_user_copy(sim.now(), inner.core, data.len());
+                        h.exec(sim.now(), inner.core, runtime);
+                    }
                 }
-                _ => Nanos::from_nanos(cpu.runtime_io_ns) + cpu.copy_cost(data.len()),
-            };
-            inner
-                .device
-                .net()
-                .host(inner.device.host())
-                .borrow_mut()
-                .exec(sim.now(), inner.core, work);
+            }
 
             inner.since_signal += 1;
             let signaled = inner.since_signal >= inner.cfg.signal_interval;
@@ -559,14 +563,13 @@ impl RdmaChannel {
                 }
                 return Ok(RecvOutcome::WouldBlock);
             };
-            let cpu = inner.device.net().host(inner.device.host()).borrow().cpu().clone();
-            let work = Nanos::from_nanos(cpu.runtime_io_ns) + cpu.copy_cost(len);
-            inner
-                .device
-                .net()
-                .host(inner.device.host())
-                .borrow_mut()
-                .exec(sim.now(), inner.core, work);
+            {
+                let host_ref = inner.device.net().host(inner.device.host());
+                let mut h = host_ref.borrow_mut();
+                let runtime = Nanos::from_nanos(h.cpu().runtime_io_ns);
+                h.charge_user_copy(sim.now(), inner.core, len);
+                h.exec(sim.now(), inner.core, runtime);
+            }
             let data = inner
                 .recv_pool
                 .slab(slab)
@@ -581,7 +584,10 @@ impl RdmaChannel {
                 let wrs: Vec<RecvWr> = slabs
                     .iter()
                     .map(|&idx| {
-                        RecvWr::new(WrId(idx as u64), Sge::whole(inner.recv_pool.slab(idx).clone()))
+                        RecvWr::new(
+                            WrId(idx as u64),
+                            Sge::whole(inner.recv_pool.slab(idx).clone()),
+                        )
                     })
                     .collect();
                 Some((inner.qp.clone(), wrs, inner.device.model().max_post_batch))
@@ -647,10 +653,7 @@ impl RdmaChannel {
     /// # Errors
     ///
     /// [`ChannelError::Broken`] after a queue-pair failure.
-    pub fn read_borrowed(
-        &self,
-        sim: &mut Simulator,
-    ) -> Result<Option<BorrowedMsg>, ChannelError> {
+    pub fn read_borrowed(&self, sim: &mut Simulator) -> Result<Option<BorrowedMsg>, ChannelError> {
         // Reclaim buffers parked by earlier dropped borrows.
         if !self.inner.borrow().parked_slabs.is_empty() {
             self.return_slab(sim, None)?;
@@ -670,11 +673,12 @@ impl RdmaChannel {
                 .borrow()
                 .cpu()
                 .clone();
-            inner.device.net().host(inner.device.host()).borrow_mut().exec(
-                sim.now(),
-                inner.core,
-                Nanos::from_nanos(cpu.runtime_io_ns),
-            );
+            inner
+                .device
+                .net()
+                .host(inner.device.host())
+                .borrow_mut()
+                .exec(sim.now(), inner.core, Nanos::from_nanos(cpu.runtime_io_ns));
             inner.stats.msgs_received += 1;
             inner.stats.bytes_received += len as u64;
             inner.stats.borrowed_reads += 1;
@@ -754,8 +758,7 @@ impl RdmaChannel {
     pub(crate) fn refresh_readiness(&self, sim: &mut Simulator) {
         let (reg, receive, send, accept) = {
             let inner = self.inner.borrow();
-            let receive =
-                !inner.rx_ready.is_empty() || inner.eof || inner.broken.is_some();
+            let receive = !inner.rx_ready.is_empty() || inner.eof || inner.broken.is_some();
             let send = inner.established
                 && inner.broken.is_none()
                 && inner.outstanding_sends < inner.cfg.send_buffers

@@ -104,9 +104,14 @@ mod tests {
         sel_b.register_server(&mut w.tb.sim, &server);
 
         let sel_a = RdmaSelector::new(&w.dev_a, CoreId(0), cfg.select_ns);
-        let client =
-            RdmaChannel::connect(&mut w.tb.sim, &w.dev_a, Addr::new(w.tb.b, 4000), cfg, CoreId(0))
-                .unwrap();
+        let client = RdmaChannel::connect(
+            &mut w.tb.sim,
+            &w.dev_a,
+            Addr::new(w.tb.b, 4000),
+            cfg,
+            CoreId(0),
+        )
+        .unwrap();
         sel_a.register_channel(
             &mut w.tb.sim,
             &client,
@@ -229,7 +234,9 @@ mod tests {
         let mut w2 = world(6);
         let cfg2 = RubinConfig::paper();
         let (client2, server2) = connected_channels(&mut w2, cfg2);
-        client2.write(&mut w2.tb.sim, &vec![3u8; 64 * 1024]).unwrap();
+        client2
+            .write(&mut w2.tb.sim, &vec![3u8; 64 * 1024])
+            .unwrap();
         let _ = read_one(&mut w2, &server2);
         assert_eq!(client2.stats().copied_sends, 1);
         assert_eq!(client2.stats().zero_copy_sends, 0);
@@ -271,9 +278,7 @@ mod tests {
         // Saturate, drain, and repeat — buffers must recycle.
         for round in 0..5u8 {
             for i in 0..4u8 {
-                let ok = client
-                    .write(&mut w.tb.sim, &[round * 10 + i; 300])
-                    .unwrap();
+                let ok = client.write(&mut w.tb.sim, &[round * 10 + i; 300]).unwrap();
                 assert!(ok, "round {round} message {i} must be accepted");
             }
             for _ in 0..4 {
@@ -491,7 +496,10 @@ mod tests {
         let key = sel.register_channel(&mut w.tb.sim, &server, Interest::OP_RECEIVE);
         assert!(sel.channel_for(key).is_some());
         sel.cancel(key);
-        assert!(sel.channel_for(key).is_none(), "cancelled keys resolve to None");
+        assert!(
+            sel.channel_for(key).is_none(),
+            "cancelled keys resolve to None"
+        );
         client.write(&mut w.tb.sim, b"after-cancel").unwrap();
         w.tb.sim.run_until_idle();
         assert!(
@@ -511,7 +519,9 @@ mod tests {
         client.write(&mut w.tb.sim, b"hidden").unwrap();
         w.tb.sim.run_until_idle();
         let ready = sel.select_now(&mut w.tb.sim);
-        assert!(ready.iter().all(|r| !r.ready.contains(Interest::OP_RECEIVE)));
+        assert!(ready
+            .iter()
+            .all(|r| !r.ready.contains(Interest::OP_RECEIVE)));
         // Widen the interest: the queued message becomes visible.
         sel.set_interest(&mut w.tb.sim, key, Interest::OP_RECEIVE | Interest::OP_SEND);
         let ready = sel.select_now(&mut w.tb.sim);
@@ -532,8 +542,22 @@ mod tests {
         assert_eq!(sel.server_for(k1).map(|s| s.port()), Some(6001));
         assert_eq!(sel.server_for(k2).map(|s| s.port()), Some(6002));
         // Two clients, one per port.
-        let _c1 = RdmaChannel::connect(&mut w.tb.sim, &w.dev_a, Addr::new(w.tb.b, 6001), cfg.clone(), CoreId(0)).unwrap();
-        let _c2 = RdmaChannel::connect(&mut w.tb.sim, &w.dev_a, Addr::new(w.tb.b, 6002), cfg.clone(), CoreId(0)).unwrap();
+        let _c1 = RdmaChannel::connect(
+            &mut w.tb.sim,
+            &w.dev_a,
+            Addr::new(w.tb.b, 6001),
+            cfg.clone(),
+            CoreId(0),
+        )
+        .unwrap();
+        let _c2 = RdmaChannel::connect(
+            &mut w.tb.sim,
+            &w.dev_a,
+            Addr::new(w.tb.b, 6002),
+            cfg.clone(),
+            CoreId(0),
+        )
+        .unwrap();
         w.tb.sim.run_until_idle();
         assert_eq!(s1.pending_count(), 1, "request routed to port 6001");
         assert_eq!(s2.pending_count(), 1, "request routed to port 6002");

@@ -55,6 +55,9 @@ struct SelInner {
     process_scheduled: bool,
     cm_hooked: bool,
     selects: u64,
+    /// Shared registry plus this selector's `rubin.{host}.selector.` prefix.
+    metrics: simnet::Metrics,
+    metrics_prefix: String,
 }
 
 /// The RUBIN selector: multiplexes RDMA channels on one simulated thread.
@@ -79,6 +82,8 @@ impl RdmaSelector {
     /// Creates a selector on `device`, charging `select_ns` per select
     /// call to `core`.
     pub fn new(device: &RdmaDevice, core: CoreId, select_ns: u64) -> RdmaSelector {
+        let metrics = device.net().metrics();
+        let metrics_prefix = format!("rubin.{}.selector.", device.host());
         RdmaSelector {
             inner: Rc::new(RefCell::new(SelInner {
                 device: device.clone(),
@@ -92,6 +97,8 @@ impl RdmaSelector {
                 process_scheduled: false,
                 cm_hooked: false,
                 selects: 0,
+                metrics,
+                metrics_prefix,
             })),
         }
     }
@@ -251,9 +258,11 @@ impl RdmaSelector {
     /// matching selection key (paper Figure 2, step 5: compare ids and
     /// event type, update the key's ready set).
     fn process(&self, sim: &mut Simulator) {
+        let mut dispatched: u64 = 0;
         loop {
             let ev = { self.inner.borrow_mut().hybrid.pop() };
             let Some(ev) = ev else { break };
+            dispatched += 1;
             match ev {
                 RubinEvent::Completion { key } => {
                     let chan = {
@@ -273,6 +282,17 @@ impl RdmaSelector {
                 }
                 RubinEvent::Connection(cm) => self.dispatch_cm(sim, cm),
             }
+        }
+        if dispatched > 0 {
+            let inner = self.inner.borrow();
+            inner.metrics.incr_by(
+                &format!("{}events_dispatched", inner.metrics_prefix),
+                dispatched,
+            );
+            inner.metrics.observe(
+                &format!("{}events_per_round", inner.metrics_prefix),
+                dispatched,
+            );
         }
         self.maybe_wake(sim);
     }
@@ -426,6 +446,9 @@ impl RdmaSelector {
     fn charge_select(&self, sim: &mut Simulator) -> Nanos {
         let mut inner = self.inner.borrow_mut();
         inner.selects += 1;
+        inner
+            .metrics
+            .incr(&format!("{}polls", inner.metrics_prefix));
         let (core, ns) = (inner.core, inner.select_ns);
         let device = inner.device.clone();
         drop(inner);

@@ -282,8 +282,7 @@ mod tests {
     fn closed_listener_refuses_new_connections() {
         let mut tb = TestBed::paper_testbed(4);
         let model = TcpModel::linux_xeon();
-        let listener =
-            TcpListener::bind(&tb.net, tb.b, 95, CoreId(0), model.clone()).unwrap();
+        let listener = TcpListener::bind(&tb.net, tb.b, 95, CoreId(0), model.clone()).unwrap();
         let addr = listener.local_addr();
         listener.close();
         // A connection attempt after close never establishes.
@@ -320,7 +319,9 @@ mod tests {
         let fired = Rc::new(RefCell::new(false));
         let f = fired.clone();
         selector.select(&mut tb.sim, move |_s, ready| {
-            assert!(ready.iter().any(|r| r.key == key && r.ready.contains(Ops::WRITE)));
+            assert!(ready
+                .iter()
+                .any(|r| r.key == key && r.ready.contains(Ops::WRITE)));
             *f.borrow_mut() = true;
         });
         // Drain on the server side to open the window.

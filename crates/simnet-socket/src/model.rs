@@ -86,9 +86,6 @@ mod tests {
     #[test]
     fn tx_cost_scales_with_segments() {
         let m = TcpModel::linux_xeon();
-        assert_eq!(
-            m.tx_cost(3000).as_nanos(),
-            3 * m.segment_tx_ns
-        );
+        assert_eq!(m.tx_cost(3000).as_nanos(), 3 * m.segment_tx_ns);
     }
 }

@@ -234,7 +234,11 @@ impl Selector {
     ///
     /// Panics if a select is already parked (the selector models a single
     /// thread).
-    pub fn select(&self, sim: &mut Simulator, f: impl FnOnce(&mut Simulator, Vec<Selected>) + 'static) {
+    pub fn select(
+        &self,
+        sim: &mut Simulator,
+        f: impl FnOnce(&mut Simulator, Vec<Selected>) + 'static,
+    ) {
         {
             let mut inner = self.inner.borrow_mut();
             assert!(
@@ -270,9 +274,10 @@ impl Selector {
             if inner.parked.is_none() || inner.wake_scheduled {
                 return;
             }
-            let any_ready = inner.keys.values().any(|ks| {
-                !ks.cancelled && ks.ready.intersects(ks.interest)
-            });
+            let any_ready = inner
+                .keys
+                .values()
+                .any(|ks| !ks.cancelled && ks.ready.intersects(ks.interest));
             if !any_ready {
                 return;
             }

@@ -74,6 +74,11 @@ pub struct TcpStats {
     pub segments_rx: u64,
     /// Times `write` could not accept any bytes (send buffer full).
     pub write_stalls: u64,
+    /// Buffer copies across the user/kernel boundary (one per successful
+    /// `write`, one per successful `read` — TCP's double copy).
+    pub copies: u64,
+    /// User/kernel crossings charged to this socket's syscalls.
+    pub syscalls: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +115,20 @@ struct StreamInner {
     stats: TcpStats,
 }
 
+impl StreamInner {
+    /// Records one syscall + one user/kernel buffer copy in the per-stream
+    /// stats and the per-socket registry keys (`tcp.{addr}.syscalls` /
+    /// `tcp.{addr}.copies`). The host-level counters are bumped by the
+    /// `Host::charge_*` helpers at the charge site.
+    fn note_crossing(&mut self, copies: u64) {
+        self.stats.syscalls += 1;
+        self.stats.copies += copies;
+        let m = self.net.metrics();
+        m.incr(&format!("tcp.{}.syscalls", self.local));
+        m.incr_by(&format!("tcp.{}.copies", self.local), copies);
+    }
+}
+
 /// A non-blocking simulated TCP stream.
 #[derive(Clone)]
 pub struct TcpStream {
@@ -131,6 +150,7 @@ impl fmt::Debug for TcpStream {
 }
 
 impl TcpStream {
+    #[allow(clippy::too_many_arguments)]
     fn create(
         net: &Network,
         host: HostId,
@@ -269,12 +289,7 @@ impl TcpStream {
             let readable = !inner.recv_buf.is_empty() || inner.eof;
             let writable = inner.state == StreamState::Established
                 && inner.send_buf.len() < inner.model.send_buf;
-            (
-                inner.reg.clone(),
-                readable,
-                writable,
-                inner.connect_ready,
-            )
+            (inner.reg.clone(), readable, writable, inner.connect_ready)
         };
         if let Some((sel, key)) = reg {
             sel.set_ready(sim, key, Ops::READ, readable);
@@ -319,15 +334,16 @@ impl TcpStream {
                 inner.stats.write_stalls += 1;
                 return Ok(0);
             }
-            let work = Nanos::from_nanos(inner.cpu.syscall_ns + inner.cpu.runtime_io_ns)
-                + inner.cpu.copy_cost(n);
             let host = inner.host;
             let core = inner.core;
-            let done = inner
-                .net
-                .host(host)
-                .borrow_mut()
-                .exec(sim.now(), core, work);
+            let done = {
+                let host_ref = inner.net.host(host);
+                let mut h = host_ref.borrow_mut();
+                h.charge_syscall(sim.now(), core);
+                h.charge_kernel_copy(sim.now(), core, n);
+                h.exec(sim.now(), core, Nanos::from_nanos(inner.cpu.runtime_io_ns))
+            };
+            inner.note_crossing(1);
             inner.send_buf.extend(&data[..n]);
             inner.stats.bytes_written += n as u64;
             (n, done)
@@ -412,15 +428,16 @@ impl TcpStream {
                 });
             }
             let n = max.min(inner.recv_buf.len());
-            let work = Nanos::from_nanos(inner.cpu.syscall_ns + inner.cpu.runtime_io_ns)
-                + inner.cpu.copy_cost(n);
             let host = inner.host;
             let core = inner.core;
-            let done = inner
-                .net
-                .host(host)
-                .borrow_mut()
-                .exec(sim.now(), core, work);
+            let done = {
+                let host_ref = inner.net.host(host);
+                let mut h = host_ref.borrow_mut();
+                h.charge_syscall(sim.now(), core);
+                h.charge_kernel_copy(sim.now(), core, n);
+                h.exec(sim.now(), core, Nanos::from_nanos(inner.cpu.runtime_io_ns))
+            };
+            inner.note_crossing(1);
             let data: Vec<u8> = inner.recv_buf.drain(..n).collect();
             inner.stats.bytes_read += n as u64;
             (data, done)
@@ -495,16 +512,16 @@ impl TcpStream {
                         return;
                     }
                     inner.stats.segments_rx += 1;
-                    let work = Nanos::from_nanos(
-                        inner.cpu.interrupt_ns + inner.model.segment_rx_ns,
-                    );
                     let host = inner.host;
                     let core = inner.core;
-                    inner
-                        .net
-                        .host(host)
-                        .borrow_mut()
-                        .exec(sim.now(), core, work)
+                    let host_ref = inner.net.host(host);
+                    let mut h = host_ref.borrow_mut();
+                    h.charge_interrupt(sim.now(), core);
+                    h.exec(
+                        sim.now(),
+                        core,
+                        Nanos::from_nanos(inner.model.segment_rx_ns),
+                    )
                 };
                 let s = self.clone();
                 sim.schedule_at(

@@ -43,10 +43,7 @@ impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
         // Ties broken by scheduling order (lower id first).
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.id.cmp(&self.id))
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
     }
 }
 

@@ -59,7 +59,10 @@ impl FaultPlane {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn set_loss(&mut self, src: HostId, dst: HostId, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         if p == 0.0 {
             self.loss.remove(&(src, dst));
         } else {
@@ -89,11 +92,7 @@ impl FaultPlane {
                 return FaultVerdict::Drop;
             }
         }
-        let extra_delay = self
-            .delay
-            .get(&(src, dst))
-            .copied()
-            .unwrap_or(Nanos::ZERO);
+        let extra_delay = self.delay.get(&(src, dst)).copied().unwrap_or(Nanos::ZERO);
         FaultVerdict::Deliver { extra_delay }
     }
 

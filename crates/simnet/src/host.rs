@@ -10,6 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::metrics::Metrics;
 use crate::time::Nanos;
 
 /// Identifier of a host within a [`Network`](crate::Network).
@@ -90,20 +91,46 @@ pub struct Host {
     name: String,
     cores: Vec<Core>,
     cpu: CpuModel,
+    metrics: Metrics,
+    metrics_prefix: String,
 }
 
 /// Shared handle to a [`Host`].
 pub type HostRef = Rc<RefCell<Host>>;
 
 impl Host {
-    pub(crate) fn new(id: HostId, name: impl Into<String>, num_cores: usize, cpu: CpuModel) -> Host {
+    pub(crate) fn new(
+        id: HostId,
+        name: impl Into<String>,
+        num_cores: usize,
+        cpu: CpuModel,
+    ) -> Host {
         assert!(num_cores > 0, "a host needs at least one core");
         Host {
             id,
             name: name.into(),
             cores: vec![Core::default(); num_cores],
             cpu,
+            metrics: Metrics::new(),
+            metrics_prefix: format!("host.{id}."),
         }
+    }
+
+    /// Points this host's counters at a shared registry (done by
+    /// [`Network::add_host`](crate::Network::add_host), so every host of one
+    /// network reports into the same snapshot).
+    pub(crate) fn attach_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// Handle to the registry this host reports into.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+
+    fn bump(&self, metric: &str, n: u64) {
+        self.metrics
+            .incr_by(&format!("{}{metric}", self.metrics_prefix), n);
     }
 
     /// This host's identifier.
@@ -151,6 +178,52 @@ impl Host {
         let core = CoreId(idx as u16);
         let done = self.exec(now, core, work);
         (core, done)
+    }
+
+    /// Charges one user/kernel crossing (syscall entry+exit) to `core` and
+    /// counts it. Returns the completion instant.
+    pub fn charge_syscall(&mut self, now: Nanos, core: CoreId) -> Nanos {
+        self.bump("syscalls", 1);
+        self.bump("kernel_crossings", 1);
+        let cost = Nanos::from_nanos(self.cpu.syscall_ns);
+        self.exec(now, core, cost)
+    }
+
+    /// Charges one interrupt (NIC RX, completion) to `core` and counts it as
+    /// a kernel crossing. Returns the completion instant.
+    pub fn charge_interrupt(&mut self, now: Nanos, core: CoreId) -> Nanos {
+        self.bump("interrupts", 1);
+        self.bump("kernel_crossings", 1);
+        let cost = Nanos::from_nanos(self.cpu.interrupt_ns);
+        self.exec(now, core, cost)
+    }
+
+    /// Charges a copy of `bytes` across the user/kernel boundary (socket
+    /// buffer staging) to `core` and counts it. Returns the completion
+    /// instant.
+    pub fn charge_kernel_copy(&mut self, now: Nanos, core: CoreId, bytes: usize) -> Nanos {
+        self.bump("kernel_copies", 1);
+        self.bump("kernel_copy_bytes", bytes as u64);
+        let cost = self.cpu.copy_cost(bytes);
+        self.exec(now, core, cost)
+    }
+
+    /// Charges a userspace copy of `bytes` (framework or application
+    /// buffer-to-buffer) to `core` and counts it. Returns the completion
+    /// instant.
+    pub fn charge_user_copy(&mut self, now: Nanos, core: CoreId, bytes: usize) -> Nanos {
+        self.bump("user_copies", 1);
+        self.bump("user_copy_bytes", bytes as u64);
+        let cost = self.cpu.copy_cost(bytes);
+        self.exec(now, core, cost)
+    }
+
+    /// Counts one DMA transfer of `bytes` by the NIC. DMA costs no host CPU
+    /// time — that asymmetry versus [`Host::charge_kernel_copy`] is the
+    /// paper's core argument — so this only bumps counters.
+    pub fn count_dma(&self, bytes: usize) {
+        self.bump("dma_transfers", 1);
+        self.bump("dma_bytes", bytes as u64);
     }
 
     /// The instant `core` becomes free.

@@ -49,6 +49,7 @@ mod event;
 mod fault;
 mod frame;
 mod host;
+pub mod metrics;
 mod net;
 mod sim;
 mod stats;
@@ -58,6 +59,7 @@ pub use event::{EventFn, EventId};
 pub use fault::{FaultPlane, FaultVerdict};
 pub use frame::{Addr, Frame};
 pub use host::{CoreId, CpuModel, Host, HostId, HostRef};
+pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot, TraceEvent};
 pub use net::{FrameHandler, LinkId, LinkSpec, NetStats, Network};
 pub use sim::Simulator;
 pub use stats::{

@@ -1,0 +1,661 @@
+//! Cross-layer metrics registry and bounded structured event trace.
+//!
+//! Every simulated world owns one [`Metrics`] registry (created by
+//! [`Network::new`](crate::Network::new) and shared by every layer built on
+//! top: hosts, the TCP stack, the verbs stack, RUBIN, and the replication
+//! protocol). The registry is *deterministic*: counters, gauges and
+//! histograms are stored under ordered string keys, and
+//! [`MetricsSnapshot::to_json`] renders them byte-identically for identical
+//! simulations — which is what lets the test suite assert the paper's
+//! structural claims ("the RDMA data path crosses the kernel zero times")
+//! directly from counters, and lets a determinism regression test compare
+//! whole runs by comparing two JSON strings.
+//!
+//! Key naming convention: `layer.scope.metric`, e.g.
+//! `host.h0.kernel_crossings`, `rdma.h1.qp3.rnr_retries`,
+//! `reptor.r2.view_changes`. Dots order lexicographically, so related keys
+//! group together in snapshots.
+//!
+//! # Example
+//!
+//! ```
+//! use simnet::metrics::Metrics;
+//!
+//! let m = Metrics::new();
+//! m.incr("host.h0.syscalls");
+//! m.incr_by("host.h0.kernel_copy_bytes", 1024);
+//! m.observe("reptor.r0.batch_fill_pct", 75);
+//! let snap = m.snapshot();
+//! assert_eq!(snap.counter("host.h0.syscalls"), 1);
+//! assert!(simnet::metrics::validate_json(&snap.to_json()).is_ok());
+//! ```
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::LatencyRecorder;
+use crate::time::Nanos;
+
+/// Default bound on the structured event trace.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// A histogram of unit-agnostic `u64` observations, built on
+/// [`LatencyRecorder`]. Most users record nanoseconds, but any
+/// non-negative integer quantity (batch fill percent, events per poll)
+/// works; the summary is reported in the recorded unit.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    rec: LatencyRecorder,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.rec.record(Nanos::from_nanos(value));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.rec.len() as u64
+    }
+
+    /// True if nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.rec.is_empty()
+    }
+
+    /// The `p`-th percentile (nearest rank). See
+    /// [`LatencyRecorder::percentile`] for panics.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.rec.percentile(p).as_nanos()
+    }
+
+    /// Minimum observation (zero when empty).
+    pub fn min(&self) -> u64 {
+        self.rec.min().as_nanos()
+    }
+
+    /// Maximum observation (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.rec.max().as_nanos()
+    }
+
+    /// Integer mean (zero when empty).
+    pub fn mean(&self) -> u64 {
+        self.rec.mean().as_nanos()
+    }
+
+    /// Produces the integer summary embedded in snapshots.
+    pub fn summary(&self) -> HistogramSummary {
+        if self.is_empty() {
+            return HistogramSummary::default();
+        }
+        HistogramSummary {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// Integer summary of a [`Histogram`], in the recorded unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Integer mean.
+    pub mean: u64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+}
+
+/// One entry of the bounded structured trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time of the event, in nanoseconds.
+    pub at_ns: u64,
+    /// Emitting layer (`"reptor"`, `"rdma"`, `"tcp"`, …).
+    pub layer: &'static str,
+    /// Human-readable event description.
+    pub event: String,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+    trace: VecDeque<TraceEvent>,
+    trace_capacity: usize,
+    trace_dropped: u64,
+}
+
+/// Shared handle to a metrics registry. Cheap to clone; every layer of one
+/// simulated world holds the same underlying registry.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    inner: Rc<RefCell<Registry>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Creates a fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics {
+            inner: Rc::new(RefCell::new(Registry {
+                trace_capacity: DEFAULT_TRACE_CAPACITY,
+                ..Registry::default()
+            })),
+        }
+    }
+
+    /// Increments the counter `key` by one.
+    pub fn incr(&self, key: &str) {
+        self.incr_by(key, 1);
+    }
+
+    /// Increments the counter `key` by `n`.
+    pub fn incr_by(&self, key: &str, n: u64) {
+        let mut reg = self.inner.borrow_mut();
+        match reg.counters.get_mut(key) {
+            Some(c) => *c += n,
+            None => {
+                reg.counters.insert(key.to_string(), n);
+            }
+        }
+    }
+
+    /// Current value of counter `key` (zero if never incremented).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.inner.borrow().counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `key` to `value`.
+    pub fn set_gauge(&self, key: &str, value: i64) {
+        self.inner
+            .borrow_mut()
+            .gauges
+            .insert(key.to_string(), value);
+    }
+
+    /// Current value of gauge `key` (zero if never set).
+    pub fn gauge(&self, key: &str) -> i64 {
+        self.inner.borrow().gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into the histogram `key`, creating it on first use.
+    pub fn observe(&self, key: &str, value: u64) {
+        let mut reg = self.inner.borrow_mut();
+        match reg.histograms.get_mut(key) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                reg.histograms.insert(key.to_string(), h);
+            }
+        }
+    }
+
+    /// A clone of the histogram `key`, if any values were observed.
+    pub fn histogram(&self, key: &str) -> Option<Histogram> {
+        self.inner.borrow().histograms.get(key).cloned()
+    }
+
+    /// Appends a structured trace event; the oldest entry is dropped (and
+    /// counted) once the ring is full.
+    pub fn trace(&self, at: Nanos, layer: &'static str, event: impl Into<String>) {
+        let mut reg = self.inner.borrow_mut();
+        if reg.trace.len() >= reg.trace_capacity {
+            reg.trace.pop_front();
+            reg.trace_dropped += 1;
+        }
+        reg.trace.push_back(TraceEvent {
+            at_ns: at.as_nanos(),
+            layer,
+            event: event.into(),
+        });
+    }
+
+    /// Changes the trace ring capacity (existing excess entries are
+    /// dropped oldest-first and counted).
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        let mut reg = self.inner.borrow_mut();
+        reg.trace_capacity = capacity;
+        while reg.trace.len() > capacity {
+            reg.trace.pop_front();
+            reg.trace_dropped += 1;
+        }
+    }
+
+    /// Sums every counter whose key ends in `.{metric}` — e.g.
+    /// `total("syscalls")` adds the syscall counters of all hosts.
+    pub fn total(&self, metric: &str) -> u64 {
+        let suffix = format!(".{metric}");
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .filter(|(k, _)| k.ends_with(&suffix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Produces an immutable, serializable snapshot of everything recorded
+    /// so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let reg = self.inner.borrow();
+        MetricsSnapshot {
+            counters: reg.counters.clone(),
+            gauges: reg.gauges.clone(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            trace: reg.trace.iter().cloned().collect(),
+            trace_dropped: reg.trace_dropped,
+        }
+    }
+}
+
+/// An immutable snapshot of a [`Metrics`] registry.
+///
+/// Rendering with [`MetricsSnapshot::to_json`] is deterministic: keys are
+/// ordered (`BTreeMap`), all numbers are integers, and the trace preserves
+/// insertion order — identical simulations produce byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by key.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write gauges by key.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by key.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// The bounded structured trace, oldest first.
+    pub trace: Vec<TraceEvent>,
+    /// Number of trace events evicted by the ring bound.
+    pub trace_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by key (zero if absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by key (zero if absent).
+    pub fn gauge(&self, key: &str) -> i64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// Histogram summary by key, if present.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(key)
+    }
+
+    /// Sums every counter whose key ends in `.{metric}`.
+    pub fn total(&self, metric: &str) -> u64 {
+        let suffix = format!(".{metric}");
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.ends_with(&suffix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Renders the snapshot as deterministic JSON (ordered keys, integer
+    /// values, hand-rolled because no JSON crate is available offline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        out.push_str("\"counters\":{");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter(), |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, self.histograms.iter(), |out, h| {
+            out.push_str(&format!(
+                "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count, h.min, h.max, h.mean, h.p50, h.p90, h.p99
+            ));
+        });
+        out.push_str("},\"trace\":[");
+        for (i, ev) in self.trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"at_ns\":{},\"layer\":{},\"event\":{}}}",
+                ev.at_ns,
+                json_string(ev.layer),
+                json_string(&ev.event)
+            ));
+        }
+        out.push_str("],\"trace_dropped\":");
+        out.push_str(&self.trace_dropped.to_string());
+        out.push('}');
+        out
+    }
+}
+
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut render: impl FnMut(&mut String, &V),
+) {
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(k));
+        out.push(':');
+        render(out, v);
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Validates that `s` is one complete JSON value (object, array, string,
+/// number, boolean or null). Returns a byte offset and description on error.
+///
+/// A minimal recursive-descent checker — enough for tests and tools to
+/// guard the sidecar format without an external JSON crate.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                skip_ws(b, pos);
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}")),
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", want as char))
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.incr("a.b.c");
+        m.incr_by("a.b.c", 4);
+        assert_eq!(m.counter("a.b.c"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn totals_sum_by_suffix() {
+        let m = Metrics::new();
+        m.incr_by("host.h0.syscalls", 3);
+        m.incr_by("host.h1.syscalls", 4);
+        m.incr_by("host.h0.syscalls_total_other", 100);
+        assert_eq!(m.total("syscalls"), 7);
+        assert_eq!(m.snapshot().total("syscalls"), 7);
+    }
+
+    #[test]
+    fn histogram_summary_orders() {
+        let mut h = Histogram::new();
+        for v in [5u64, 1, 9, 3, 7] {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!((s.min..=s.max).contains(&s.mean));
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let m = Metrics::new();
+        m.set_trace_capacity(3);
+        for i in 0..5u64 {
+            m.trace(Nanos::from_nanos(i), "test", format!("ev{i}"));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.trace.len(), 3);
+        assert_eq!(snap.trace_dropped, 2);
+        assert_eq!(snap.trace[0].event, "ev2");
+        assert_eq!(snap.trace[2].event, "ev4");
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_deterministic() {
+        let build = || {
+            let m = Metrics::new();
+            m.incr_by("host.h0.kernel_copies", 2);
+            m.set_gauge("rubin.h0.pool.recv.high_water", -1);
+            m.observe("reptor.r0.phase.commit_ns", 420);
+            m.trace(Nanos::from_nanos(7), "reptor", "view change \"quoted\"\n");
+            m.snapshot().to_json()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same operations must render identical JSON");
+        validate_json(&a).expect("snapshot JSON validates");
+        assert!(a.contains("\"host.h0.kernel_copies\":2"));
+        assert!(a.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            r#"{"a":[1,2,{"b":"c\n"}],"d":true}"#,
+            "  [ 1 , 2 ]  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok:?} should validate: {e}"));
+        }
+        for bad in ["", "{", "[1,]", "{\"a\"}", "01x", "\"unterminated", "{}{}"] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json() {
+        let j = Metrics::new().snapshot().to_json();
+        validate_json(&j).expect("empty snapshot validates");
+        assert_eq!(
+            j,
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"trace\":[],\"trace_dropped\":0}"
+        );
+    }
+}

@@ -16,6 +16,7 @@ use rand::Rng;
 use crate::fault::{FaultPlane, FaultVerdict};
 use crate::frame::{Addr, Frame};
 use crate::host::{CpuModel, Host, HostId, HostRef};
+use crate::metrics::Metrics;
 use crate::sim::Simulator;
 use crate::time::{Bandwidth, Nanos};
 
@@ -104,6 +105,7 @@ struct NetInner {
     loopback_busy: std::collections::HashMap<HostId, Nanos>,
     stats: NetStats,
     next_ephemeral_port: u32,
+    metrics: Metrics,
 }
 
 /// Shared handle to the simulated network.
@@ -165,6 +167,7 @@ impl Network {
                 loopback_busy: std::collections::HashMap::new(),
                 stats: NetStats::default(),
                 next_ephemeral_port: 49_152,
+                metrics: Metrics::new(),
             })),
         }
     }
@@ -173,10 +176,16 @@ impl Network {
     pub fn add_host(&self, name: impl Into<String>, cores: usize, cpu: CpuModel) -> HostId {
         let mut inner = self.inner.borrow_mut();
         let id = HostId(inner.hosts.len() as u32);
-        inner
-            .hosts
-            .push(Rc::new(RefCell::new(Host::new(id, name, cores, cpu))));
+        let mut host = Host::new(id, name, cores, cpu);
+        host.attach_metrics(inner.metrics.clone());
+        inner.hosts.push(Rc::new(RefCell::new(host)));
         id
+    }
+
+    /// Handle to the shared metrics registry every layer of this network
+    /// reports into. Clones are cheap and refer to the same registry.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.borrow().metrics.clone()
     }
 
     /// Returns the shared handle to a host.
@@ -238,9 +247,7 @@ impl Network {
     /// Panics if the address is already bound.
     pub fn bind(&self, addr: Addr, handler: FrameHandler) {
         let mut inner = self.inner.borrow_mut();
-        let prev = inner
-            .handlers
-            .insert(addr, Rc::new(RefCell::new(handler)));
+        let prev = inner.handlers.insert(addr, Rc::new(RefCell::new(handler)));
         assert!(prev.is_none(), "address {addr} already bound");
     }
 
@@ -300,10 +307,7 @@ impl Network {
                             .adjacency
                             .get(&(frame.src.host, frame.dst.host))
                             .unwrap_or_else(|| {
-                                panic!(
-                                    "no link between {} and {}",
-                                    frame.src.host, frame.dst.host
-                                )
+                                panic!("no link between {} and {}", frame.src.host, frame.dst.host)
                             });
                         let link = &mut inner.links[idx];
                         let dir = usize::from(frame.src.host != link.ends.0);
@@ -318,10 +322,7 @@ impl Network {
             }
         }
         let net = self.clone();
-        sim.schedule_at(
-            deliver_at,
-            Box::new(move |sim| net.deliver(sim, frame)),
-        );
+        sim.schedule_at(deliver_at, Box::new(move |sim| net.deliver(sim, frame)));
     }
 
     fn deliver(&self, sim: &mut Simulator, frame: Frame) {
@@ -422,10 +423,7 @@ mod tests {
         let times = Rc::new(RefCell::new(Vec::new()));
         let t = times.clone();
         let dst = Addr::new(b, 1);
-        net.bind(
-            dst,
-            Box::new(move |sim, _f| t.borrow_mut().push(sim.now())),
-        );
+        net.bind(dst, Box::new(move |sim, _f| t.borrow_mut().push(sim.now())));
         for _ in 0..2 {
             net.send(&mut sim, Frame::new(Addr::new(a, 9), dst, 1500, ()));
         }
@@ -445,7 +443,10 @@ mod tests {
         for (src, dst) in [(a, b), (b, a)] {
             let t = times.clone();
             let addr = Addr::new(dst, 1);
-            net.bind(addr, Box::new(move |sim, _f| t.borrow_mut().push(sim.now())));
+            net.bind(
+                addr,
+                Box::new(move |sim, _f| t.borrow_mut().push(sim.now())),
+            );
             net.send(&mut sim, Frame::new(Addr::new(src, 9), addr, 1500, ()));
         }
         sim.run_until_idle();
@@ -459,7 +460,10 @@ mod tests {
         let (mut sim, net, a, b) = two_host_net();
         net.bind(Addr::new(b, 1), Box::new(|_, _| panic!("must not deliver")));
         net.with_faults(|f| f.partition(a, b));
-        net.send(&mut sim, Frame::new(Addr::new(a, 9), Addr::new(b, 1), 100, ()));
+        net.send(
+            &mut sim,
+            Frame::new(Addr::new(a, 9), Addr::new(b, 1), 100, ()),
+        );
         sim.run_until_idle();
         assert_eq!(net.stats().dropped_by_fault, 1);
         assert_eq!(net.stats().delivered, 0);
@@ -468,7 +472,10 @@ mod tests {
     #[test]
     fn unbound_address_counts_unroutable() {
         let (mut sim, net, a, b) = two_host_net();
-        net.send(&mut sim, Frame::new(Addr::new(a, 9), Addr::new(b, 1), 100, ()));
+        net.send(
+            &mut sim,
+            Frame::new(Addr::new(a, 9), Addr::new(b, 1), 100, ()),
+        );
         sim.run_until_idle();
         assert_eq!(net.stats().unroutable, 1);
     }
@@ -486,7 +493,10 @@ mod tests {
                 *g.borrow_mut() = true;
             }),
         );
-        net.send(&mut sim, Frame::new(Addr::new(a, 1), Addr::new(a, 2), 64, ()));
+        net.send(
+            &mut sim,
+            Frame::new(Addr::new(a, 1), Addr::new(a, 2), 64, ()),
+        );
         sim.run_until_idle();
         assert!(*got.borrow());
     }
@@ -541,7 +551,10 @@ mod tests {
         let net = Network::new();
         let a = net.add_host("a", 1, CpuModel::xeon_v2());
         let b = net.add_host("b", 1, CpuModel::xeon_v2());
-        net.send(&mut sim, Frame::new(Addr::new(a, 1), Addr::new(b, 1), 10, ()));
+        net.send(
+            &mut sim,
+            Frame::new(Addr::new(a, 1), Addr::new(b, 1), 10, ()),
+        );
     }
 
     #[test]

@@ -222,9 +222,9 @@ impl Bandwidth {
 
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.bits_per_sec % 1_000_000_000 == 0 {
+        if self.bits_per_sec.is_multiple_of(1_000_000_000) {
             write!(f, "{}Gbps", self.bits_per_sec / 1_000_000_000)
-        } else if self.bits_per_sec % 1_000_000 == 0 {
+        } else if self.bits_per_sec.is_multiple_of(1_000_000) {
             write!(f, "{}Mbps", self.bits_per_sec / 1_000_000)
         } else {
             write!(f, "{}bps", self.bits_per_sec)

@@ -75,7 +75,12 @@ fn main() {
     }
     run(&mut sim, want);
     for c in client.completions() {
-        println!("  put #{} -> {:?} in {}", c.timestamp, String::from_utf8_lossy(&c.result), c.latency());
+        println!(
+            "  put #{} -> {:?} in {}",
+            c.timestamp,
+            String::from_utf8_lossy(&c.result),
+            c.latency()
+        );
     }
 
     println!("\n== crashing replica 3 (f = 1 tolerated) ==");

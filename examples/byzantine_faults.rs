@@ -39,13 +39,21 @@ fn main() {
         c.replicas[0].set_byzantine(ByzantineMode::SilentPrimary);
     });
 
-    scenario("equivocating primary — safety preserved, then ousted", 3, |c| {
-        c.replicas[0].set_byzantine(ByzantineMode::EquivocatingPrimary);
-    });
+    scenario(
+        "equivocating primary — safety preserved, then ousted",
+        3,
+        |c| {
+            c.replicas[0].set_byzantine(ByzantineMode::EquivocatingPrimary);
+        },
+    );
 
-    scenario("replica sending corrupted MACs — detected and ignored", 4, |c| {
-        c.replicas[2].set_byzantine(ByzantineMode::CorruptMacs);
-    });
+    scenario(
+        "replica sending corrupted MACs — detected and ignored",
+        4,
+        |c| {
+            c.replicas[2].set_byzantine(ByzantineMode::CorruptMacs);
+        },
+    );
 
     scenario("crashed backup — quorum of 3 of 4 suffices", 5, |c| {
         c.replicas[3].set_byzantine(ByzantineMode::Crash);

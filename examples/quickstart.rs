@@ -24,11 +24,7 @@ fn main() {
     let selector = RdmaSelector::new(&dev_server, CoreId(0), cfg.select_ns);
     selector.register_server(&mut tb.sim, &server);
 
-    fn serve(
-        sel: rubin::RdmaSelector,
-        server: RdmaServerChannel,
-        sim: &mut simnet::Simulator,
-    ) {
+    fn serve(sel: rubin::RdmaSelector, server: RdmaServerChannel, sim: &mut simnet::Simulator) {
         let sel2 = sel.clone();
         sel.select(sim, move |sim, ready| {
             for ev in ready {

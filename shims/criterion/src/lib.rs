@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's `harness = false` benches use —
+//! `Criterion::benchmark_group`, chained group configuration,
+//! `bench_with_input` with `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple mean-of-N wall-clock timer
+//! instead of criterion's statistical machinery. Good enough to smoke-run
+//! benches offline and to keep `cargo test`/`cargo bench` compiling.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; this shim does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this shim times exactly
+    /// `sample_size` runs.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            rounds: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Runs one unparameterized benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            rounds: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&name.to_string(), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{label}: no iterations", self.name);
+            return;
+        }
+        let mean = b.total.as_nanos() as f64 / b.iters as f64;
+        println!("{}/{label}: {:.1} ns/iter (n={})", self.name, mean, b.iters);
+    }
+}
+
+/// Identifies a benchmark within a group by function name and parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and its parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Times `rounds` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! The `option::of` strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` or `Some(inner)` with equal probability.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}

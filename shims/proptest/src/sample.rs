@@ -1,0 +1,26 @@
+//! Sampling helpers: the collection-independent [`Index`].
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An arbitrary index usable against any non-empty collection length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this index onto a collection of `size` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on an empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn generate(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

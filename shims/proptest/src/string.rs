@@ -1,0 +1,137 @@
+//! A tiny regex-subset string generator backing `&str` strategies.
+//!
+//! Supports the patterns this workspace's tests use: literal characters,
+//! character classes with ranges (`[a-z0-9_]`), and the repetition suffixes
+//! `{n}`, `{m,n}`, `?`, `*` and `+` (the unbounded forms cap at 8 repeats).
+//! Anything fancier panics with a clear message.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alternatives: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let class = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                class
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 2;
+                vec![c]
+            }
+            c @ ('(' | ')' | '|' | '.' | '^' | '$') => {
+                panic!("regex feature {c:?} unsupported by the proptest shim (pattern {pattern:?})")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = parse_repeat(&chars, &mut i, pattern);
+        let n = lo + (rng.below((hi - lo + 1) as u64) as u32);
+        for _ in 0..n {
+            let k = rng.below(alternatives.len() as u64) as usize;
+            out.push(alternatives[k]);
+        }
+    }
+    out
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty character class in {pattern:?}");
+    assert!(body[0] != '^', "negated classes unsupported in {pattern:?}");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (a, b) = (body[i] as u32, body[i + 2] as u32);
+            assert!(a <= b, "inverted class range in {pattern:?}");
+            for c in a..=b {
+                out.push(char::from_u32(c).expect("valid range char"));
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses an optional repetition suffix at `*i`, advancing past it.
+/// Returns the inclusive `(min, max)` repeat counts.
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (u32, u32) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repeat count {s:?} in {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_counted_repeat() {
+        let mut rng = TestRng::deterministic("class_with_counted_repeat");
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = TestRng::deterministic("literals_and_escapes");
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate(r"a\[b", &mut rng), "a[b");
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses serde as a *declaration of intent*: types derive
+//! `Serialize`/`Deserialize` so a future wire format can pick them up, but no
+//! serde-based serializer runs in this offline build (JSON output is
+//! hand-rolled in `simnet::metrics`). The shim therefore provides the two
+//! trait names as markers and re-exports pass-through derive macros under the
+//! usual `derive` feature.
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,43 @@
+//! Pass-through `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! Because the shimmed traits are inert markers, the derives only need to
+//! emit `impl serde::Trait for Type {}`. The input is parsed by hand (no
+//! `syn`/`quote` available offline): scan top-level tokens for the
+//! `struct`/`enum` keyword and take the following identifier as the type
+//! name. Generic types are intentionally unsupported — every derived type in
+//! this workspace is concrete.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive shim: expected a struct or enum");
+}

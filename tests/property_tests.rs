@@ -70,13 +70,16 @@ proptest! {
 // ---------------------------------------------------------------------
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    (any::<u32>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(
-        |(client, timestamp, payload)| Request {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(client, timestamp, payload)| Request {
             client,
             timestamp,
             payload,
-        },
-    )
+        })
 }
 
 fn arb_digest() -> impl Strategy<Value = Digest> {
@@ -122,20 +125,22 @@ fn arb_message() -> impl Strategy<Value = Message> {
             any::<u32>(),
             proptest::collection::vec(any::<u8>(), 0..64)
         )
-            .prop_map(|(view, client, timestamp, replica, result)| Message::Reply {
-                view,
-                client,
-                timestamp,
-                replica,
-                result
-            }),
-        (any::<u64>(), arb_digest(), any::<u32>()).prop_map(
-            |(seq, state_digest, replica)| Message::Checkpoint {
+            .prop_map(
+                |(view, client, timestamp, replica, result)| Message::Reply {
+                    view,
+                    client,
+                    timestamp,
+                    replica,
+                    result
+                }
+            ),
+        (any::<u64>(), arb_digest(), any::<u32>()).prop_map(|(seq, state_digest, replica)| {
+            Message::Checkpoint {
                 seq,
                 state_digest,
-                replica
+                replica,
             }
-        ),
+        }),
         (
             any::<u64>(),
             any::<u64>(),
@@ -320,6 +325,78 @@ proptest! {
             });
             prop_assert!(chain.verify().is_err());
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics: percentiles and histograms
+// ---------------------------------------------------------------------
+
+/// Independent nearest-rank reference: sort, then index
+/// `round(p/100 · (n-1))`.
+fn nearest_rank_reference(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    /// `LatencyRecorder::percentile` matches the naive nearest-rank
+    /// reference and is monotone in `p`, with the usual ordering
+    /// invariants.
+    #[test]
+    fn latency_percentiles_match_reference(samples in proptest::collection::vec(0u64..10_000_000, 1..128)) {
+        use simnet::LatencyRecorder;
+        let mut rec = LatencyRecorder::new();
+        for &s in &samples {
+            rec.record(Nanos::from_nanos(s));
+        }
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(
+                rec.percentile(p).as_nanos(),
+                nearest_rank_reference(&samples, p),
+                "percentile {} disagrees with the reference", p
+            );
+        }
+        let (min, p50, p99, max) = (
+            rec.min().as_nanos(),
+            rec.percentile(50.0).as_nanos(),
+            rec.percentile(99.0).as_nanos(),
+            rec.max().as_nanos(),
+        );
+        prop_assert!(min <= p50 && p50 <= p99 && p99 <= max);
+        prop_assert_eq!(rec.percentile(0.0).as_nanos(), min);
+        prop_assert_eq!(rec.percentile(100.0).as_nanos(), max);
+        let mean = rec.mean().as_nanos();
+        prop_assert!(mean >= min && mean <= max, "mean must lie in [min, max]");
+    }
+
+    /// The metrics `Histogram` mirrors the recorder invariants, its
+    /// summary is internally consistent, and observation order does not
+    /// matter.
+    #[test]
+    fn metrics_histogram_summary_invariants(samples in proptest::collection::vec(0u64..10_000_000, 1..128)) {
+        use simnet::Histogram;
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let sum = h.summary();
+        prop_assert_eq!(sum.count, samples.len() as u64);
+        prop_assert_eq!(sum.min, *samples.iter().min().unwrap());
+        prop_assert_eq!(sum.max, *samples.iter().max().unwrap());
+        prop_assert!(sum.min <= sum.p50 && sum.p50 <= sum.p90 && sum.p90 <= sum.p99);
+        prop_assert!(sum.p99 <= sum.max);
+        prop_assert!(sum.mean >= sum.min && sum.mean <= sum.max);
+        prop_assert_eq!(h.percentile(50.0), nearest_rank_reference(&samples, 50.0));
+
+        // Observation order is irrelevant: reversed input, same summary.
+        let mut rev = Histogram::new();
+        for &s in samples.iter().rev() {
+            rev.observe(s);
+        }
+        prop_assert_eq!(rev.summary(), sum);
     }
 }
 

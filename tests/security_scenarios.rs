@@ -127,10 +127,7 @@ fn access_flags_bound_remote_capability() {
     )
     .unwrap();
     tb.sim.run_until_idle();
-    assert_eq!(
-        attacker.cq.poll(8)[0].status,
-        WcStatus::RemoteAccessError
-    );
+    assert_eq!(attacker.cq.poll(8)[0].status, WcStatus::RemoteAccessError);
     assert_eq!(exposed.read(0, 16).unwrap(), b"public-read-only");
 }
 
@@ -182,10 +179,16 @@ fn receiver_chooses_placement_for_two_sided_transfers() {
 
     // Receiver posts two disjoint slots in one region.
     let buf = rx.dev.reg_mr(&rx.pd, 256, Access::LOCAL_WRITE);
-    rqp.post_recv(&mut tb.sim, RecvWr::new(WrId(10), Sge::new(buf.clone(), 0, 128)))
-        .unwrap();
-    rqp.post_recv(&mut tb.sim, RecvWr::new(WrId(11), Sge::new(buf.clone(), 128, 128)))
-        .unwrap();
+    rqp.post_recv(
+        &mut tb.sim,
+        RecvWr::new(WrId(10), Sge::new(buf.clone(), 0, 128)),
+    )
+    .unwrap();
+    rqp.post_recv(
+        &mut tb.sim,
+        RecvWr::new(WrId(11), Sge::new(buf.clone(), 128, 128)),
+    )
+    .unwrap();
 
     for (i, msg) in [b"first!", b"second"].iter().enumerate() {
         let src = tx.dev.reg_mr(&tx.pd, 6, Access::NONE);

@@ -12,6 +12,7 @@ use simnet::{CoreId, HostId, Nanos, Simulator, TestBed};
 use simnet_socket::TcpModel;
 
 type Log = Rc<RefCell<Vec<(u32, u32, Vec<u8>)>>>;
+type MeshFn = fn(usize, u64) -> (Simulator, Vec<Rc<dyn Transport>>);
 
 fn wire_log(transports: &[Rc<dyn Transport>]) -> Log {
     let log: Log = Rc::new(RefCell::new(Vec::new()));
@@ -36,7 +37,9 @@ fn nio_mesh(n: usize, seed: u64) -> (Simulator, Vec<Rc<dyn Transport>>) {
     sim.run_until_idle();
     (
         sim,
-        ts.into_iter().map(|t| Rc::new(t) as Rc<dyn Transport>).collect(),
+        ts.into_iter()
+            .map(|t| Rc::new(t) as Rc<dyn Transport>)
+            .collect(),
     )
 }
 
@@ -57,7 +60,9 @@ fn rubin_mesh(n: usize, seed: u64) -> (Simulator, Vec<Rc<dyn Transport>>) {
     sim.run_until_idle();
     (
         sim,
-        ts.into_iter().map(|t| Rc::new(t) as Rc<dyn Transport>).collect(),
+        ts.into_iter()
+            .map(|t| Rc::new(t) as Rc<dyn Transport>)
+            .collect(),
     )
 }
 
@@ -135,7 +140,10 @@ fn large_messages_flow(sim: &mut Simulator, ts: &[Rc<dyn Transport>]) {
     sim.run_until_idle();
     let log = log.borrow();
     assert_eq!(log.len(), 6);
-    assert!(log.iter().all(|(_, _, b)| *b == payload), "payload integrity");
+    assert!(
+        log.iter().all(|(_, _, b)| *b == payload),
+        "payload integrity"
+    );
 }
 
 #[test]
@@ -152,7 +160,7 @@ fn rubin_transport_moves_large_messages() {
 
 #[test]
 fn rubin_transport_is_faster_than_nio_for_small_messages() {
-    let elapsed = |mk: fn(usize, u64) -> (Simulator, Vec<Rc<dyn Transport>>)| -> Nanos {
+    let elapsed = |mk: MeshFn| -> Nanos {
         let (mut sim, ts) = mk(2, 37);
         let log = wire_log(&ts);
         let start = sim.now();

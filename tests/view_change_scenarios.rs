@@ -35,6 +35,30 @@ fn cascading_faulty_primaries_are_skipped() {
             r.view()
         );
     }
+    // The metrics registry recorded the cascade: every correct replica
+    // voted for at least the two view changes it sat through, and the
+    // trace carries the view-change events.
+    let snap = c.metrics_snapshot();
+    for r in &c.replicas[2..] {
+        let vc = snap.counter(&format!("reptor.r{}.view_changes", r.id()));
+        assert!(
+            vc >= 2,
+            "replica {} counted {vc} view changes, expected >= 2",
+            r.id()
+        );
+        assert_eq!(
+            vc,
+            r.stats().view_changes_sent,
+            "registry and ReplicaStats must agree for replica {}",
+            r.id()
+        );
+    }
+    assert!(
+        snap.trace
+            .iter()
+            .any(|ev| ev.layer == "reptor" && ev.event.contains("view_change")),
+        "trace ring must carry the view-change events"
+    );
 }
 
 #[test]
@@ -63,7 +87,10 @@ fn view_change_replays_prepared_batches_without_duplication() {
         .map(|cm| u64::from_le_bytes(cm.result.clone().try_into().unwrap()))
         .max()
         .unwrap();
-    assert_eq!(max, 8, "each inc applied exactly once across the view change");
+    assert_eq!(
+        max, 8,
+        "each inc applied exactly once across the view change"
+    );
     for r in &c.replicas[1..] {
         assert_eq!(r.stats().executed_requests, 8, "replica {}", r.id());
     }
@@ -168,6 +195,26 @@ fn checkpoints_continue_after_view_change() {
             r.low_mark()
         );
     }
+    // Checkpoint garbage collection actually freed log entries, and the
+    // registry agrees with the per-replica stats.
+    let snap = c.metrics_snapshot();
+    for r in &c.replicas[1..] {
+        let stable = snap.counter(&format!("reptor.r{}.checkpoints_stable", r.id()));
+        let freed = snap.counter(&format!("reptor.r{}.checkpoint_gc_freed", r.id()));
+        assert!(stable >= 1, "replica {} stabilised no checkpoint", r.id());
+        assert_eq!(stable, r.stats().stable_checkpoints, "replica {}", r.id());
+        assert!(
+            freed >= 4,
+            "replica {} freed only {freed} log entries at its checkpoints",
+            r.id()
+        );
+    }
+    assert!(
+        snap.trace
+            .iter()
+            .any(|ev| ev.layer == "reptor" && ev.event.contains("checkpoint_stable")),
+        "trace ring must carry the checkpoint events"
+    );
 }
 
 #[test]
