@@ -356,6 +356,28 @@ pub fn channel_echo_instrumented(
     msgs: usize,
     cfg: RubinConfig,
 ) -> (EchoResult, simnet::MetricsSnapshot) {
+    channel_echo_run(payload, msgs, cfg, 0.0)
+}
+
+/// As [`channel_echo_instrumented`] but with frame loss probability `loss`
+/// applied to both directions of the link *after* establishment: the RC
+/// retransmission path recovers every drop while the data path stays on
+/// the RNIC (asserted by the stack-invariant tests).
+pub fn channel_echo_lossy_instrumented(
+    payload: usize,
+    msgs: usize,
+    cfg: RubinConfig,
+    loss: f64,
+) -> (EchoResult, simnet::MetricsSnapshot) {
+    channel_echo_run(payload, msgs, cfg, loss)
+}
+
+fn channel_echo_run(
+    payload: usize,
+    msgs: usize,
+    cfg: RubinConfig,
+    loss: f64,
+) -> (EchoResult, simnet::MetricsSnapshot) {
     let mut tb = TestBed::paper_testbed(0xF1634);
     let dev_a = RdmaDevice::open(&tb.net, tb.a, RnicModel::mt27520());
     let dev_b = RdmaDevice::open(&tb.net, tb.b, RnicModel::mt27520());
@@ -387,6 +409,13 @@ pub fn channel_echo_instrumented(
         }
     }
     assert!(client.is_established());
+    if loss > 0.0 {
+        let (a, b) = (tb.a, tb.b);
+        tb.net.with_faults(|f| {
+            f.set_loss(a, b, loss);
+            f.set_loss(b, a, loss);
+        });
+    }
     let data = pattern(payload);
 
     let mut rec = LatencyRecorder::new();

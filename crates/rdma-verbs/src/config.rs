@@ -45,6 +45,21 @@ pub struct RnicModel {
     pub rnr_retry: u32,
     /// Delay between RNR retries.
     pub rnr_timer: Nanos,
+    /// Transport retry count: how many times an unacknowledged operation is
+    /// retransmitted before the send fails with
+    /// [`WcStatus::RetryExceeded`](crate::WcStatus::RetryExceeded) and the
+    /// QP enters the error state. Mirrors ibverbs `retry_cnt` (7 is the
+    /// common maximum).
+    pub retry_cnt: u32,
+    /// ACK timeout: how long a transmitted operation may stay
+    /// unacknowledged before the NIC retransmits it. Mirrors ibverbs
+    /// `timeout` (which encodes `4.096 µs × 2^timeout`); here the duration
+    /// is given directly. Must exceed the worst-case ACK round trip —
+    /// including the receiver's RNR hold window
+    /// (`rnr_timer × (rnr_retry + 1)`) — or holds trigger spurious
+    /// retransmissions. `Nanos::ZERO` disables retransmission entirely
+    /// (pre-recovery behaviour: a lost frame stalls the sender forever).
+    pub timeout: Nanos,
     /// Wire size of a NIC-level acknowledgement.
     pub ack_bytes: usize,
     /// Memory-registration cost: fixed part (ioctl, key allocation).
@@ -71,6 +86,10 @@ impl RnicModel {
             max_post_batch: 32,
             rnr_retry: 6,
             rnr_timer: Nanos::from_micros(80),
+            retry_cnt: 7,
+            // > rnr_timer × (rnr_retry + 1) = 560 µs, so a message held at
+            // the receiver is not also retransmitted from the sender.
+            timeout: Nanos::from_millis(1),
             ack_bytes: 16,
             reg_mr_base_ns: 15_000,
             reg_mr_per_page_ns: 250,

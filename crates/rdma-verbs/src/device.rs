@@ -160,9 +160,17 @@ impl RdmaDevice {
         let qp_for_handler = qp.clone();
         self.inner.net.bind(
             addr,
-            Box::new(move |sim, frame| match frame.into_payload::<RdmaPacket>() {
-                Ok(pkt) => qp_for_handler.handle_packet(sim, pkt),
-                Err(_) => debug_assert!(false, "non-RDMA frame on QP port"),
+            Box::new(move |sim, frame| {
+                let corrupted = frame.corrupted;
+                match frame.into_payload::<RdmaPacket>() {
+                    Ok(mut pkt) => {
+                        if corrupted {
+                            corrupt_packet(&mut pkt);
+                        }
+                        qp_for_handler.handle_packet(sim, pkt)
+                    }
+                    Err(_) => debug_assert!(false, "non-RDMA frame on QP port"),
+                }
             }),
         );
         qp
@@ -267,6 +275,24 @@ impl RdmaDevice {
         let id = self.inner.next_conn.get();
         self.inner.next_conn.set(id + 1);
         id
+    }
+}
+
+/// Materializes a fault-injected corruption verdict on a delivered packet:
+/// the last payload byte of a data-bearing packet is flipped, so integrity
+/// checks layered above (the BFT MACs) see a genuinely damaged message.
+/// Control packets pass through untouched — corrupting an ACK on real
+/// hardware fails its CRC and is equivalent to a loss, which the fault
+/// plane models separately.
+fn corrupt_packet(pkt: &mut RdmaPacket) {
+    let data = match pkt {
+        RdmaPacket::Send { data, .. }
+        | RdmaPacket::WriteReq { data, .. }
+        | RdmaPacket::ReadResp { data, .. } => data,
+        _ => return,
+    };
+    if let Some(byte) = data.last_mut() {
+        *byte ^= 0xff;
     }
 }
 

@@ -100,9 +100,13 @@ mod tests {
     }
 
     fn connected_pair() -> Pair {
+        connected_pair_with(RnicModel::mt27520())
+    }
+
+    fn connected_pair_with(model: RnicModel) -> Pair {
         let tb = TestBed::paper_testbed(3);
-        let dev_a = RdmaDevice::open(&tb.net, tb.a, RnicModel::mt27520());
-        let dev_b = RdmaDevice::open(&tb.net, tb.b, RnicModel::mt27520());
+        let dev_a = RdmaDevice::open(&tb.net, tb.a, model.clone());
+        let dev_b = RdmaDevice::open(&tb.net, tb.b, model);
         let pd_a = dev_a.alloc_pd();
         let pd_b = dev_b.alloc_pd();
         let scq_a = dev_a.create_cq(256, None);
@@ -777,12 +781,18 @@ mod tests {
         assert_eq!(flushed.len(), 1);
         assert_eq!(flushed[0].status, WcStatus::WorkRequestFlushed);
         // A send towards the destroyed QP goes nowhere (unroutable frame);
-        // the sender's completion never arrives but nothing panics.
+        // the sender retransmits until the retry budget is spent, then the
+        // operation fails with RetryExceeded and the QP enters error state.
         let unroutable_before = p.tb.net.stats().unroutable;
         send_bytes(&mut p, &[1u8; 16], true);
         p.tb.sim.run_until_idle();
         assert!(p.tb.net.stats().unroutable > unroutable_before);
-        assert_eq!(p.scq_a.poll(8).len(), 0, "no completion without a peer");
+        let model = RnicModel::mt27520();
+        assert_eq!(p.qp_a.stats().retransmits, model.retry_cnt as u64);
+        let wcs = p.scq_a.poll(8);
+        assert_eq!(wcs.len(), 1);
+        assert_eq!(wcs[0].status, WcStatus::RetryExceeded);
+        assert_eq!(p.qp_a.state(), QpState::Error);
     }
 
     #[test]
@@ -870,5 +880,104 @@ mod tests {
         let small = lat(1024);
         let big = lat(102_400);
         assert!(big > small * 10, "100KB ({big}) should dwarf 1KB ({small})");
+    }
+
+    #[test]
+    fn lost_send_is_retransmitted_and_delivered_once() {
+        let mut p = connected_pair();
+        let rbuf = p.dev_b.reg_mr(&p.pd_b, 64, Access::LOCAL_WRITE);
+        p.qp_b
+            .post_recv(
+                &mut p.tb.sim,
+                RecvWr::new(WrId(1), Sge::whole(rbuf.clone())),
+            )
+            .unwrap();
+        // Blackhole the data direction: the first transmission (and early
+        // retransmissions) are lost. Heal mid-run so a later retry lands.
+        let (a, b) = (p.tb.a, p.tb.b);
+        p.tb.net.with_faults(|f| f.set_loss(a, b, 1.0));
+        let net = p.tb.net.clone();
+        p.tb.sim.schedule_at(
+            Nanos::from_micros(2_500),
+            Box::new(move |_| net.with_faults(|f| f.set_loss(a, b, 0.0))),
+        );
+        send_bytes(&mut p, &[9u8; 32], true);
+        p.tb.sim.run_until_idle();
+        assert!(p.qp_a.stats().retransmits >= 2, "early copies were lost");
+        let tx = p.scq_a.poll(8);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].status, WcStatus::Success);
+        let rx = p.rcq_b.poll(8);
+        assert_eq!(rx.len(), 1, "delivered exactly once");
+        assert_eq!(rbuf.read(0, 32).unwrap(), vec![9u8; 32]);
+        assert_eq!(p.qp_b.stats().duplicates_suppressed, 0);
+    }
+
+    #[test]
+    fn lost_ack_is_recovered_by_reack_without_redelivery() {
+        let mut p = connected_pair();
+        let rbuf = p.dev_b.reg_mr(&p.pd_b, 64, Access::LOCAL_WRITE);
+        p.qp_b
+            .post_recv(&mut p.tb.sim, RecvWr::new(WrId(1), Sge::whole(rbuf)))
+            .unwrap();
+        // Blackhole only the ACK direction: data arrives, every ACK (and
+        // re-ACK) is lost until the link heals, forcing the sender to
+        // retransmit a message the receiver already executed.
+        let (a, b) = (p.tb.a, p.tb.b);
+        p.tb.net.with_faults(|f| f.set_loss(b, a, 1.0));
+        let net = p.tb.net.clone();
+        p.tb.sim.schedule_at(
+            Nanos::from_micros(2_500),
+            Box::new(move |_| net.with_faults(|f| f.set_loss(b, a, 0.0))),
+        );
+        send_bytes(&mut p, &[5u8; 32], true);
+        p.tb.sim.run_until_idle();
+        assert!(p.qp_b.stats().duplicates_suppressed >= 1);
+        assert_eq!(p.rcq_b.poll(8).len(), 1, "executed exactly once");
+        let tx = p.scq_a.poll(8);
+        assert_eq!(tx.len(), 1, "sender completes once, via the re-ACK");
+        assert_eq!(tx[0].status, WcStatus::Success);
+        assert_eq!(p.qp_a.state(), QpState::ReadyToSend, "no spurious error");
+    }
+
+    #[test]
+    fn fault_duplicated_frames_deliver_exactly_once() {
+        let mut p = connected_pair();
+        let rbuf = p.dev_b.reg_mr(&p.pd_b, 64, Access::LOCAL_WRITE);
+        p.qp_b
+            .post_recv(&mut p.tb.sim, RecvWr::new(WrId(1), Sge::whole(rbuf)))
+            .unwrap();
+        let (a, b) = (p.tb.a, p.tb.b);
+        p.tb.net.with_faults(|f| f.set_duplication(a, b, 1.0));
+        send_bytes(&mut p, &[3u8; 32], true);
+        p.tb.sim.run_until_idle();
+        assert_eq!(p.rcq_b.poll(8).len(), 1, "dup copy must not redeliver");
+        assert!(p.qp_b.stats().duplicates_suppressed >= 1);
+        assert_eq!(p.scq_a.poll(8).len(), 1);
+    }
+
+    /// An RNR hold and the ACK-timeout retransmission path must not double
+    /// up: with a timeout *shorter* than the RNR window, the sender
+    /// retransmits a message the receiver is holding, and the receiver must
+    /// suppress those copies silently (no re-ACK, no second hold). When the
+    /// window expires, exactly one RNR NAK fails the send — not a second
+    /// RetryExceeded completion on top.
+    #[test]
+    fn rnr_hold_is_not_also_retransmitted() {
+        let mut model = RnicModel::mt27520();
+        model.timeout = Nanos::from_micros(100); // < 80 µs × 7 = 560 µs window
+        let mut p = connected_pair_with(model);
+        // No receive posted: the send is held at the receiver.
+        send_bytes(&mut p, &[1u8; 16], true);
+        p.tb.sim.run_until_idle();
+        assert_eq!(p.qp_b.stats().rnr_stalls, 1, "held once, not per copy");
+        assert!(
+            p.qp_b.stats().duplicates_suppressed >= 1,
+            "retransmitted copies of the held seq are suppressed"
+        );
+        let tx = p.scq_a.poll(8);
+        assert_eq!(tx.len(), 1, "exactly one failure completion");
+        assert_eq!(tx[0].status, WcStatus::RnrRetryExceeded);
+        assert_eq!(p.qp_a.state(), QpState::Error);
     }
 }

@@ -13,7 +13,11 @@ use crate::types::{QpNum, WcStatus};
 pub(crate) const ROCE_MSG_OVERHEAD: usize = 14;
 
 /// RDMA transport packets (RC service).
-#[derive(Debug)]
+///
+/// `Clone` serves two masters: the sender keeps a copy of every
+/// unacknowledged data packet for retransmission, and the simulated network
+/// needs cloneable payloads to model fault-injected duplication.
+#[derive(Debug, Clone)]
 pub(crate) enum RdmaPacket {
     /// Two-sided SEND payload.
     Send {

@@ -12,8 +12,21 @@
 //!   SEND that finds no receive WR waits up to `rnr_timer × (rnr_retry+1)`
 //!   for one to be posted, then fails the sender with `RnrRetryExceeded`.
 //!   This preserves RC's in-order delivery without simulating per-packet
-//!   retransmission, while still failing loudly when an application
+//!   RNR polling, while still failing loudly when an application
 //!   under-posts receives (the pitfall paper §II-A warns about).
+//! * Loss recovery is retransmission at *message* granularity: every
+//!   unacknowledged operation keeps a copy of its packet and an ACK-timeout
+//!   timer ([`RnicModel::timeout`](crate::RnicModel)); on expiry the packet
+//!   is re-sent up to [`RnicModel::retry_cnt`](crate::RnicModel) times, then
+//!   the WR fails with [`WcStatus::RetryExceeded`] and the QP enters the
+//!   error state. The receiver accepts request packets only at its in-order
+//!   sequence watermark, exactly like RC hardware's go-back-N responder: a
+//!   packet ahead of the watermark (an earlier one was lost in flight) is
+//!   dropped without an ACK and recovered by the sender's timeout, and a
+//!   packet behind it (a retransmitted or fault-duplicated copy) is
+//!   suppressed and re-ACKed. Delivery is therefore exactly-once *and
+//!   in-order* even on lossy links — protocol layers above may rely on RC
+//!   FIFO semantics.
 //! * A NAK moves the QP to the error state and flushes outstanding work,
 //!   as on real hardware.
 
@@ -22,7 +35,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use simnet::{Addr, CoreId, Frame, Nanos, Simulator};
+use simnet::{Addr, CoreId, EventId, Frame, Nanos, Simulator};
 
 use crate::device::{EventHook, RdmaDevice};
 use crate::error::{VerbsError, VerbsResult};
@@ -48,6 +61,15 @@ pub struct QpStats {
     pub completions_suppressed: u64,
     /// Packets dropped because the QP could not receive.
     pub dropped_packets: u64,
+    /// Operations retransmitted after an ACK timeout.
+    pub retransmits: u64,
+    /// Inbound duplicates (retransmitted or fault-duplicated copies)
+    /// suppressed by receiver-side sequence tracking.
+    pub duplicates_suppressed: u64,
+    /// Inbound request packets dropped for arriving ahead of the in-order
+    /// sequence watermark (go-back-N: an earlier packet was lost and the
+    /// sender will retransmit the whole tail in order).
+    pub ooo_dropped: u64,
 }
 
 struct PendingSend {
@@ -57,6 +79,12 @@ struct PendingSend {
     byte_len: usize,
     /// Local destination for READ responses.
     read_sink: Option<crate::wr::Sge>,
+    /// Copy of the emitted packet, kept for retransmission.
+    packet: RdmaPacket,
+    /// Transport retries remaining before `RetryExceeded`.
+    retries_left: u32,
+    /// The armed ACK-timeout event, cancelled when the operation completes.
+    retry_timer: Option<EventId>,
 }
 
 struct HeldInbound {
@@ -82,6 +110,11 @@ pub(crate) struct QpInner {
     /// and executed in posting order.
     nic_busy_until: Nanos,
     next_seq: u64,
+    /// Receiver-side sequence watermark: the next in-order sequence number
+    /// expected from the remote QP. Request packets are accepted only at
+    /// exactly this value (RC go-back-N ordering); anything below it is a
+    /// duplicate, anything above it is dropped for the sender to retransmit.
+    rx_expected: u64,
     stats: QpStats,
     /// Shared cross-layer registry (the owning network's), plus this QP's
     /// key prefix `rdma.{host}.{qpnum}.`.
@@ -97,6 +130,15 @@ impl QpInner {
     fn bump(&self, metric: &str, n: u64) {
         self.metrics
             .incr_by(&format!("{}{metric}", self.metrics_prefix), n);
+    }
+
+    /// Advances the in-order watermark after accepting the expected
+    /// sequence number. No-op for re-served duplicates (idempotent READs).
+    fn rx_mark_seen(&mut self, seq: u64) {
+        debug_assert!(seq <= self.rx_expected, "packet past the ordering gate");
+        if seq == self.rx_expected {
+            self.rx_expected += 1;
+        }
     }
 }
 
@@ -155,6 +197,7 @@ impl QueuePair {
                 outstanding_sends: 0,
                 nic_busy_until: Nanos::ZERO,
                 next_seq: 0,
+                rx_expected: 0,
                 stats: QpStats::default(),
                 metrics,
                 metrics_prefix,
@@ -520,16 +563,93 @@ impl QueuePair {
                     opcode: opcode_of(&wr.op),
                     byte_len: wr.sge.len,
                     read_sink: matches!(wr.op, SendOp::Read { .. }).then(|| wr.sge.clone()),
+                    packet: packet.clone(),
+                    retries_left: model.retry_cnt,
+                    retry_timer: None,
                 },
             );
             (remote, seq, packet)
         };
-        let _ = seq;
         let wire = packet.wire_bytes(model.ack_bytes);
         let local = self.local_addr();
         self.device
             .net()
             .send(sim, Frame::new(local, remote.0, wire, packet));
+        self.arm_retry(sim, seq);
+    }
+
+    /// Arms (or re-arms) the ACK-timeout retransmission timer for `seq`.
+    fn arm_retry(&self, sim: &mut Simulator, seq: u64) {
+        let timeout = self.device.model().timeout;
+        if timeout == Nanos::ZERO {
+            return;
+        }
+        let qp = self.clone();
+        let id = sim.schedule_in(timeout, Box::new(move |sim| qp.retry_fire(sim, seq)));
+        if let Some(p) = self.inner.borrow_mut().pending.get_mut(&seq) {
+            p.retry_timer = Some(id);
+        }
+    }
+
+    /// ACK timeout expired for `seq`: retransmit the stored packet, or fail
+    /// the operation with [`WcStatus::RetryExceeded`] once the transport
+    /// retry budget is spent.
+    fn retry_fire(&self, sim: &mut Simulator, seq: u64) {
+        let model = self.device.model().clone();
+        let resend = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.state == QpState::Error {
+                return;
+            }
+            let Some(p) = inner.pending.get_mut(&seq) else {
+                // Completed while the timer event was already popped.
+                return;
+            };
+            if p.retries_left == 0 {
+                let p = inner.pending.remove(&seq).expect("checked present");
+                inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
+                inner.bump("retry_exceeded", 1);
+                inner.metrics.trace(
+                    sim.now(),
+                    "rdma",
+                    format!("{}retry_exceeded seq={seq}", inner.metrics_prefix),
+                );
+                let wc = Wc {
+                    wr_id: p.wr_id,
+                    status: WcStatus::RetryExceeded,
+                    opcode: p.opcode,
+                    byte_len: 0,
+                    qp: inner.num,
+                    imm: None,
+                };
+                inner.send_cq.push(wc);
+                None
+            } else {
+                p.retries_left -= 1;
+                p.retry_timer = None;
+                let pkt = p.packet.clone();
+                inner.stats.retransmits += 1;
+                inner.bump("retransmits", 1);
+                Some((pkt, inner.local_addr, inner.remote))
+            }
+        };
+        match resend {
+            Some((pkt, local, Some((raddr, _)))) => {
+                let wire = pkt.wire_bytes(model.ack_bytes);
+                self.device
+                    .net()
+                    .send(sim, Frame::new(local, raddr, wire, pkt));
+                self.arm_retry(sim, seq);
+            }
+            Some(_) => {}
+            None => {
+                // The peer is unreachable: fail the QP so the remaining
+                // queue flushes, exactly as RC hardware reports
+                // IBV_WC_RETRY_EXC_ERR and transitions to the error state.
+                self.enter_error();
+                self.fire_hook(sim);
+            }
+        }
     }
 
     /// Local-protection failure discovered at WQE fetch time.
@@ -559,12 +679,86 @@ impl QueuePair {
                 }
                 inner.held.pop_front().expect("checked non-empty")
             };
-            self.handle_packet(sim, item.packet);
+            // Held packets already passed the sequence gate on arrival;
+            // deliver directly (redelivery) so they are neither mistaken
+            // for duplicates nor blocked behind the remaining held tail.
+            match item.packet {
+                RdmaPacket::Send {
+                    src_qp,
+                    data,
+                    imm,
+                    seq,
+                } => self.handle_inbound_send(sim, src_qp, data, imm, seq, true),
+                other => self.dispatch(sim, other),
+            }
         }
     }
 
     /// Entry point for inbound packets, called by the device dispatcher.
+    ///
+    /// Applies the receiver-side sequence gate before dispatching. RC
+    /// responders process request packets strictly in sequence order
+    /// (go-back-N), so:
+    ///
+    /// * `seq > rx_expected` — an earlier packet of the stream was lost in
+    ///   flight; this one is dropped without an ACK and the sender's ACK
+    ///   timeout retransmits the tail in order. Accepting it here would
+    ///   reorder delivery, which layers above (replica request dedup, frame
+    ///   reassembly) are entitled to assume cannot happen on RC.
+    /// * `seq < rx_expected` — a retransmitted or fault-duplicated copy of
+    ///   an already-accepted packet: suppressed, and re-ACKed when the
+    ///   original ACK may have been the loss. A duplicate READ is instead
+    ///   re-served, because the data response itself may have been lost and
+    ///   re-execution is idempotent.
+    /// * `seq == rx_expected` — accepted; the watermark advances at the
+    ///   accept sites once the packet passes validation.
     pub(crate) fn handle_packet(&self, sim: &mut Simulator, pkt: RdmaPacket) {
+        let gate = match &pkt {
+            RdmaPacket::Send { seq, .. } | RdmaPacket::WriteReq { seq, .. } => Some((*seq, false)),
+            RdmaPacket::ReadReq { seq, .. } => Some((*seq, true)),
+            _ => None,
+        };
+        if let Some((seq, is_read)) = gate {
+            enum Verdict {
+                Accept,
+                Drop,
+                ReAck,
+                Silent,
+            }
+            let verdict = {
+                let mut inner = self.inner.borrow_mut();
+                if seq > inner.rx_expected {
+                    inner.stats.ooo_dropped += 1;
+                    inner.bump("ooo_dropped", 1);
+                    Verdict::Drop
+                } else if seq == inner.rx_expected || is_read {
+                    Verdict::Accept
+                } else {
+                    inner.stats.duplicates_suppressed += 1;
+                    inner.bump("duplicates_suppressed", 1);
+                    // If the first copy is still parked in the RNR hold
+                    // queue, stay silent: acking now would confirm data
+                    // that may yet be rejected. Otherwise re-ack, because
+                    // a retransmission means our original ACK was lost.
+                    if inner.held.iter().any(|h| h.seq == seq) {
+                        Verdict::Silent
+                    } else {
+                        Verdict::ReAck
+                    }
+                }
+            };
+            match verdict {
+                Verdict::Drop | Verdict::Silent => return,
+                Verdict::ReAck => return self.send_ack(sim, seq),
+                Verdict::Accept => {}
+            }
+        }
+        self.dispatch(sim, pkt)
+    }
+
+    /// Dispatches a packet that passed (or is exempt from) duplicate
+    /// suppression.
+    fn dispatch(&self, sim: &mut Simulator, pkt: RdmaPacket) {
         match pkt {
             RdmaPacket::Send {
                 src_qp,
@@ -623,11 +817,23 @@ impl QueuePair {
         }
         let action = {
             let mut inner = self.inner.borrow_mut();
+            // FIFO: while earlier messages wait in the RNR hold queue, a
+            // later arrival must queue behind them rather than grab a
+            // fresh receive WR and overtake them.
+            let wr = if redelivery || inner.held.is_empty() {
+                inner.recv_queue.pop_front()
+            } else {
+                None
+            };
             if !inner.state.can_receive() {
                 inner.stats.dropped_packets += 1;
+                if let Some(rwr) = wr {
+                    inner.recv_queue.push_front(rwr);
+                }
                 Action::Drop
-            } else if let Some(rwr) = inner.recv_queue.pop_front() {
+            } else if let Some(rwr) = wr {
                 if rwr.sge.len >= data.len() && rwr.sge.mr.is_valid() {
+                    inner.rx_mark_seen(seq);
                     Action::Place(rwr)
                 } else {
                     Action::FailLength(rwr)
@@ -642,6 +848,7 @@ impl QueuePair {
                         format!("{}rnr_hold seq={seq}", inner.metrics_prefix),
                     );
                 }
+                inner.rx_mark_seen(seq);
                 Action::Hold
             }
         };
@@ -795,6 +1002,7 @@ impl QueuePair {
                     let mut inner = self.inner.borrow_mut();
                     inner.stats.rnr_stalls += 1;
                     inner.bump("rnr_retries", 1);
+                    inner.rx_mark_seen(seq);
                     inner.held.push_back(HeldInbound {
                         seq,
                         packet: RdmaPacket::WriteReq {
@@ -814,6 +1022,7 @@ impl QueuePair {
                 return;
             }
         }
+        self.inner.borrow_mut().rx_mark_seen(seq);
         let dma = model.dma_cost(data.len());
         let done_at = sim.now() + dma;
         let qp = self.clone();
@@ -879,6 +1088,9 @@ impl QueuePair {
                 return;
             }
         };
+        // READs share the request sequence space: advance the in-order
+        // watermark so later SENDs/WRITEs are not gated behind this seq.
+        self.inner.borrow_mut().rx_mark_seen(seq);
         let dma = model.dma_cost(len);
         let qp = self.clone();
         sim.schedule_at(
@@ -917,6 +1129,9 @@ impl QueuePair {
             p
         };
         let Some(p) = pending else { return };
+        if let Some(id) = p.retry_timer {
+            sim.cancel(id);
+        }
         let sink = p.read_sink.expect("READ pending entries carry a sink");
         let dma = model.dma_cost(data.len());
         let qp = self.clone();
@@ -959,7 +1174,7 @@ impl QueuePair {
     }
 
     fn handle_ack(&self, sim: &mut Simulator, seq: u64) {
-        {
+        let timer = {
             let mut inner = self.inner.borrow_mut();
             if let Some(p) = inner.pending.remove(&seq) {
                 inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
@@ -980,13 +1195,19 @@ impl QueuePair {
                     inner.stats.completions_suppressed += 1;
                     inner.bump("unsignaled_completions", 1);
                 }
+                p.retry_timer
+            } else {
+                None
             }
+        };
+        if let Some(id) = timer {
+            sim.cancel(id);
         }
         self.fire_hook(sim);
     }
 
     fn handle_nak(&self, sim: &mut Simulator, seq: u64, status: WcStatus) {
-        {
+        let timer = {
             let mut inner = self.inner.borrow_mut();
             if let Some(p) = inner.pending.remove(&seq) {
                 inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
@@ -999,10 +1220,33 @@ impl QueuePair {
                     imm: None,
                 };
                 inner.send_cq.push(wc);
+                p.retry_timer
+            } else {
+                None
             }
+        };
+        if let Some(id) = timer {
+            sim.cancel(id);
         }
         self.enter_error();
         self.fire_hook(sim);
+    }
+
+    /// Re-acknowledges an already-delivered sequence number (the original
+    /// ACK was lost, so the sender retransmitted).
+    fn send_ack(&self, sim: &mut Simulator, seq: u64) {
+        let model = self.device.model().clone();
+        let (local, remote) = {
+            let inner = self.inner.borrow();
+            (inner.local_addr, inner.remote)
+        };
+        if let Some((raddr, _)) = remote {
+            let ack = RdmaPacket::Ack { seq };
+            let wire = ack.wire_bytes(model.ack_bytes);
+            self.device
+                .net()
+                .send(sim, Frame::new(local, raddr, wire, ack));
+        }
     }
 
     fn send_nak(&self, sim: &mut Simulator, seq: u64, status: WcStatus) {

@@ -136,6 +136,11 @@ pub enum WcStatus {
     RemoteOperationError,
     /// Receiver-not-ready retries exhausted (no receive WR posted remotely).
     RnrRetryExceeded,
+    /// Transport retries exhausted: the operation was retransmitted
+    /// `retry_cnt` times without an acknowledgement (remote NIC dead,
+    /// link blackholed, or every copy lost). Mirrors
+    /// `IBV_WC_RETRY_EXC_ERR`.
+    RetryExceeded,
     /// Work request flushed because the QP entered the error state.
     WorkRequestFlushed,
 }

@@ -153,6 +153,32 @@ pub enum Message {
         /// The new primary.
         replica: ReplicaId,
     },
+    /// A lagging replica asks its peers to re-send committed instances it
+    /// missed. Agreement messages lost above the transport (e.g. corrupted
+    /// frames rejected by MAC verification) are never retransmitted by the
+    /// fabric, so the protocol provides its own recovery path.
+    CatchUpRequest {
+        /// First sequence number the sender is missing
+        /// (its `last_executed + 1`).
+        from_seq: SeqNum,
+        /// Sending replica.
+        replica: ReplicaId,
+    },
+    /// Re-delivery of one executed instance to a lagging replica. `f + 1`
+    /// matching replies prove at least one honest replica executed the
+    /// batch, which requires a commit certificate — the batch is final.
+    CatchUpReply {
+        /// Sequence number of the instance.
+        seq: SeqNum,
+        /// View in which the sender holds the instance.
+        view: View,
+        /// Batch digest.
+        digest: Digest,
+        /// The executed batch.
+        batch: Vec<Request>,
+        /// Sending replica.
+        replica: ReplicaId,
+    },
 }
 
 impl Message {
@@ -167,6 +193,8 @@ impl Message {
             Message::Checkpoint { .. } => "CHECKPOINT",
             Message::ViewChange { .. } => "VIEW-CHANGE",
             Message::NewView { .. } => "NEW-VIEW",
+            Message::CatchUpRequest { .. } => "CATCH-UP-REQUEST",
+            Message::CatchUpReply { .. } => "CATCH-UP-REPLY",
         }
     }
 
@@ -282,6 +310,28 @@ impl Message {
                 }
                 w.u32(*replica);
             }
+            Message::CatchUpRequest { from_seq, replica } => {
+                w.u8(8);
+                w.u64(*from_seq);
+                w.u32(*replica);
+            }
+            Message::CatchUpReply {
+                seq,
+                view,
+                digest,
+                batch,
+                replica,
+            } => {
+                w.u8(9);
+                w.u64(*seq);
+                w.u64(*view);
+                w.array(digest.as_bytes());
+                w.u32(batch.len() as u32);
+                for r in batch {
+                    r.encode(&mut w);
+                }
+                w.u32(*replica);
+            }
         }
         w.finish()
     }
@@ -390,6 +440,27 @@ impl Message {
                 Message::NewView {
                     view,
                     pre_prepares,
+                    replica: r.u32()?,
+                }
+            }
+            8 => Message::CatchUpRequest {
+                from_seq: r.u64()?,
+                replica: r.u32()?,
+            },
+            9 => {
+                let seq = r.u64()?;
+                let view = r.u64()?;
+                let digest = Digest(r.array::<DIGEST_LEN>()?);
+                let nb = r.u32()? as usize;
+                let mut batch = Vec::with_capacity(nb.min(4096));
+                for _ in 0..nb {
+                    batch.push(Request::decode(r)?);
+                }
+                Message::CatchUpReply {
+                    seq,
+                    view,
+                    digest,
+                    batch,
                     replica: r.u32()?,
                 }
             }
@@ -540,6 +611,17 @@ mod tests {
                 view: 2,
                 pre_prepares: vec![(101, d, vec![req(10, 9)])],
                 replica: 2,
+            },
+            Message::CatchUpRequest {
+                from_seq: 7,
+                replica: 3,
+            },
+            Message::CatchUpReply {
+                seq: 7,
+                view: 1,
+                digest: d,
+                batch: vec![req(10, 4), req(11, 2)],
+                replica: 0,
             },
         ];
         for m in msgs {

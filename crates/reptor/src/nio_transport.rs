@@ -5,13 +5,22 @@
 //! replica communication, paper §I/§III). Messages are framed with a 4-byte
 //! little-endian length prefix; the first frame on every stream is a hello
 //! carrying the sender's node id.
+//!
+//! Failure recovery mirrors [`crate::rubin_transport`]: when a stream
+//! breaks (retransmission-budget exhaustion, peer crash), the side that
+//! originally dialed — the higher node id — re-dials with exponential
+//! backoff while the other side parks outgoing frames until the
+//! replacement connection's hello arrives. Whole frames that were never
+//! written to the socket carry over; a frame already partially written
+//! when the stream died is dropped (re-sending its tail would desync the
+//! length-prefix framing), which the BFT layer above tolerates.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use simnet::{Addr, CoreId, HostId, Network, Simulator};
+use simnet::{Addr, CoreId, HostId, Nanos, Network, Simulator};
 use simnet_socket::{
     KeyId, Ops, ReadOutcome, Selector, TcpListener, TcpModel, TcpStream, NIO_SELECT_NS,
 };
@@ -21,15 +30,29 @@ use crate::transport::{DeliveryFn, NodeId, Transport};
 /// Base port for NIO transport listeners.
 const NIO_PORT_BASE: u32 = 900;
 
+/// First re-dial delay after a stream failure; doubles per consecutive
+/// failed attempt.
+const RECONNECT_BASE: Nanos = Nanos::from_millis(2);
+
+/// Cap on the backoff doubling: delay = base << min(attempts, CAP_SHIFT).
+const RECONNECT_CAP_SHIFT: u32 = 5;
+
 struct PeerConn {
     stream: TcpStream,
     key: KeyId,
-    /// Framed bytes not yet accepted by the socket.
-    outq: VecDeque<u8>,
+    /// Whole frames not yet fully accepted by the socket.
+    outq: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written to the socket.
+    front_written: usize,
     /// Partial inbound frame bytes.
     inbuf: Vec<u8>,
     /// Peer id once the hello frame arrived (inbound connections).
     peer: Option<NodeId>,
+    /// Stream failed; slot is retired (its selector key is cancelled) but
+    /// kept so `by_node` indices stay stable and its `outq` can carry over.
+    dead: bool,
+    /// This stream is a reconnect attempt (not an initial mesh dial).
+    redial: bool,
 }
 
 struct NioInner {
@@ -42,9 +65,17 @@ struct NioInner {
     listener_key: KeyId,
     conns: Vec<PeerConn>,
     by_node: HashMap<NodeId, usize>,
+    /// Host of every group member, for re-dialing after a failure.
+    directory: HashMap<NodeId, HostId>,
+    /// This endpoint's own host (dial source address).
+    host: HostId,
+    /// Consecutive failed re-dial attempts per peer (drives the backoff).
+    redial_attempts: HashMap<NodeId, u32>,
     delivery: Option<DeliveryFn>,
     msgs_sent: u64,
     msgs_delivered: u64,
+    reconnect_attempts: u64,
+    reconnects_completed: u64,
 }
 
 /// A full-mesh, selector-driven TCP transport endpoint.
@@ -100,9 +131,14 @@ impl NioTransport {
                         listener_key: KeyId(u64::MAX),
                         conns: Vec::new(),
                         by_node: HashMap::new(),
+                        directory: nodes.iter().map(|&(n, h, _)| (n, h)).collect(),
+                        host,
+                        redial_attempts: HashMap::new(),
                         delivery: None,
                         msgs_sent: 0,
                         msgs_delivered: 0,
+                        reconnect_attempts: 0,
+                        reconnects_completed: 0,
                     })),
                 }
             })
@@ -140,8 +176,11 @@ impl NioTransport {
                     stream,
                     key,
                     outq: VecDeque::new(),
+                    front_written: 0,
                     inbuf: Vec::new(),
                     peer: Some(peer),
+                    dead: false,
+                    redial: false,
                 });
                 inner.by_node.insert(peer, slot);
             }
@@ -152,6 +191,16 @@ impl NioTransport {
     /// Messages delivered to this endpoint.
     pub fn delivered_count(&self) -> u64 {
         self.inner.borrow().msgs_delivered
+    }
+
+    /// Re-dial attempts made after stream failures.
+    pub fn reconnect_attempts(&self) -> u64 {
+        self.inner.borrow().reconnect_attempts
+    }
+
+    /// Re-dials that reached establishment.
+    pub fn reconnects_completed(&self) -> u64 {
+        self.inner.borrow().reconnects_completed
     }
 
     /// Select calls performed by this endpoint's selector.
@@ -216,28 +265,65 @@ impl NioTransport {
                 stream,
                 key,
                 outq: VecDeque::new(),
+                front_written: 0,
                 inbuf: Vec::new(),
                 peer: None,
+                dead: false,
+                redial: false,
             });
         }
     }
 
     fn handle_connected(&self, sim: &mut Simulator, slot: usize) {
-        let (stream, key, node) = {
+        let (stream, key, node, redial) = {
             let inner = self.inner.borrow();
             let c = &inner.conns[slot];
-            (c.stream.clone(), c.key, inner.node)
+            (c.stream.clone(), c.key, inner.node, c.redial)
         };
         if !stream.finish_connect(sim) {
+            // A consumed connect-ready without establishment means the dial
+            // failed (SYN retransmission budget exhausted — e.g. the peer's
+            // host is down). Initial mesh dials in a healthy fabric never
+            // hit this; a re-dial backs off and tries again.
+            if redial && !stream.is_established() {
+                self.on_conn_down(sim, slot);
+            }
             return;
+        }
+        // A completed re-dial resets the peer's backoff.
+        let metrics = {
+            let mut inner = self.inner.borrow_mut();
+            if redial {
+                let peer = inner.conns[slot].peer.expect("re-dials know their peer");
+                inner.redial_attempts.remove(&peer);
+                inner.reconnects_completed += 1;
+                Some((inner.net.metrics(), inner.node))
+            } else {
+                None
+            }
+        };
+        if let Some((m, n)) = metrics {
+            m.incr(&format!("nio_transport.{n}.reconnects_completed"));
+            m.trace(
+                sim.now(),
+                "transport",
+                format!("nio reconnect up slot={slot}"),
+            );
         }
         {
             let inner = self.inner.borrow();
             inner.selector.set_interest(sim, key, Ops::READ);
         }
-        // Send the hello frame identifying us.
-        let hello = frame(&node.to_le_bytes());
-        self.enqueue(sim, slot, hello);
+        // Send the hello frame identifying us. It must be the first frame
+        // on the stream, ahead of any carried-over output.
+        {
+            let mut inner = self.inner.borrow_mut();
+            debug_assert_eq!(inner.conns[slot].front_written, 0);
+            inner.conns[slot]
+                .outq
+                .push_front(frame(&node.to_le_bytes()));
+        }
+        self.flush(sim, slot);
     }
 
     fn handle_readable(&self, sim: &mut Simulator, slot: usize) {
@@ -251,7 +337,11 @@ impl NioTransport {
                     self.inner.borrow_mut().conns[slot].inbuf.extend(bytes);
                     self.parse_frames(sim, slot);
                 }
-                Ok(ReadOutcome::WouldBlock) | Ok(ReadOutcome::Eof) | Err(_) => break,
+                Ok(ReadOutcome::WouldBlock) => break,
+                Ok(ReadOutcome::Eof) | Err(_) => {
+                    self.on_conn_down(sim, slot);
+                    break;
+                }
             }
         }
     }
@@ -293,7 +383,29 @@ impl NioTransport {
                     if body.len() == 4 {
                         let peer = u32::from_le_bytes(body.try_into().expect("4 bytes"));
                         inner.conns[slot].peer = Some(peer);
+                        // A hello from an already-known peer means it
+                        // reconnected: retire the stale stream and carry
+                        // its queued (whole, unwritten) frames over.
+                        if let Some(&old) = inner.by_node.get(&peer) {
+                            if old != slot {
+                                let mut outq = std::mem::take(&mut inner.conns[old].outq);
+                                if inner.conns[old].front_written > 0 {
+                                    // The front frame went out partially on
+                                    // the dead stream; its tail would desync
+                                    // the framing. Drop it.
+                                    outq.pop_front();
+                                }
+                                inner.conns[old].front_written = 0;
+                                inner.conns[old].dead = true;
+                                let old_key = inner.conns[old].key;
+                                inner.selector.cancel(old_key);
+                                inner.conns[slot].outq = outq;
+                            }
+                        }
                         inner.by_node.insert(peer, slot);
+                        drop(inner);
+                        // The carried-over queue may have pending frames.
+                        self.flush(sim, slot);
                     }
                     return;
                 }
@@ -304,15 +416,128 @@ impl NioTransport {
         }
     }
 
+    /// Retires a failed stream and, if this endpoint is the dialing side
+    /// for that peer (higher node id, mirroring
+    /// [`build_group`](NioTransport::build_group)), schedules a re-dial
+    /// with exponential backoff. The lower-id side keeps the dead slot as
+    /// a holding pen for queued frames until the peer re-dials.
+    fn on_conn_down(&self, sim: &mut Simulator, slot: usize) {
+        let (peer, node, metrics) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.conns[slot].dead {
+                return;
+            }
+            inner.conns[slot].dead = true;
+            if inner.conns[slot].front_written > 0 {
+                // A partially-written frame cannot be resumed on a new
+                // stream; drop it so the carried queue stays frame-aligned.
+                inner.conns[slot].outq.pop_front();
+                inner.conns[slot].front_written = 0;
+            }
+            let key = inner.conns[slot].key;
+            inner.selector.cancel(key);
+            (inner.conns[slot].peer, inner.node, inner.net.metrics())
+        };
+        metrics.incr(&format!("nio_transport.{node}.conns_down"));
+        metrics.trace(
+            sim.now(),
+            "transport",
+            format!("nio stream down slot={slot} peer={peer:?}"),
+        );
+        let Some(peer) = peer else {
+            return; // anonymous inbound stream that never said hello
+        };
+        if self.inner.borrow().by_node.get(&peer) != Some(&slot) {
+            return; // a replacement is already wired in
+        }
+        if node > peer {
+            self.schedule_redial(sim, peer);
+        }
+    }
+
+    /// Schedules the next connection attempt towards `peer`, delayed by
+    /// exponential backoff over the consecutive-failure count.
+    fn schedule_redial(&self, sim: &mut Simulator, peer: NodeId) {
+        let delay = {
+            let inner = self.inner.borrow();
+            let attempts = inner.redial_attempts.get(&peer).copied().unwrap_or(0);
+            Nanos::from_nanos(RECONNECT_BASE.as_nanos() << attempts.min(RECONNECT_CAP_SHIFT))
+        };
+        let t = self.clone();
+        sim.schedule_in(
+            delay,
+            Box::new(move |sim| {
+                t.redial_fire(sim, peer);
+            }),
+        );
+    }
+
+    /// Opens a replacement stream towards `peer`, carrying over the dead
+    /// slot's queued frames. A dial that cannot reach the peer fails on
+    /// its own (SYN retransmission budget) and surfaces through
+    /// [`handle_connected`](NioTransport::handle_connected), which backs
+    /// off and re-dials.
+    fn redial_fire(&self, sim: &mut Simulator, peer: NodeId) {
+        let (net, host, core, model, remote, outq, node, metrics) = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(&slot) = inner.by_node.get(&peer) {
+                if !inner.conns[slot].dead {
+                    return; // already reconnected
+                }
+            }
+            let Some(&peer_host) = inner.directory.get(&peer) else {
+                return;
+            };
+            *inner.redial_attempts.entry(peer).or_insert(0) += 1;
+            inner.reconnect_attempts += 1;
+            let outq = match inner.by_node.get(&peer) {
+                Some(&slot) => std::mem::take(&mut inner.conns[slot].outq),
+                None => VecDeque::new(),
+            };
+            (
+                inner.net.clone(),
+                inner.host,
+                inner.core,
+                inner.model.clone(),
+                Addr::new(peer_host, NIO_PORT_BASE + peer),
+                outq,
+                inner.node,
+                inner.net.metrics(),
+            )
+        };
+        metrics.incr(&format!("nio_transport.{node}.reconnect_attempts"));
+        let stream = TcpStream::connect(sim, &net, host, core, model, remote);
+        let key = {
+            let inner = self.inner.borrow();
+            stream.register(sim, &inner.selector, Ops::CONNECT | Ops::READ)
+        };
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.conns.len();
+        inner.conns.push(PeerConn {
+            stream,
+            key,
+            outq,
+            front_written: 0,
+            inbuf: Vec::new(),
+            peer: Some(peer),
+            dead: false,
+            redial: true,
+        });
+        inner.by_node.insert(peer, slot);
+    }
+
     fn enqueue(&self, sim: &mut Simulator, slot: usize, framed: Vec<u8>) {
         {
             let mut inner = self.inner.borrow_mut();
-            inner.conns[slot].outq.extend(framed);
+            inner.conns[slot].outq.push_back(framed);
         }
         self.flush(sim, slot);
     }
 
     fn flush(&self, sim: &mut Simulator, slot: usize) {
+        if self.inner.borrow().conns[slot].dead {
+            return;
+        }
         loop {
             let (stream, chunk) = {
                 let inner = self.inner.borrow();
@@ -320,21 +545,45 @@ impl NioTransport {
                 if c.outq.is_empty() || !c.stream.is_established() {
                     break;
                 }
-                let take = c.outq.len().min(64 * 1024);
-                let chunk: Vec<u8> = c.outq.iter().copied().take(take).collect();
+                // Coalesce queued frames into one write of up to 64 KiB,
+                // resuming mid-frame where the last write left off.
+                let mut chunk = Vec::new();
+                let mut skip = c.front_written;
+                for f in &c.outq {
+                    let take = (64 * 1024 - chunk.len()).min(f.len() - skip);
+                    chunk.extend_from_slice(&f[skip..skip + take]);
+                    skip = 0;
+                    if chunk.len() == 64 * 1024 {
+                        break;
+                    }
+                }
                 (c.stream.clone(), chunk)
             };
             match stream.write(sim, &chunk) {
                 Ok(0) | Err(_) => break,
-                Ok(n) => {
+                Ok(mut n) => {
                     let mut inner = self.inner.borrow_mut();
-                    inner.conns[slot].outq.drain(..n);
+                    let c = &mut inner.conns[slot];
+                    while n > 0 {
+                        let remaining = c.outq[0].len() - c.front_written;
+                        if n >= remaining {
+                            n -= remaining;
+                            c.outq.pop_front();
+                            c.front_written = 0;
+                        } else {
+                            c.front_written += n;
+                            n = 0;
+                        }
+                    }
                 }
             }
         }
         // Track WRITE interest: only while there is something to flush.
         let inner = self.inner.borrow();
         let c = &inner.conns[slot];
+        if c.dead {
+            return; // key is cancelled; leave it alone
+        }
         let connected = c.stream.is_established();
         let interest = if !connected {
             Ops::READ | Ops::CONNECT

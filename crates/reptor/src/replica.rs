@@ -61,6 +61,14 @@ pub struct ReplicaStats {
     pub stable_checkpoints: u64,
     /// VIEW-CHANGE messages sent.
     pub view_changes_sent: u64,
+    /// View changes stood down after the replica caught up instead.
+    pub view_changes_abandoned: u64,
+    /// CATCH-UP-REQUEST broadcasts sent while suspecting a gap.
+    pub catch_up_requests_sent: u64,
+    /// CATCH-UP-REPLY instances re-sent to lagging peers.
+    pub catch_up_replies_sent: u64,
+    /// Instances committed locally from `f + 1` catch-up certificates.
+    pub catch_ups_applied: u64,
     /// Messages dropped for failing MAC verification.
     pub bad_mac_dropped: u64,
     /// Messages dropped as malformed.
@@ -108,6 +116,14 @@ struct ReplicaInner {
     own_checkpoints: BTreeMap<SeqNum, Digest>,
     /// `view → voter → (last_stable, prepared proofs)`.
     vc_votes: BTreeMap<View, BTreeMap<ReplicaId, (SeqNum, Vec<PreparedProof>)>>,
+    /// `seq → digest → (voters, batch)` for catch-up certificates: `f + 1`
+    /// matching CATCH-UP-REPLYs commit the instance locally.
+    #[allow(clippy::type_complexity)]
+    catch_up_votes:
+        BTreeMap<SeqNum, HashMap<Digest, (HashSet<ReplicaId>, Option<(View, Vec<Request>)>)>>,
+    /// Instant of the last CATCH-UP-REQUEST broadcast (rate limiting —
+    /// every stalled request's timer funnels into the same recovery path).
+    last_catch_up_at: u64,
     /// Highest view this replica has voted for.
     voted_view: View,
     /// Consecutive unfinished view-change attempts (exponential backoff).
@@ -179,6 +195,8 @@ impl Replica {
                 checkpoint_votes: BTreeMap::new(),
                 own_checkpoints: BTreeMap::new(),
                 vc_votes: BTreeMap::new(),
+                catch_up_votes: BTreeMap::new(),
+                last_catch_up_at: 0,
                 voted_view: 0,
                 vc_attempts: 0,
                 send_horizon: Nanos::ZERO,
@@ -331,6 +349,16 @@ impl Replica {
                 pre_prepares,
                 replica,
             } => self.handle_new_view(sim, view, pre_prepares, replica),
+            Message::CatchUpRequest { from_seq, replica } => {
+                self.handle_catch_up_request(sim, from_seq, replica)
+            }
+            Message::CatchUpReply {
+                seq,
+                view,
+                digest,
+                batch,
+                replica,
+            } => self.handle_catch_up_reply(sim, seq, view, digest, batch, replica),
             Message::Reply { .. } => { /* replicas ignore replies */ }
         }
     }
@@ -398,10 +426,64 @@ impl Replica {
                     !executed && inner.view == view_at_start && !inner.in_view_change
                 };
                 if expired {
+                    // Ask before accusing: the stall may be this replica
+                    // lagging (its commits were lost for good, e.g. MAC
+                    // rejections), not a faulty primary. A premature
+                    // VIEW-CHANGE vote is worse than a late one — the vote
+                    // freezes a snapshot of prepared certificates, while a
+                    // catch-up round costs one more timeout.
+                    replica.request_catch_up(sim);
+                    replica.arm_view_change_timer(sim, req.clone(), view_at_start);
+                }
+            }),
+        );
+    }
+
+    /// Second-stage timer armed after a catch-up round was given a chance:
+    /// if the request is still unexecuted in the same view, vote.
+    fn arm_view_change_timer(&self, sim: &mut Simulator, req: Request, view_at_start: View) {
+        let timeout = self.inner.borrow().cfg.view_change_timeout;
+        let replica = self.clone();
+        sim.schedule_in(
+            timeout,
+            Box::new(move |sim| {
+                let expired = {
+                    let inner = replica.inner.borrow();
+                    if inner.byzantine == ByzantineMode::Crash {
+                        return;
+                    }
+                    let executed = inner
+                        .client_state
+                        .get(&req.client)
+                        .is_some_and(|(ts, _)| *ts >= req.timestamp);
+                    !executed && inner.view == view_at_start && !inner.in_view_change
+                };
+                if expired {
                     replica.start_view_change(sim, view_at_start + 1);
                 }
             }),
         );
+    }
+
+    /// Broadcasts a CATCH-UP-REQUEST for everything past `last_executed`.
+    /// Rate-limited: every stalled request funnels here.
+    fn request_catch_up(&self, sim: &mut Simulator) {
+        let msg = {
+            let mut inner = self.inner.borrow_mut();
+            let gap = inner.cfg.view_change_timeout.as_nanos() / 2;
+            let now = sim.now().as_nanos();
+            if inner.last_catch_up_at != 0 && now < inner.last_catch_up_at + gap {
+                return;
+            }
+            inner.last_catch_up_at = now;
+            inner.stats.catch_up_requests_sent += 1;
+            inner.bump("catch_up_requests_sent", 1);
+            Message::CatchUpRequest {
+                from_seq: inner.last_executed + 1,
+                replica: inner.id,
+            }
+        };
+        self.broadcast_to_replicas(sim, msg);
     }
 
     // ------------------------------------------------------------------
@@ -897,6 +979,7 @@ impl Replica {
         inner.log.retain(|&s, _| s > seq);
         let freed = (log_before - inner.log.len()) as u64;
         inner.checkpoint_votes.retain(|&s, _| s > seq);
+        inner.catch_up_votes.retain(|&s, _| s > seq);
         inner.own_checkpoints.retain(|&s, _| s >= seq);
         // Executed requests can no longer feed phase latencies; drop their
         // arrival stamps so the map stays bounded by the window.
@@ -918,6 +1001,146 @@ impl Replica {
                 inner.metrics_prefix
             ),
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Catch-up (lagging-replica recovery)
+    // ------------------------------------------------------------------
+
+    /// A peer reports it may have missed committed instances: re-send the
+    /// executed `(seq, view, digest, batch)` certificates it asks for.
+    /// Instances truncated below the stable checkpoint cannot be served
+    /// per-instance; a replica that far behind needs state transfer.
+    fn handle_catch_up_request(&self, sim: &mut Simulator, from_seq: SeqNum, requester: ReplicaId) {
+        /// Per-request cap; a still-lagging replica simply asks again.
+        const MAX_INSTANCES: usize = 128;
+        let replies = {
+            let inner = self.inner.borrow();
+            if requester == inner.id || requester >= inner.cfg.n as u32 {
+                return;
+            }
+            let me = inner.id;
+            let mut out = Vec::new();
+            for (&seq, entry) in inner.log.range(from_seq..) {
+                if out.len() >= MAX_INSTANCES || seq > inner.last_executed {
+                    break;
+                }
+                if !entry.executed {
+                    continue;
+                }
+                out.push(Message::CatchUpReply {
+                    seq,
+                    view: entry.view,
+                    digest: entry.digest.expect("executed instance has digest"),
+                    batch: entry.batch.clone().expect("executed instance has batch"),
+                    replica: me,
+                });
+            }
+            out
+        };
+        if replies.is_empty() {
+            return;
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.catch_up_replies_sent += replies.len() as u64;
+            inner.bump("catch_up_replies_sent", replies.len() as u64);
+        }
+        for msg in replies {
+            self.send_msg(sim, msg, &[requester]);
+        }
+    }
+
+    /// `f + 1` matching CATCH-UP-REPLY certificates prove at least one
+    /// honest replica executed `(seq, digest)`, which requires a commit
+    /// quorum — the batch is final and safe to commit locally, even while
+    /// a view change is in progress.
+    fn handle_catch_up_reply(
+        &self,
+        sim: &mut Simulator,
+        seq: SeqNum,
+        view: View,
+        digest: Digest,
+        batch: Vec<Request>,
+        replica: ReplicaId,
+    ) {
+        enum Outcome {
+            Ignore,
+            TryExec,
+            Commit(View, Vec<Request>),
+        }
+        let outcome = {
+            let mut inner = self.inner.borrow_mut();
+            if replica >= inner.cfg.n as u32 || seq <= inner.last_executed {
+                Outcome::Ignore
+            } else {
+                // The digest must bind the batch, like a pre-prepare.
+                let core = inner.pillar_core(seq);
+                let cost = inner.cfg.crypto.digest_cost(batch_bytes(&batch));
+                inner.charge(sim, core, cost);
+                if batch_digest(&batch) != digest {
+                    Outcome::Ignore
+                } else if inner
+                    .log
+                    .get(&seq)
+                    .is_some_and(|e| e.executed || e.committed)
+                {
+                    // Already certified through the normal path; the gap
+                    // may sit earlier in the log.
+                    Outcome::TryExec
+                } else {
+                    let f = inner.cfg.f();
+                    let le = inner.last_executed;
+                    inner.catch_up_votes.retain(|&s, _| s > le);
+                    let (voters, stored) = inner
+                        .catch_up_votes
+                        .entry(seq)
+                        .or_default()
+                        .entry(digest)
+                        .or_default();
+                    voters.insert(replica);
+                    if stored.is_none() {
+                        *stored = Some((view, batch));
+                    }
+                    if voters.len() > f {
+                        let (v, b) = stored.clone().expect("stored with first vote");
+                        Outcome::Commit(v, b)
+                    } else {
+                        Outcome::Ignore
+                    }
+                }
+            }
+        };
+        match outcome {
+            Outcome::Ignore => {}
+            Outcome::TryExec => self.try_execute(sim),
+            Outcome::Commit(cview, cbatch) => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.catch_up_votes.remove(&seq);
+                    let now = sim.now();
+                    let entry = inner.log.entry(seq).or_default();
+                    *entry = Instance {
+                        view: cview,
+                        digest: Some(digest),
+                        batch: Some(cbatch),
+                        pre_prepared: true,
+                        prepared: true,
+                        committed: true,
+                        committed_at: Some(now),
+                        ..Instance::default()
+                    };
+                    inner.stats.catch_ups_applied += 1;
+                    inner.bump("catch_ups_applied", 1);
+                    inner.metrics.trace(
+                        now,
+                        "reptor",
+                        format!("{}catch_up_applied seq={seq}", inner.metrics_prefix),
+                    );
+                }
+                self.try_execute(sim);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -981,6 +1204,9 @@ impl Replica {
                 .insert(replica, (last_stable, prepared.clone()));
         }
         self.broadcast_to_replicas(sim, msg);
+        // A vote may itself stem from this replica lagging behind a healthy
+        // quorum; keep the recovery path active while the view change runs.
+        self.request_catch_up(sim);
         self.maybe_new_view(sim, {
             let inner = self.inner.borrow();
             inner.voted_view
@@ -998,13 +1224,45 @@ impl Replica {
         sim.schedule_in(
             backoff,
             Box::new(move |sim| {
-                let stuck = {
-                    let inner = replica.inner.borrow();
-                    inner.in_view_change && inner.byzantine != ByzantineMode::Crash
+                let next = {
+                    let mut inner = replica.inner.borrow_mut();
+                    if !inner.in_view_change || inner.byzantine == ByzantineMode::Crash {
+                        None
+                    } else {
+                        // A view change needs f + 1 voters to gather
+                        // support. A lone laggard whose catch-up round has
+                        // since landed (every buffered request executed)
+                        // stands down instead of escalating forever.
+                        let caught_up = inner.pending.iter().all(|r| {
+                            inner
+                                .client_state
+                                .get(&r.client)
+                                .is_some_and(|(ts, _)| *ts >= r.timestamp)
+                        });
+                        if caught_up {
+                            inner.in_view_change = false;
+                            inner.vc_attempts = 0;
+                            // Standing down effectively withdraws the
+                            // outstanding votes: reset `voted_view` so a
+                            // later, genuine view change re-votes with
+                            // fresh prepared proofs instead of leaving a
+                            // stale certificate snapshot live at peers.
+                            inner.voted_view = inner.view;
+                            inner.stats.view_changes_abandoned += 1;
+                            inner.bump("view_changes_abandoned", 1);
+                            inner.metrics.trace(
+                                sim.now(),
+                                "reptor",
+                                format!("{}view_change_abandoned", inner.metrics_prefix),
+                            );
+                            None
+                        } else {
+                            Some(inner.voted_view + 1)
+                        }
+                    }
                 };
-                if stuck {
-                    let next = replica.inner.borrow().voted_view + 1;
-                    replica.start_view_change(sim, next);
+                if let Some(v) = next {
+                    replica.start_view_change(sim, v);
                 }
             }),
         );
@@ -1291,7 +1549,8 @@ impl ReplicaInner {
         match msg {
             Message::PrePrepare { seq, .. }
             | Message::Prepare { seq, .. }
-            | Message::Commit { seq, .. } => self.pillar_core(*seq),
+            | Message::Commit { seq, .. }
+            | Message::CatchUpReply { seq, .. } => self.pillar_core(*seq),
             _ => CoreId(0),
         }
     }

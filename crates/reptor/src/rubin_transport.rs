@@ -5,6 +5,14 @@
 //! where it replaces the Java NIO selector and socket channel"). Because
 //! RUBIN channels are message-oriented, no length framing is needed; the
 //! first message on every channel is a hello carrying the sender's node id.
+//!
+//! Failure recovery: when a channel breaks (queue-pair retry exhaustion,
+//! peer crash, connection rejection), the side that originally dialed —
+//! the higher node id — re-dials with exponential backoff, while the other
+//! side parks outgoing messages until the replacement connection and its
+//! hello arrive. Queued output survives the swap; messages that were
+//! in flight on the dead queue pair are lost, which the BFT layer above
+//! already tolerates (it re-sends during view changes and client retries).
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -15,12 +23,24 @@ use rdma_verbs::{RdmaDevice, RnicModel};
 use rubin::{
     Interest, RdmaChannel, RdmaSelector, RdmaServerChannel, RecvOutcome, RubinConfig, RubinKey,
 };
-use simnet::{Addr, CoreId, HostId, Network, Simulator};
+use simnet::{Addr, CoreId, HostId, Nanos, Network, Simulator};
 
 use crate::transport::{DeliveryFn, NodeId, Transport};
 
 /// Base port for RUBIN transport server channels.
 const RUBIN_PORT_BASE: u32 = 1100;
+
+/// First re-dial delay after a channel failure; doubles per consecutive
+/// failed attempt.
+const RECONNECT_BASE: Nanos = Nanos::from_millis(2);
+
+/// Cap on the backoff doubling: delay = base << min(attempts, CAP_SHIFT).
+const RECONNECT_CAP_SHIFT: u32 = 5;
+
+/// How long a re-dial may sit unestablished before it is abandoned. RDMA
+/// connection management has no timeout of its own — a ConnRequest lost to
+/// a crashed host would otherwise hang the dialer forever.
+const CONNECT_ATTEMPT_TIMEOUT: Nanos = Nanos::from_millis(20);
 
 struct PeerChan {
     channel: RdmaChannel,
@@ -30,6 +50,12 @@ struct PeerChan {
     /// Peer id, once known (outbound: immediately; inbound: after hello).
     peer: Option<NodeId>,
     hello_sent: bool,
+    /// Channel failed; slot is retired (its selector key is cancelled) but
+    /// kept in place so `by_node` indices stay stable and its `outq` can be
+    /// carried over to the replacement channel.
+    dead: bool,
+    /// This channel is a reconnect attempt (not an initial mesh dial).
+    redial: bool,
 }
 
 struct RubinInner {
@@ -41,9 +67,15 @@ struct RubinInner {
     server: RdmaServerChannel,
     chans: Vec<PeerChan>,
     by_node: HashMap<NodeId, usize>,
+    /// Host of every group member, for re-dialing after a failure.
+    directory: HashMap<NodeId, HostId>,
+    /// Consecutive failed re-dial attempts per peer (drives the backoff).
+    redial_attempts: HashMap<NodeId, u32>,
     delivery: Option<DeliveryFn>,
     msgs_sent: u64,
     msgs_delivered: u64,
+    reconnect_attempts: u64,
+    reconnects_completed: u64,
 }
 
 /// A full-mesh, RDMA-selector-driven transport endpoint.
@@ -97,9 +129,13 @@ impl RubinTransport {
                         server,
                         chans: Vec::new(),
                         by_node: HashMap::new(),
+                        directory: nodes.iter().map(|&(n, h, _)| (n, h)).collect(),
+                        redial_attempts: HashMap::new(),
                         delivery: None,
                         msgs_sent: 0,
                         msgs_delivered: 0,
+                        reconnect_attempts: 0,
+                        reconnects_completed: 0,
                     })),
                 }
             })
@@ -142,6 +178,8 @@ impl RubinTransport {
                     outq: VecDeque::new(),
                     peer: Some(peer),
                     hello_sent: false,
+                    dead: false,
+                    redial: false,
                 });
                 inner.by_node.insert(peer, slot);
             }
@@ -152,6 +190,16 @@ impl RubinTransport {
     /// Messages delivered to this endpoint.
     pub fn delivered_count(&self) -> u64 {
         self.inner.borrow().msgs_delivered
+    }
+
+    /// Re-dial attempts made after channel failures.
+    pub fn reconnect_attempts(&self) -> u64 {
+        self.inner.borrow().reconnect_attempts
+    }
+
+    /// Re-dials that reached establishment.
+    pub fn reconnects_completed(&self) -> u64 {
+        self.inner.borrow().reconnects_completed
     }
 
     /// Select calls performed by this endpoint's selector.
@@ -176,11 +224,16 @@ impl RubinTransport {
             .chans
             .iter()
             .map(|c| {
+                let s = c.channel.stats();
                 format!(
-                    "[peer={:?} hello={} outq={} chan={:?}]",
+                    "[peer={:?} hello={} outq={} dead={} tx={} rx={} stalls={} chan={:?}]",
                     c.peer,
                     c.hello_sent,
                     c.outq.len(),
+                    c.dead,
+                    s.msgs_sent,
+                    s.msgs_received,
+                    s.send_stalls,
                     c.channel
                 )
             })
@@ -241,6 +294,8 @@ impl RubinTransport {
                 outq: VecDeque::new(),
                 peer: None,
                 hello_sent: true, // server side sends no hello
+                dead: false,
+                redial: false,
             });
         }
     }
@@ -249,6 +304,27 @@ impl RubinTransport {
         let channel = self.inner.borrow().chans[slot].channel.clone();
         if !channel.finish_connect(sim) {
             return;
+        }
+        // A completed re-dial resets the peer's backoff.
+        let metrics = {
+            let mut inner = self.inner.borrow_mut();
+            let c = &inner.chans[slot];
+            if c.redial {
+                let peer = c.peer.expect("re-dials always know their peer");
+                inner.redial_attempts.remove(&peer);
+                inner.reconnects_completed += 1;
+                Some((inner.device.net().metrics(), inner.node))
+            } else {
+                None
+            }
+        };
+        if let Some((m, node)) = metrics {
+            m.incr(&format!("rubin_transport.{node}.reconnects_completed"));
+            m.trace(
+                sim.now(),
+                "transport",
+                format!("rubin reconnect up slot={slot}"),
+            );
         }
         self.flush(sim, slot);
     }
@@ -261,7 +337,11 @@ impl RubinTransport {
             };
             match outcome {
                 Ok(RecvOutcome::Msg(body)) => self.handle_message(sim, slot, body),
-                Ok(RecvOutcome::WouldBlock) | Ok(RecvOutcome::Eof) | Err(_) => break,
+                Ok(RecvOutcome::WouldBlock) => break,
+                Ok(RecvOutcome::Eof) | Err(_) => {
+                    self.on_channel_down(sim, slot);
+                    break;
+                }
             }
         }
     }
@@ -279,7 +359,22 @@ impl RubinTransport {
                     if body.len() == 4 {
                         let peer = u32::from_le_bytes(body.try_into().expect("4 bytes"));
                         inner.chans[slot].peer = Some(peer);
+                        // A hello from an already-known peer means it
+                        // reconnected: retire the stale channel and carry
+                        // its queued output over to this one.
+                        if let Some(&old) = inner.by_node.get(&peer) {
+                            if old != slot {
+                                let outq = std::mem::take(&mut inner.chans[old].outq);
+                                inner.chans[old].dead = true;
+                                let old_key = inner.chans[old].key;
+                                inner.selector.cancel(old_key);
+                                inner.chans[slot].outq = outq;
+                            }
+                        }
                         inner.by_node.insert(peer, slot);
+                        drop(inner);
+                        // The carried-over queue may have pending messages.
+                        self.flush(sim, slot);
                     }
                     return;
                 }
@@ -290,7 +385,161 @@ impl RubinTransport {
         }
     }
 
+    /// Retires a failed channel and, if this endpoint is the dialing side
+    /// for that peer, schedules a re-dial with exponential backoff.
+    ///
+    /// Mirrors [`build_group`](RubinTransport::build_group)'s mesh
+    /// direction: the higher-id node dials, so only it re-dials; the
+    /// lower-id side keeps the dead slot as a holding pen for queued
+    /// output until the peer's replacement connection arrives.
+    fn on_channel_down(&self, sim: &mut Simulator, slot: usize) {
+        let (peer, node, metrics) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.chans[slot].dead {
+                return;
+            }
+            inner.chans[slot].dead = true;
+            let key = inner.chans[slot].key;
+            inner.selector.cancel(key);
+            (
+                inner.chans[slot].peer,
+                inner.node,
+                inner.device.net().metrics(),
+            )
+        };
+        metrics.incr(&format!("rubin_transport.{node}.channels_down"));
+        metrics.trace(
+            sim.now(),
+            "transport",
+            format!("rubin channel down slot={slot} peer={peer:?}"),
+        );
+        let Some(peer) = peer else {
+            return; // anonymous inbound channel that never said hello
+        };
+        // Only act if this slot is still the peer's current channel (a
+        // replacement may already have been wired in via hello remap).
+        if self.inner.borrow().by_node.get(&peer) != Some(&slot) {
+            return;
+        }
+        if node > peer {
+            self.schedule_redial(sim, peer);
+        }
+    }
+
+    /// Schedules the next connection attempt towards `peer`, delayed by
+    /// exponential backoff over the consecutive-failure count.
+    fn schedule_redial(&self, sim: &mut Simulator, peer: NodeId) {
+        let delay = {
+            let inner = self.inner.borrow();
+            let attempts = inner.redial_attempts.get(&peer).copied().unwrap_or(0);
+            Nanos::from_nanos(RECONNECT_BASE.as_nanos() << attempts.min(RECONNECT_CAP_SHIFT))
+        };
+        let t = self.clone();
+        sim.schedule_in(
+            delay,
+            Box::new(move |sim| {
+                t.redial_fire(sim, peer);
+            }),
+        );
+    }
+
+    /// Opens a replacement channel towards `peer`, carrying over the dead
+    /// slot's queued output, and arms the attempt timeout.
+    fn redial_fire(&self, sim: &mut Simulator, peer: NodeId) {
+        let (device, cfg, core, remote, outq, node, metrics) = {
+            let mut inner = self.inner.borrow_mut();
+            // Already reconnected (or re-dial already in flight): nothing
+            // to do.
+            if let Some(&slot) = inner.by_node.get(&peer) {
+                if !inner.chans[slot].dead {
+                    return;
+                }
+            }
+            let Some(&host) = inner.directory.get(&peer) else {
+                return;
+            };
+            *inner.redial_attempts.entry(peer).or_insert(0) += 1;
+            inner.reconnect_attempts += 1;
+            let outq = match inner.by_node.get(&peer) {
+                Some(&slot) => std::mem::take(&mut inner.chans[slot].outq),
+                None => VecDeque::new(),
+            };
+            (
+                inner.device.clone(),
+                inner.cfg.clone(),
+                inner.core,
+                Addr::new(host, RUBIN_PORT_BASE + peer),
+                outq,
+                inner.node,
+                inner.device.net().metrics(),
+            )
+        };
+        metrics.incr(&format!("rubin_transport.{node}.reconnect_attempts"));
+        let chan = RdmaChannel::connect(sim, &device, remote, cfg, core);
+        let Ok(channel) = chan else {
+            // Could not even initiate (e.g. resource exhaustion): put the
+            // queue back and back off again.
+            let mut inner = self.inner.borrow_mut();
+            if let Some(&slot) = inner.by_node.get(&peer) {
+                inner.chans[slot].outq = outq;
+            }
+            drop(inner);
+            self.schedule_redial(sim, peer);
+            return;
+        };
+        let key = {
+            let inner = self.inner.borrow();
+            inner.selector.register_channel(
+                sim,
+                &channel,
+                Interest::OP_ACCEPT | Interest::OP_RECEIVE,
+            )
+        };
+        let slot = {
+            let mut inner = self.inner.borrow_mut();
+            let slot = inner.chans.len();
+            inner.chans.push(PeerChan {
+                channel,
+                key,
+                outq,
+                peer: Some(peer),
+                hello_sent: false,
+                dead: false,
+                redial: true,
+            });
+            inner.by_node.insert(peer, slot);
+            slot
+        };
+        // RDMA CM never times out on its own; if the ConnRequest (or the
+        // reply) is lost, only this timer gets the dialer unstuck.
+        let t = self.clone();
+        sim.schedule_in(
+            CONNECT_ATTEMPT_TIMEOUT,
+            Box::new(move |sim| {
+                t.attempt_timeout_fire(sim, slot, peer);
+            }),
+        );
+    }
+
+    /// Abandons a re-dial that never established within the timeout.
+    fn attempt_timeout_fire(&self, sim: &mut Simulator, slot: usize, peer: NodeId) {
+        {
+            let inner = self.inner.borrow();
+            if inner.by_node.get(&peer) != Some(&slot) {
+                return; // superseded by a newer channel
+            }
+            let c = &inner.chans[slot];
+            if c.dead || c.channel.is_established() {
+                return; // already failed (and rescheduled) or succeeded
+            }
+        }
+        self.on_channel_down(sim, slot);
+    }
+
     fn flush(&self, sim: &mut Simulator, slot: usize) {
+        if self.inner.borrow().chans[slot].dead {
+            return;
+        }
         // Hello goes out first on outbound channels.
         let need_hello = {
             let inner = self.inner.borrow();
@@ -338,6 +587,9 @@ impl RubinTransport {
         let (selector, key, interest) = {
             let inner = self.inner.borrow();
             let c = &inner.chans[slot];
+            if c.dead {
+                return; // key is cancelled; leave it alone
+            }
             let established = c.channel.is_established();
             let mut want = Interest::OP_RECEIVE;
             if !established {

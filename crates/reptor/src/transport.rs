@@ -75,6 +75,7 @@ impl fmt::Debug for SimTransport {
     }
 }
 
+#[derive(Clone)]
 struct SimMsg {
     from: NodeId,
     bytes: Vec<u8>,
@@ -104,7 +105,15 @@ impl SimTransport {
                 net.bind(
                     addr,
                     Box::new(move |sim, frame| {
-                        if let Ok(m) = frame.into_payload::<SimMsg>() {
+                        let corrupted = frame.corrupted;
+                        if let Ok(mut m) = frame.into_payload::<SimMsg>() {
+                            // Materialize fault-injected corruption so the
+                            // MAC check above this transport rejects it.
+                            if corrupted {
+                                if let Some(byte) = m.bytes.last_mut() {
+                                    *byte ^= 0xff;
+                                }
+                            }
                             t2.deliver(sim, m.from, m.bytes);
                         }
                     }),

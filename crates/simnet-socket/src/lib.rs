@@ -376,4 +376,81 @@ mod tests {
         assert_eq!(cs.segments_tx as usize, model.segments(4000));
         assert_eq!(ss.segments_rx, cs.segments_tx);
     }
+
+    #[test]
+    fn lossy_link_stream_still_delivers_in_order() {
+        let mut w = connected();
+        // 20% loss in both directions: data, acks and credit updates all
+        // take hits; retransmission must still get every byte across.
+        let (a, b) = (w.tb.a, w.tb.b);
+        w.tb.net.with_faults(|f| {
+            f.set_loss(a, b, 0.2);
+            f.set_loss(b, a, 0.2);
+        });
+        let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+        let (cli, srv) = (w.client.clone(), w.server.clone());
+        write_all(&mut w, &cli, &payload);
+        let got = read_all(&mut w, &srv, payload.len());
+        assert_eq!(got, payload, "bytes survive loss, in order");
+        assert!(
+            w.client.stats().retransmits > 0,
+            "loss must have forced retransmissions"
+        );
+    }
+
+    #[test]
+    fn blackholed_stream_breaks_with_eof_after_retry_budget() {
+        let mut w = connected();
+        let (a, b) = (w.tb.a, w.tb.b);
+        // Total blackhole of the data direction: no ack ever returns.
+        w.tb.net.with_faults(|f| f.set_loss(a, b, 1.0));
+        let cli = w.client.clone();
+        cli.write(&mut w.tb.sim, &[7u8; 100]).unwrap();
+        w.tb.sim.run_until_idle();
+        let model = TcpModel::linux_xeon();
+        assert_eq!(w.client.stats().retransmits as u32, model.max_retransmits);
+        match cli.read(&mut w.tb.sim, 10).unwrap() {
+            ReadOutcome::Eof => {}
+            other => panic!("broken stream must read EOF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_syn_is_retransmitted_until_connected() {
+        let mut tb = TestBed::paper_testbed(7);
+        let listener =
+            TcpListener::bind(&tb.net, tb.b, 80, CoreId(0), TcpModel::linux_xeon()).unwrap();
+        // Lose the first two handshake frames (SYN, then its retry).
+        let (a, b) = (tb.a, tb.b);
+        tb.net.with_faults(|f| f.set_loss(a, b, 1.0));
+        let net = tb.net.clone();
+        tb.sim.schedule_at(
+            Nanos::from_micros(1_200),
+            Box::new(move |_| net.with_faults(|f| f.set_loss(a, b, 0.0))),
+        );
+        let client = TcpStream::connect(
+            &mut tb.sim,
+            &tb.net,
+            tb.a,
+            CoreId(0),
+            TcpModel::linux_xeon(),
+            listener.local_addr(),
+        );
+        tb.sim.run_until_idle();
+        assert!(client.is_established());
+        assert!(client.stats().retransmits >= 1);
+        let server = listener.accept(&mut tb.sim).expect("pending connection");
+        assert!(
+            listener.accept(&mut tb.sim).is_none(),
+            "SYN dedup: one accept"
+        );
+        assert!(server.is_established());
+        // The repaired connection still moves data.
+        client.write(&mut tb.sim, b"hello").unwrap();
+        tb.sim.run_until_idle();
+        match server.read(&mut tb.sim, 16).unwrap() {
+            ReadOutcome::Data(d) => assert_eq!(d, b"hello"),
+            other => panic!("expected data, got {other:?}"),
+        }
+    }
 }

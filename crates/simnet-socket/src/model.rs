@@ -30,6 +30,15 @@ pub struct TcpModel {
     pub header_bytes: usize,
     /// One-shot connection establishment cost per side.
     pub connect_ns: u64,
+    /// Retransmission timeout: how long the oldest unacknowledged segment
+    /// (or an unanswered SYN) may stay outstanding before it is re-sent.
+    /// Real kernels adapt this from RTT estimates; the simulated link RTT
+    /// is fixed, so a constant well above it models the same behaviour.
+    pub rto: Nanos,
+    /// Consecutive RTO expiries without any acknowledged progress before
+    /// the stream is declared broken (surfaces as EOF to the application,
+    /// like a kernel `ETIMEDOUT`).
+    pub max_retransmits: u32,
 }
 
 impl TcpModel {
@@ -44,6 +53,11 @@ impl TcpModel {
             ack_bytes: 40,
             header_bytes: 20,
             connect_ns: 30_000,
+            // Linux's RTO floor is 200 ms; that dwarfs every simulated
+            // scenario, so model a datacenter-tuned stack instead: an RTO
+            // a few times the ~10 µs link RTT plus kernel processing.
+            rto: Nanos::from_micros(500),
+            max_retransmits: 8,
         }
     }
 

@@ -13,16 +13,22 @@
 //!   messages larger than the socket buffers (visible in Figure 4's
 //!   mid-range payloads).
 //!
-//! Reliability and ordering come from the simulated fabric (no
-//! retransmission machinery); loss injected by the fault plane therefore
-//! breaks a stream, which tests use to exercise failure paths.
+//! * **Reliability** — go-back-N retransmission: data segments carry
+//!   sequence numbers and are acknowledged cumulatively; the oldest
+//!   unacknowledged segment is re-sent after [`TcpModel::rto`], SYNs are
+//!   retransmitted during connect, window credit is a cumulative counter
+//!   (so a lost credit update is repaired by the next one), and the
+//!   receiver suppresses duplicates. After
+//!   [`TcpModel::max_retransmits`] consecutive timeouts without progress
+//!   the stream is declared broken and surfaces EOF, which transports use
+//!   to trigger reconnection.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use simnet::{Addr, CoreId, CpuModel, Frame, HostId, Nanos, Network, Simulator};
+use simnet::{Addr, CoreId, CpuModel, EventId, Frame, HostId, Nanos, Network, Simulator};
 
 use crate::model::TcpModel;
 use crate::selector::{KeyId, Ops, Selector};
@@ -79,6 +85,10 @@ pub struct TcpStats {
     pub copies: u64,
     /// User/kernel crossings charged to this socket's syscalls.
     pub syscalls: u64,
+    /// Segments (or SYNs) re-sent after a retransmission timeout.
+    pub retransmits: u64,
+    /// Duplicate data segments suppressed by receive sequencing.
+    pub dup_segments: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,11 +98,30 @@ enum StreamState {
     Closed,
 }
 
+#[derive(Clone)]
 pub(crate) enum TcpSegment {
-    Syn { reply_to: Addr },
-    SynAck { data_port: Addr, credit: usize },
-    Data { bytes: Vec<u8> },
-    Credit { bytes: usize },
+    Syn {
+        reply_to: Addr,
+    },
+    SynAck {
+        data_port: Addr,
+        credit: usize,
+    },
+    /// Sequenced payload; `seq` counts segments, not bytes.
+    Data {
+        seq: u64,
+        bytes: Vec<u8>,
+    },
+    /// Cumulative acknowledgement: every segment with `seq < upto` arrived.
+    Ack {
+        upto: u64,
+    },
+    /// Cumulative flow-control update: total payload bytes the receiving
+    /// application has consumed so far. Monotonic, so losing one update
+    /// costs nothing once the next arrives.
+    Credit {
+        total_read: u64,
+    },
     Fin,
 }
 
@@ -107,8 +136,28 @@ struct StreamInner {
     state: StreamState,
     send_buf: VecDeque<u8>,
     recv_buf: VecDeque<u8>,
-    /// Bytes we may still push into the peer's receive buffer.
-    credit: usize,
+    /// Capacity of the peer's receive buffer (window size).
+    peer_window: usize,
+    /// Highest cumulative read counter the peer has reported.
+    peer_total_read: u64,
+    /// Cumulative payload bytes moved from `send_buf` onto the wire.
+    /// `peer_window + peer_total_read - bytes_pushed` is the open window.
+    bytes_pushed: u64,
+    /// Next data sequence number to assign.
+    snd_next: u64,
+    /// Transmitted-but-unacknowledged segments, oldest first.
+    unacked: VecDeque<(u64, Vec<u8>)>,
+    /// Armed RTO (or SYN-retry) timer.
+    rto_timer: Option<EventId>,
+    /// Consecutive timeouts without acknowledged progress.
+    rto_strikes: u32,
+    /// Next in-order data sequence number expected.
+    rcv_next: u64,
+    /// Out-of-order segments parked until the gap fills.
+    rcv_ooo: BTreeMap<u64, Vec<u8>>,
+    /// Cumulative payload bytes consumed by the local application
+    /// (advertised to the peer in `Credit` updates).
+    total_read: u64,
     eof: bool,
     connect_ready: bool,
     reg: Option<(Selector, KeyId)>,
@@ -144,7 +193,7 @@ impl fmt::Debug for TcpStream {
             .field("state", &inner.state)
             .field("send_buf", &inner.send_buf.len())
             .field("recv_buf", &inner.recv_buf.len())
-            .field("credit", &inner.credit)
+            .field("unacked", &inner.unacked.len())
             .finish()
     }
 }
@@ -159,7 +208,7 @@ impl TcpStream {
         local: Addr,
         remote: Option<Addr>,
         state: StreamState,
-        credit: usize,
+        peer_window: usize,
     ) -> TcpStream {
         let cpu = net.host(host).borrow().cpu().clone();
         let stream = TcpStream {
@@ -174,7 +223,16 @@ impl TcpStream {
                 state,
                 send_buf: VecDeque::new(),
                 recv_buf: VecDeque::new(),
-                credit,
+                peer_window,
+                peer_total_read: 0,
+                bytes_pushed: 0,
+                snd_next: 0,
+                unacked: VecDeque::new(),
+                rto_timer: None,
+                rto_strikes: 0,
+                rcv_next: 0,
+                rcv_ooo: BTreeMap::new(),
+                total_read: 0,
                 eof: false,
                 connect_ready: false,
                 reg: None,
@@ -185,7 +243,19 @@ impl TcpStream {
         net.bind(
             local,
             Box::new(move |sim, frame| {
-                if let Ok(seg) = frame.into_payload::<TcpSegment>() {
+                let corrupted = frame.corrupted;
+                if let Ok(mut seg) = frame.into_payload::<TcpSegment>() {
+                    // A fault-corrupted frame damages the payload it
+                    // carries; the bytes still flow upward, where
+                    // application-level integrity checks (the BFT MACs)
+                    // must catch them.
+                    if corrupted {
+                        if let TcpSegment::Data { bytes, .. } = &mut seg {
+                            if let Some(byte) = bytes.last_mut() {
+                                *byte ^= 0xff;
+                            }
+                        }
+                    }
                     s.handle_segment(sim, seg);
                 }
             }),
@@ -235,9 +305,49 @@ impl TcpStream {
                     sim,
                     Frame::new(local, remote, 40, TcpSegment::Syn { reply_to: local }),
                 );
+                s.arm_syn_retry(sim);
             }),
         );
         stream
+    }
+
+    /// Arms the SYN retransmission timer while the handshake is in flight.
+    fn arm_syn_retry(&self, sim: &mut Simulator) {
+        let rto = self.inner.borrow().model.rto;
+        let s = self.clone();
+        let id = sim.schedule_in(rto, Box::new(move |sim| s.syn_retry_fire(sim)));
+        self.inner.borrow_mut().rto_timer = Some(id);
+    }
+
+    fn syn_retry_fire(&self, sim: &mut Simulator) {
+        let resend = {
+            let mut inner = self.inner.borrow_mut();
+            inner.rto_timer = None;
+            if inner.state != StreamState::Connecting {
+                return;
+            }
+            if inner.rto_strikes >= inner.model.max_retransmits {
+                // The listener is unreachable; fail the connect attempt.
+                inner.eof = true;
+                inner.connect_ready = true;
+                None
+            } else {
+                inner.rto_strikes += 1;
+                inner.stats.retransmits += 1;
+                let listener = inner.remote.expect("connecting stream has a target");
+                Some((inner.net.clone(), inner.local, listener))
+            }
+        };
+        match resend {
+            Some((net, local, listener)) => {
+                net.send(
+                    sim,
+                    Frame::new(local, listener, 40, TcpSegment::Syn { reply_to: local }),
+                );
+                self.arm_syn_retry(sim);
+            }
+            None => self.refresh_readiness(sim),
+        }
     }
 
     /// The local address.
@@ -355,21 +465,27 @@ impl TcpStream {
     }
 
     /// Transmit pump: pushes segments onto the wire within the credit
-    /// window, charging per-segment kernel cost.
+    /// window, charging per-segment kernel cost. Each segment is kept in
+    /// the unacked queue until cumulatively acknowledged.
     fn pump(&self, sim: &mut Simulator) {
         loop {
-            let (seg_bytes, send_at) = {
+            let (seq, seg_bytes, send_at) = {
                 let mut inner = self.inner.borrow_mut();
                 if inner.state != StreamState::Established {
                     break;
                 }
-                let window = inner.credit.min(inner.send_buf.len());
+                let open = (inner.peer_window as u64 + inner.peer_total_read)
+                    .saturating_sub(inner.bytes_pushed) as usize;
+                let window = open.min(inner.send_buf.len());
                 if window == 0 {
                     break;
                 }
                 let n = window.min(inner.model.mss);
                 let bytes: Vec<u8> = inner.send_buf.drain(..n).collect();
-                inner.credit -= n;
+                inner.bytes_pushed += n as u64;
+                let seq = inner.snd_next;
+                inner.snd_next += 1;
+                inner.unacked.push_back((seq, bytes.clone()));
                 inner.stats.segments_tx += 1;
                 let work = Nanos::from_nanos(inner.model.segment_tx_ns);
                 let host = inner.host;
@@ -379,7 +495,7 @@ impl TcpStream {
                     .host(host)
                     .borrow_mut()
                     .exec(sim.now(), core, work);
-                (bytes, done)
+                (seq, bytes, done)
             };
             let (net, local, remote, header) = {
                 let inner = self.inner.borrow();
@@ -397,13 +513,89 @@ impl TcpStream {
                 Box::new(move |sim| {
                     net.send(
                         sim,
-                        Frame::new(local, remote, wire, TcpSegment::Data { bytes: seg_bytes }),
+                        Frame::new(
+                            local,
+                            remote,
+                            wire,
+                            TcpSegment::Data {
+                                seq,
+                                bytes: seg_bytes,
+                            },
+                        ),
                     );
                 }),
             );
         }
+        let needs_timer = {
+            let inner = self.inner.borrow();
+            inner.rto_timer.is_none()
+                && !inner.unacked.is_empty()
+                && inner.state == StreamState::Established
+        };
+        if needs_timer {
+            self.arm_rto(sim);
+        }
         // Draining the send buffer may have made the stream writable again.
         self.refresh_readiness(sim);
+    }
+
+    /// Arms the retransmission timer for the oldest unacked segment.
+    fn arm_rto(&self, sim: &mut Simulator) {
+        let rto = self.inner.borrow().model.rto;
+        let s = self.clone();
+        let id = sim.schedule_in(rto, Box::new(move |sim| s.rto_fire(sim)));
+        self.inner.borrow_mut().rto_timer = Some(id);
+    }
+
+    /// RTO expired: go-back-N resend of the oldest unacked segment, or
+    /// declare the stream broken once the strike budget is spent.
+    fn rto_fire(&self, sim: &mut Simulator) {
+        enum Act {
+            Resend(Network, Addr, Addr, u64, Vec<u8>, usize),
+            GiveUp,
+            Idle,
+        }
+        let act = {
+            let mut inner = self.inner.borrow_mut();
+            inner.rto_timer = None;
+            if inner.state != StreamState::Established || inner.unacked.is_empty() {
+                Act::Idle
+            } else if inner.rto_strikes >= inner.model.max_retransmits {
+                // No progress across the whole strike budget: the peer is
+                // gone. Surface as EOF (kernel ETIMEDOUT analogue) so the
+                // application's disconnect handling runs.
+                inner.eof = true;
+                Act::GiveUp
+            } else {
+                inner.rto_strikes += 1;
+                inner.stats.retransmits += 1;
+                inner
+                    .net
+                    .metrics()
+                    .incr(&format!("tcp.{}.retransmits", inner.local));
+                let (seq, bytes) = inner.unacked.front().cloned().expect("checked non-empty");
+                Act::Resend(
+                    inner.net.clone(),
+                    inner.local,
+                    inner.remote.expect("established stream has a peer"),
+                    seq,
+                    bytes,
+                    inner.model.header_bytes,
+                )
+            }
+        };
+        match act {
+            Act::Resend(net, local, remote, seq, bytes, header) => {
+                let wire = bytes.len() + header;
+                net.send(
+                    sim,
+                    Frame::new(local, remote, wire, TcpSegment::Data { seq, bytes }),
+                );
+                self.arm_rto(sim);
+            }
+            Act::GiveUp => self.refresh_readiness(sim),
+            Act::Idle => {}
+        }
     }
 
     /// Non-blocking read of up to `max` bytes.
@@ -440,26 +632,28 @@ impl TcpStream {
             inner.note_crossing(1);
             let data: Vec<u8> = inner.recv_buf.drain(..n).collect();
             inner.stats.bytes_read += n as u64;
+            inner.total_read += n as u64;
             (data, done)
         };
-        // Return window credit to the peer.
-        let (net, local, remote, ack_bytes) = {
+        // Return window credit to the peer (a cumulative counter, so a
+        // lost update is repaired by whichever later one gets through).
+        let (net, local, remote, ack_bytes, total_read) = {
             let inner = self.inner.borrow();
             (
                 inner.net.clone(),
                 inner.local,
                 inner.remote,
                 inner.model.ack_bytes,
+                inner.total_read,
             )
         };
         if let Some(remote) = remote {
-            let n = data.len();
             sim.schedule_at(
                 credit_at,
                 Box::new(move |sim| {
                     net.send(
                         sim,
-                        Frame::new(local, remote, ack_bytes, TcpSegment::Credit { bytes: n }),
+                        Frame::new(local, remote, ack_bytes, TcpSegment::Credit { total_read }),
                     );
                 }),
             );
@@ -494,18 +688,27 @@ impl TcpStream {
     fn handle_segment(&self, sim: &mut Simulator, seg: TcpSegment) {
         match seg {
             TcpSegment::SynAck { data_port, credit } => {
-                {
+                let timer = {
                     let mut inner = self.inner.borrow_mut();
+                    if inner.state != StreamState::Connecting {
+                        // Duplicate SYN-ACK from a retransmitted SYN.
+                        return;
+                    }
                     inner.remote = Some(data_port);
-                    inner.credit = credit;
+                    inner.peer_window = credit;
                     inner.state = StreamState::Established;
                     inner.connect_ready = true;
+                    inner.rto_strikes = 0;
+                    inner.rto_timer.take()
+                };
+                if let Some(id) = timer {
+                    sim.cancel(id);
                 }
                 self.refresh_readiness(sim);
                 // Anything already buffered can flow now.
                 self.pump(sim);
             }
-            TcpSegment::Data { bytes } => {
+            TcpSegment::Data { seq, bytes } => {
                 let done = {
                     let mut inner = self.inner.borrow_mut();
                     if inner.state != StreamState::Established {
@@ -527,18 +730,76 @@ impl TcpStream {
                 sim.schedule_at(
                     done,
                     Box::new(move |sim| {
-                        {
+                        let (net, local, remote, ack_bytes, upto) = {
                             let mut inner = s.inner.borrow_mut();
-                            inner.recv_buf.extend(bytes.iter());
+                            if seq == inner.rcv_next {
+                                inner.recv_buf.extend(bytes.iter());
+                                inner.rcv_next += 1;
+                                while let Some(parked) = {
+                                    let next = inner.rcv_next;
+                                    inner.rcv_ooo.remove(&next)
+                                } {
+                                    inner.recv_buf.extend(parked.iter());
+                                    inner.rcv_next += 1;
+                                }
+                            } else if seq > inner.rcv_next {
+                                if let std::collections::btree_map::Entry::Vacant(e) =
+                                    inner.rcv_ooo.entry(seq)
+                                {
+                                    e.insert(bytes);
+                                } else {
+                                    inner.stats.dup_segments += 1;
+                                }
+                            } else {
+                                // Already delivered: the cumulative ack
+                                // below repairs the sender's view.
+                                inner.stats.dup_segments += 1;
+                            }
+                            (
+                                inner.net.clone(),
+                                inner.local,
+                                inner.remote,
+                                inner.model.ack_bytes,
+                                inner.rcv_next,
+                            )
+                        };
+                        if let Some(remote) = remote {
+                            net.send(
+                                sim,
+                                Frame::new(local, remote, ack_bytes, TcpSegment::Ack { upto }),
+                            );
                         }
                         s.refresh_readiness(sim);
                     }),
                 );
             }
-            TcpSegment::Credit { bytes } => {
+            TcpSegment::Ack { upto } => {
+                let (timer, rearm) = {
+                    let mut inner = self.inner.borrow_mut();
+                    let before = inner.unacked.len();
+                    while inner.unacked.front().is_some_and(|(s, _)| *s < upto) {
+                        inner.unacked.pop_front();
+                    }
+                    if inner.unacked.len() == before {
+                        // No progress (stale or duplicate ack): leave the
+                        // running timer alone.
+                        (None, false)
+                    } else {
+                        inner.rto_strikes = 0;
+                        (inner.rto_timer.take(), !inner.unacked.is_empty())
+                    }
+                };
+                if let Some(id) = timer {
+                    sim.cancel(id);
+                }
+                if rearm {
+                    self.arm_rto(sim);
+                }
+            }
+            TcpSegment::Credit { total_read } => {
                 {
                     let mut inner = self.inner.borrow_mut();
-                    inner.credit += bytes;
+                    inner.peer_total_read = inner.peer_total_read.max(total_read);
                 }
                 self.pump(sim);
                 self.refresh_readiness(sim);
@@ -564,6 +825,10 @@ struct ListenerInner {
     model: TcpModel,
     addr: Addr,
     pending: VecDeque<TcpStream>,
+    /// Connections already accepted, keyed by the client's reply address:
+    /// a retransmitted SYN re-sends the SYN-ACK instead of spawning a
+    /// second server-side stream.
+    accepted: HashMap<Addr, Addr>,
     reg: Option<(Selector, KeyId)>,
 }
 
@@ -609,6 +874,7 @@ impl TcpListener {
                 model,
                 addr,
                 pending: VecDeque::new(),
+                accepted: HashMap::new(),
                 reg: None,
             })),
         };
@@ -657,6 +923,27 @@ impl TcpListener {
     }
 
     fn handle_syn(&self, sim: &mut Simulator, reply_to: Addr) {
+        // A retransmitted SYN for an already-accepted connection means the
+        // SYN-ACK was lost: re-send it, do not accept a second stream.
+        let known = {
+            let inner = self.inner.borrow();
+            inner
+                .accepted
+                .get(&reply_to)
+                .map(|port| (inner.net.clone(), *port, inner.model.recv_buf))
+        };
+        if let Some((net, data_port, credit)) = known {
+            net.send(
+                sim,
+                Frame::new(
+                    data_port,
+                    reply_to,
+                    40,
+                    TcpSegment::SynAck { data_port, credit },
+                ),
+            );
+            return;
+        }
         let (net, host, core, model, local_port) = {
             let inner = self.inner.borrow();
             (
@@ -683,6 +970,7 @@ impl TcpListener {
         {
             let mut inner = self.inner.borrow_mut();
             inner.pending.push_back(stream);
+            inner.accepted.insert(reply_to, local_port);
         }
         net.send(
             sim,

@@ -1,22 +1,61 @@
-//! Fault injection: partitions, probabilistic loss, and added delay.
+//! Fault injection: partitions, probabilistic loss, duplication, corruption,
+//! reordering jitter, host crashes, and added delay.
 //!
 //! Faults are applied at frame-delivery time by the [`Network`](crate::Network).
-//! All knobs are *directional*: `set_loss(a, b, p)` only affects frames from
-//! `a` to `b`. [`FaultPlane::partition`] cuts both directions at once since a
-//! network partition is symmetric.
+//! All link knobs are *directional*: `set_loss(a, b, p)` only affects frames
+//! from `a` to `b`. [`FaultPlane::partition`] cuts both directions at once
+//! since a network partition is symmetric, and [`FaultPlane::crash_host`]
+//! blackholes every frame to or from the crashed host until
+//! [`FaultPlane::restart_host`].
 
 use std::collections::{HashMap, HashSet};
 
 use crate::host::HostId;
 use crate::time::Nanos;
 
+/// Uniform `[0, 1)` samples consumed by one fault-plane decision.
+///
+/// The [`Network`](crate::Network) draws all four from the simulator RNG for
+/// every frame — whether or not any fault rule is installed — so the random
+/// stream (and therefore the whole run) is a pure function of the seed and
+/// the workload, independent of when chaos rules are toggled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultCoins {
+    /// Sample judged against the loss probability.
+    pub drop: f64,
+    /// Sample judged against the duplication probability.
+    pub duplicate: f64,
+    /// Sample judged against the corruption probability.
+    pub corrupt: f64,
+    /// Sample scaling the reordering-jitter bound.
+    pub jitter: f64,
+}
+
+impl FaultCoins {
+    /// Coins that trigger no probabilistic fault (useful in tests).
+    pub fn fair() -> FaultCoins {
+        FaultCoins {
+            drop: 1.0,
+            duplicate: 1.0,
+            corrupt: 1.0,
+            jitter: 0.0,
+        }
+    }
+}
+
 /// The verdict for a frame about to be delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultVerdict {
-    /// Deliver, possibly after an extra delay.
+    /// Deliver, possibly after an extra delay, duplicated, or damaged.
     Deliver {
-        /// Additional delay injected on top of the link model.
+        /// Additional delay injected on top of the link model (fixed
+        /// per-link delay plus the jittered reordering component).
         extra_delay: Nanos,
+        /// Deliver a second copy of the frame as well.
+        duplicate: bool,
+        /// Flip payload bits in flight (integrity checks downstream must
+        /// catch this).
+        corrupt: bool,
     },
     /// Silently drop the frame.
     Drop,
@@ -27,7 +66,11 @@ pub enum FaultVerdict {
 pub struct FaultPlane {
     partitioned: HashSet<(HostId, HostId)>,
     loss: HashMap<(HostId, HostId), f64>,
+    duplication: HashMap<(HostId, HostId), f64>,
+    corruption: HashMap<(HostId, HostId), f64>,
+    jitter: HashMap<(HostId, HostId), Nanos>,
     delay: HashMap<(HostId, HostId), Nanos>,
+    crashed: HashSet<HostId>,
 }
 
 impl FaultPlane {
@@ -53,20 +96,62 @@ impl FaultPlane {
         self.partitioned.contains(&(a, b))
     }
 
+    /// Crashes `host`: every frame to or from it is dropped, modelling a
+    /// machine that has lost power (its NIC neither sends nor receives).
+    pub fn crash_host(&mut self, host: HostId) {
+        self.crashed.insert(host);
+    }
+
+    /// Restarts a crashed host, restoring its connectivity.
+    pub fn restart_host(&mut self, host: HostId) {
+        self.crashed.remove(&host);
+    }
+
+    /// True if `host` is currently crashed.
+    pub fn is_crashed(&self, host: HostId) -> bool {
+        self.crashed.contains(&host)
+    }
+
     /// Drops frames from `src` to `dst` with probability `p` (0.0..=1.0).
     ///
     /// # Panics
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn set_loss(&mut self, src: HostId, dst: HostId, p: f64) {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "loss probability must be in [0,1]"
-        );
-        if p == 0.0 {
-            self.loss.remove(&(src, dst));
+        Self::set_prob(&mut self.loss, "loss", src, dst, p);
+    }
+
+    /// Duplicates frames from `src` to `dst` with probability `p`: the
+    /// frame is delivered twice, each copy serialized separately on the
+    /// link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn set_duplication(&mut self, src: HostId, dst: HostId, p: f64) {
+        Self::set_prob(&mut self.duplication, "duplication", src, dst, p);
+    }
+
+    /// Corrupts the payload of frames from `src` to `dst` with probability
+    /// `p`. Corruption flips bits in the carried bytes at delivery; it is
+    /// the job of downstream integrity checks (MACs in `bft-crypto`,
+    /// message framing) to detect and discard the damage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn set_corruption(&mut self, src: HostId, dst: HostId, p: f64) {
+        Self::set_prob(&mut self.corruption, "corruption", src, dst, p);
+    }
+
+    /// Adds uniform random extra delay in `[0, bound]` to frames from `src`
+    /// to `dst`, which reorders frames whose nominal arrivals are closer
+    /// together than the bound.
+    pub fn set_reorder_jitter(&mut self, src: HostId, dst: HostId, bound: Nanos) {
+        if bound == Nanos::ZERO {
+            self.jitter.remove(&(src, dst));
         } else {
-            self.loss.insert((src, dst), p);
+            self.jitter.insert((src, dst), bound);
         }
     }
 
@@ -79,28 +164,65 @@ impl FaultPlane {
         }
     }
 
+    fn set_prob(
+        map: &mut HashMap<(HostId, HostId), f64>,
+        what: &str,
+        src: HostId,
+        dst: HostId,
+        p: f64,
+    ) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "{what} probability must be in [0,1]"
+        );
+        if p == 0.0 {
+            map.remove(&(src, dst));
+        } else {
+            map.insert((src, dst), p);
+        }
+    }
+
     /// Decides the fate of one frame from `src` to `dst`.
     ///
-    /// `coin` must be a uniform sample from `[0, 1)` drawn from the
+    /// `coins` must be uniform samples from `[0, 1)` drawn from the
     /// simulator's RNG so runs stay deterministic.
-    pub fn judge(&self, src: HostId, dst: HostId, coin: f64) -> FaultVerdict {
-        if self.is_partitioned(src, dst) {
+    pub fn judge(&self, src: HostId, dst: HostId, coins: &FaultCoins) -> FaultVerdict {
+        if self.is_partitioned(src, dst) || self.is_crashed(src) || self.is_crashed(dst) {
             return FaultVerdict::Drop;
         }
         if let Some(&p) = self.loss.get(&(src, dst)) {
-            if coin < p {
+            if coins.drop < p {
                 return FaultVerdict::Drop;
             }
         }
-        let extra_delay = self.delay.get(&(src, dst)).copied().unwrap_or(Nanos::ZERO);
-        FaultVerdict::Deliver { extra_delay }
+        let duplicate = self
+            .duplication
+            .get(&(src, dst))
+            .is_some_and(|&p| coins.duplicate < p);
+        let corrupt = self
+            .corruption
+            .get(&(src, dst))
+            .is_some_and(|&p| coins.corrupt < p);
+        let mut extra_delay = self.delay.get(&(src, dst)).copied().unwrap_or(Nanos::ZERO);
+        if let Some(&bound) = self.jitter.get(&(src, dst)) {
+            extra_delay += Nanos::from_nanos((bound.as_nanos() as f64 * coins.jitter) as u64);
+        }
+        FaultVerdict::Deliver {
+            extra_delay,
+            duplicate,
+            corrupt,
+        }
     }
 
     /// Removes every fault.
     pub fn clear(&mut self) {
         self.partitioned.clear();
         self.loss.clear();
+        self.duplication.clear();
+        self.corruption.clear();
+        self.jitter.clear();
         self.delay.clear();
+        self.crashed.clear();
     }
 }
 
@@ -111,38 +233,96 @@ mod tests {
     const A: HostId = HostId(0);
     const B: HostId = HostId(1);
 
+    fn clean_deliver() -> FaultVerdict {
+        FaultVerdict::Deliver {
+            extra_delay: Nanos::ZERO,
+            duplicate: false,
+            corrupt: false,
+        }
+    }
+
     #[test]
     fn default_delivers() {
         let f = FaultPlane::new();
-        assert_eq!(
-            f.judge(A, B, 0.5),
-            FaultVerdict::Deliver {
-                extra_delay: Nanos::ZERO
-            }
-        );
+        assert_eq!(f.judge(A, B, &FaultCoins::fair()), clean_deliver());
     }
 
     #[test]
     fn partition_is_symmetric_and_healable() {
         let mut f = FaultPlane::new();
         f.partition(A, B);
-        assert_eq!(f.judge(A, B, 0.5), FaultVerdict::Drop);
-        assert_eq!(f.judge(B, A, 0.5), FaultVerdict::Drop);
+        assert_eq!(f.judge(A, B, &FaultCoins::fair()), FaultVerdict::Drop);
+        assert_eq!(f.judge(B, A, &FaultCoins::fair()), FaultVerdict::Drop);
         f.heal(A, B);
-        assert!(matches!(f.judge(A, B, 0.5), FaultVerdict::Deliver { .. }));
+        assert_eq!(f.judge(A, B, &FaultCoins::fair()), clean_deliver());
     }
 
     #[test]
     fn loss_is_directional_and_thresholded() {
         let mut f = FaultPlane::new();
         f.set_loss(A, B, 0.3);
-        assert_eq!(f.judge(A, B, 0.2), FaultVerdict::Drop);
-        assert!(matches!(f.judge(A, B, 0.4), FaultVerdict::Deliver { .. }));
+        let mut low = FaultCoins::fair();
+        low.drop = 0.2;
+        assert_eq!(f.judge(A, B, &low), FaultVerdict::Drop);
+        let mut high = FaultCoins::fair();
+        high.drop = 0.4;
+        assert_eq!(f.judge(A, B, &high), clean_deliver());
         // Reverse direction unaffected.
-        assert!(matches!(f.judge(B, A, 0.0), FaultVerdict::Deliver { .. }));
+        assert_eq!(f.judge(B, A, &low), clean_deliver());
         // Setting zero removes the rule.
         f.set_loss(A, B, 0.0);
-        assert!(matches!(f.judge(A, B, 0.0), FaultVerdict::Deliver { .. }));
+        assert_eq!(f.judge(A, B, &low), clean_deliver());
+    }
+
+    #[test]
+    fn duplication_and_corruption_flags_set() {
+        let mut f = FaultPlane::new();
+        f.set_duplication(A, B, 0.5);
+        f.set_corruption(A, B, 0.5);
+        let mut coins = FaultCoins::fair();
+        coins.duplicate = 0.1;
+        coins.corrupt = 0.1;
+        assert_eq!(
+            f.judge(A, B, &coins),
+            FaultVerdict::Deliver {
+                extra_delay: Nanos::ZERO,
+                duplicate: true,
+                corrupt: true,
+            }
+        );
+        // Independent directions and thresholds.
+        assert_eq!(f.judge(B, A, &coins), clean_deliver());
+    }
+
+    #[test]
+    fn jitter_scales_with_coin_and_adds_to_fixed_delay() {
+        let mut f = FaultPlane::new();
+        f.set_extra_delay(A, B, Nanos::from_micros(10));
+        f.set_reorder_jitter(A, B, Nanos::from_micros(100));
+        let mut coins = FaultCoins::fair();
+        coins.jitter = 0.25;
+        assert_eq!(
+            f.judge(A, B, &coins),
+            FaultVerdict::Deliver {
+                extra_delay: Nanos::from_micros(35),
+                duplicate: false,
+                corrupt: false,
+            }
+        );
+    }
+
+    #[test]
+    fn crashed_host_blackholes_both_directions() {
+        let mut f = FaultPlane::new();
+        f.crash_host(B);
+        assert!(f.is_crashed(B));
+        assert_eq!(f.judge(A, B, &FaultCoins::fair()), FaultVerdict::Drop);
+        assert_eq!(f.judge(B, A, &FaultCoins::fair()), FaultVerdict::Drop);
+        // Third parties unaffected.
+        assert_eq!(f.judge(A, HostId(2), &FaultCoins::fair()), clean_deliver());
+        f.restart_host(B);
+        assert!(!f.is_crashed(B));
+        assert_eq!(f.judge(A, B, &FaultCoins::fair()), clean_deliver());
     }
 
     #[test]
@@ -150,9 +330,11 @@ mod tests {
         let mut f = FaultPlane::new();
         f.set_extra_delay(A, B, Nanos::from_micros(10));
         assert_eq!(
-            f.judge(A, B, 0.9),
+            f.judge(A, B, &FaultCoins::fair()),
             FaultVerdict::Deliver {
-                extra_delay: Nanos::from_micros(10)
+                extra_delay: Nanos::from_micros(10),
+                duplicate: false,
+                corrupt: false,
             }
         );
     }
@@ -162,15 +344,18 @@ mod tests {
         let mut f = FaultPlane::new();
         f.partition(A, B);
         f.set_loss(B, A, 1.0);
+        f.set_duplication(A, B, 1.0);
+        f.set_corruption(A, B, 1.0);
+        f.set_reorder_jitter(A, B, Nanos::from_micros(1));
         f.set_extra_delay(A, B, Nanos::from_nanos(5));
+        f.crash_host(A);
         f.clear();
-        assert_eq!(
-            f.judge(A, B, 0.0),
-            FaultVerdict::Deliver {
-                extra_delay: Nanos::ZERO
-            }
-        );
-        assert!(matches!(f.judge(B, A, 0.0), FaultVerdict::Deliver { .. }));
+        let mut coins = FaultCoins::fair();
+        coins.drop = 0.0;
+        coins.duplicate = 0.0;
+        coins.corrupt = 0.0;
+        assert_eq!(f.judge(A, B, &coins), clean_deliver());
+        assert_eq!(f.judge(B, A, &coins), clean_deliver());
     }
 
     #[test]

@@ -30,11 +30,38 @@ impl fmt::Display for Addr {
     }
 }
 
+/// A frame payload: any `'static` message type that can be cloned.
+///
+/// Cloning is required so the fault plane can duplicate frames in flight
+/// (real networks deliver duplicates; a type-erased but uncloneable payload
+/// could not model that). The blanket impl covers every `Any + Clone` type,
+/// so protocol layers keep defining plain message enums/structs.
+pub trait Payload: Any {
+    /// Clones the payload behind the type-erased box.
+    fn clone_box(&self) -> Box<dyn Payload>;
+    /// Borrows the payload as `Any` for type checks.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcasts to `Any` so [`Frame::into_payload`] can downcast.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Clone> Payload for T {
+    fn clone_box(&self) -> Box<dyn Payload> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
 /// A frame in flight between two addresses.
 ///
 /// The `payload` is a type-erased message owned by the protocol layer that
 /// sent it (TCP segment, RoCE packet, …); `wire_bytes` is the size the link
-/// timing model charges for it. Keeping payloads as `Box<dyn Any>` lets every
+/// timing model charges for it. Keeping payloads type-erased lets every
 /// protocol layer define its own message types without a central enum, while
 /// the real bytes still travel end to end so data integrity is genuine.
 pub struct Frame {
@@ -44,18 +71,24 @@ pub struct Frame {
     pub dst: Addr,
     /// Size charged on the wire (payload + protocol headers), in bytes.
     pub wire_bytes: usize,
+    /// Set by the fault plane when the frame's payload was damaged in
+    /// flight. Protocol layers that carry real bytes honour this by
+    /// flipping payload bits at delivery; integrity checks (MACs,
+    /// checksums) downstream are what must catch it.
+    pub corrupted: bool,
     /// The protocol message being carried.
-    pub payload: Box<dyn Any>,
+    pub payload: Box<dyn Payload>,
 }
 
 impl Frame {
     /// Creates a frame carrying `payload`, charged as `wire_bytes` on the
     /// wire.
-    pub fn new<T: Any>(src: Addr, dst: Addr, wire_bytes: usize, payload: T) -> Frame {
+    pub fn new<T: Any + Clone>(src: Addr, dst: Addr, wire_bytes: usize, payload: T) -> Frame {
         Frame {
             src,
             dst,
             wire_bytes,
+            corrupted: false,
             payload: Box::new(payload),
         }
     }
@@ -66,9 +99,27 @@ impl Frame {
     ///
     /// Returns the frame unchanged if the payload is not a `T`.
     pub fn into_payload<T: Any>(self) -> Result<T, Frame> {
-        match self.payload.downcast::<T>() {
-            Ok(b) => Ok(*b),
-            Err(payload) => Err(Frame { payload, ..self }),
+        if self.payload.as_any().is::<T>() {
+            let b = self
+                .payload
+                .into_any()
+                .downcast::<T>()
+                .expect("type already checked");
+            Ok(*b)
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Frame {
+        Frame {
+            src: self.src,
+            dst: self.dst,
+            wire_bytes: self.wire_bytes,
+            corrupted: self.corrupted,
+            payload: self.payload.clone_box(),
         }
     }
 }
@@ -79,6 +130,7 @@ impl fmt::Debug for Frame {
             .field("src", &self.src)
             .field("dst", &self.dst)
             .field("wire_bytes", &self.wire_bytes)
+            .field("corrupted", &self.corrupted)
             .finish_non_exhaustive()
     }
 }
@@ -111,5 +163,16 @@ mod tests {
         assert_eq!(f.wire_bytes, 100);
         let v: u64 = f.into_payload().expect("payload is u64");
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn clone_duplicates_payload() {
+        let a = Addr::new(HostId(0), 1);
+        let b = Addr::new(HostId(1), 2);
+        let f = Frame::new(a, b, 100, vec![1u8, 2, 3]);
+        let g = f.clone();
+        let v1: Vec<u8> = f.into_payload().expect("payload is bytes");
+        let v2: Vec<u8> = g.into_payload().expect("clone carries same bytes");
+        assert_eq!(v1, v2);
     }
 }

@@ -15,8 +15,12 @@
 //!   bandwidth, propagation delay, MTU segmentation overhead, and an
 //!   implicit per-host loopback. Frames are typed messages ([`Frame`]) bound
 //!   to [`Addr`] handlers.
-//! * [`FaultPlane`] — partitions, probabilistic loss, and added delay,
+//! * [`FaultPlane`] — partitions, probabilistic loss, duplication,
+//!   corruption, reordering jitter, host crash/restart, and added delay,
 //!   applied deterministically from the simulator's seeded RNG.
+//! * [`ChaosSchedule`] — scripted `(time, fault)` timelines applied over
+//!   simulated time, so whole failure scenarios replay byte-identically
+//!   from a seed.
 //! * [`LatencyRecorder`] / [`Series`] — measurement helpers used by the
 //!   benchmark harness to regenerate the paper's figures.
 //!
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chaos;
 mod event;
 mod fault;
 mod frame;
@@ -55,9 +60,10 @@ mod sim;
 mod stats;
 mod time;
 
+pub use chaos::{ChaosAction, ChaosSchedule};
 pub use event::{EventFn, EventId};
-pub use fault::{FaultPlane, FaultVerdict};
-pub use frame::{Addr, Frame};
+pub use fault::{FaultCoins, FaultPlane, FaultVerdict};
+pub use frame::{Addr, Frame, Payload};
 pub use host::{CoreId, CpuModel, Host, HostId, HostRef};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot, TraceEvent};
 pub use net::{FrameHandler, LinkId, LinkSpec, NetStats, Network};

@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use rand::Rng;
 
-use crate::fault::{FaultPlane, FaultVerdict};
+use crate::fault::{FaultCoins, FaultPlane, FaultVerdict};
 use crate::frame::{Addr, Frame};
 use crate::host::{CpuModel, Host, HostId, HostRef};
 use crate::metrics::Metrics;
@@ -83,8 +83,12 @@ struct Link {
 pub struct NetStats {
     /// Frames delivered to a bound handler.
     pub delivered: u64,
-    /// Frames dropped by faults (partition or loss).
+    /// Frames dropped by faults (partition, loss, or host crash).
     pub dropped_by_fault: u64,
+    /// Extra frame copies injected by the duplication fault.
+    pub duplicated_by_fault: u64,
+    /// Frames whose payload was damaged by the corruption fault.
+    pub corrupted_by_fault: u64,
     /// Frames that arrived at an address with no bound handler.
     pub unroutable: u64,
 }
@@ -272,53 +276,107 @@ impl Network {
     /// Sends a frame, modelling link serialization, propagation, and faults.
     /// Delivery (if any) is scheduled on `sim`.
     ///
+    /// Four fault coins are drawn from the simulator RNG for *every* frame,
+    /// whether or not any fault rule is installed, so the random stream is
+    /// independent of when chaos rules are toggled and a seeded run replays
+    /// byte-identically.
+    ///
     /// # Panics
     ///
     /// Panics if the two hosts are distinct and not connected by a link.
     pub fn send(&self, sim: &mut Simulator, frame: Frame) {
+        let coins = {
+            let rng = sim.rng();
+            FaultCoins {
+                drop: rng.gen(),
+                duplicate: rng.gen(),
+                corrupt: rng.gen(),
+                jitter: rng.gen(),
+            }
+        };
+        let verdict = self
+            .inner
+            .borrow()
+            .faults
+            .judge(frame.src.host, frame.dst.host, &coins);
+        match verdict {
+            FaultVerdict::Drop => {
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.dropped_by_fault += 1;
+                inner.metrics.incr(&format!(
+                    "net.{}.{}.faults_dropped",
+                    frame.src.host, frame.dst.host
+                ));
+            }
+            FaultVerdict::Deliver {
+                extra_delay,
+                duplicate,
+                corrupt,
+            } => {
+                let mut frame = frame;
+                if corrupt {
+                    frame.corrupted = true;
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.corrupted_by_fault += 1;
+                    inner.metrics.incr(&format!(
+                        "net.{}.{}.faults_corrupted",
+                        frame.src.host, frame.dst.host
+                    ));
+                }
+                if duplicate {
+                    let copy = frame.clone();
+                    {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.stats.duplicated_by_fault += 1;
+                        inner.metrics.incr(&format!(
+                            "net.{}.{}.faults_duplicated",
+                            frame.src.host, frame.dst.host
+                        ));
+                    }
+                    self.transmit(sim, copy, extra_delay);
+                }
+                self.transmit(sim, frame, extra_delay);
+            }
+        }
+    }
+
+    /// Serializes one frame copy on its link (or the loopback path) and
+    /// schedules its delivery.
+    fn transmit(&self, sim: &mut Simulator, frame: Frame, extra_delay: Nanos) {
         let now = sim.now();
         let deliver_at;
         {
             let mut inner = self.inner.borrow_mut();
-            let coin: f64 = sim.rng().gen();
-            match inner.faults.judge(frame.src.host, frame.dst.host, coin) {
-                FaultVerdict::Drop => {
-                    inner.stats.dropped_by_fault += 1;
-                    return;
-                }
-                FaultVerdict::Deliver { extra_delay } => {
-                    if frame.src.host == frame.dst.host {
-                        let ready = match inner.loopback_bandwidth {
-                            Some(bw) => {
-                                let ser = bw.transmit_time(frame.wire_bytes);
-                                let busy = inner
-                                    .loopback_busy
-                                    .entry(frame.src.host)
-                                    .or_insert(Nanos::ZERO);
-                                let start = now.max(*busy);
-                                *busy = start + ser;
-                                *busy
-                            }
-                            None => now,
-                        };
-                        deliver_at = ready + inner.loopback_delay + extra_delay;
-                    } else {
-                        let idx = *inner
-                            .adjacency
-                            .get(&(frame.src.host, frame.dst.host))
-                            .unwrap_or_else(|| {
-                                panic!("no link between {} and {}", frame.src.host, frame.dst.host)
-                            });
-                        let link = &mut inner.links[idx];
-                        let dir = usize::from(frame.src.host != link.ends.0);
-                        let wire = link.spec.wire_size(frame.wire_bytes);
-                        let ser = link.spec.bandwidth.transmit_time(wire);
-                        let start = now.max(link.busy_until[dir]);
-                        link.busy_until[dir] = start + ser;
-                        link.bytes_carried += wire as u64;
-                        deliver_at = link.busy_until[dir] + link.spec.propagation + extra_delay;
+            if frame.src.host == frame.dst.host {
+                let ready = match inner.loopback_bandwidth {
+                    Some(bw) => {
+                        let ser = bw.transmit_time(frame.wire_bytes);
+                        let busy = inner
+                            .loopback_busy
+                            .entry(frame.src.host)
+                            .or_insert(Nanos::ZERO);
+                        let start = now.max(*busy);
+                        *busy = start + ser;
+                        *busy
                     }
-                }
+                    None => now,
+                };
+                deliver_at = ready + inner.loopback_delay + extra_delay;
+            } else {
+                let idx = *inner
+                    .adjacency
+                    .get(&(frame.src.host, frame.dst.host))
+                    .unwrap_or_else(|| {
+                        panic!("no link between {} and {}", frame.src.host, frame.dst.host)
+                    });
+                let link = &mut inner.links[idx];
+                let dir = usize::from(frame.src.host != link.ends.0);
+                let wire = link.spec.wire_size(frame.wire_bytes);
+                let ser = link.spec.bandwidth.transmit_time(wire);
+                let start = now.max(link.busy_until[dir]);
+                link.busy_until[dir] = start + ser;
+                link.bytes_carried += wire as u64;
+                deliver_at = link.busy_until[dir] + link.spec.propagation + extra_delay;
             }
         }
         let net = self.clone();
@@ -467,6 +525,83 @@ mod tests {
         sim.run_until_idle();
         assert_eq!(net.stats().dropped_by_fault, 1);
         assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_charges_link_metrics() {
+        let (mut sim, net, a, b) = two_host_net();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = count.clone();
+        let dst = Addr::new(b, 1);
+        net.bind(
+            dst,
+            Box::new(move |_sim, frame| {
+                let bytes: Vec<u8> = frame.into_payload().expect("bytes payload");
+                assert_eq!(bytes, vec![9u8; 16]);
+                *c.borrow_mut() += 1;
+            }),
+        );
+        net.with_faults(|f| f.set_duplication(a, b, 1.0));
+        net.send(
+            &mut sim,
+            Frame::new(Addr::new(a, 9), dst, 16, vec![9u8; 16]),
+        );
+        sim.run_until_idle();
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(net.stats().duplicated_by_fault, 1);
+        assert_eq!(net.stats().delivered, 2);
+        assert_eq!(net.metrics().counter("net.h0.h1.faults_duplicated"), 1);
+    }
+
+    #[test]
+    fn corruption_marks_frame_and_charges_link_metrics() {
+        let (mut sim, net, a, b) = two_host_net();
+        let saw_corrupt = Rc::new(RefCell::new(false));
+        let s = saw_corrupt.clone();
+        let dst = Addr::new(b, 1);
+        net.bind(
+            dst,
+            Box::new(move |_sim, frame| {
+                *s.borrow_mut() = frame.corrupted;
+            }),
+        );
+        net.with_faults(|f| f.set_corruption(a, b, 1.0));
+        net.send(&mut sim, Frame::new(Addr::new(a, 9), dst, 16, ()));
+        sim.run_until_idle();
+        assert!(*saw_corrupt.borrow());
+        assert_eq!(net.stats().corrupted_by_fault, 1);
+        assert_eq!(net.metrics().counter("net.h0.h1.faults_corrupted"), 1);
+    }
+
+    #[test]
+    fn drops_are_charged_per_link() {
+        let (mut sim, net, a, b) = two_host_net();
+        net.with_faults(|f| f.set_loss(a, b, 1.0));
+        net.send(
+            &mut sim,
+            Frame::new(Addr::new(a, 9), Addr::new(b, 1), 100, ()),
+        );
+        sim.run_until_idle();
+        assert_eq!(net.stats().dropped_by_fault, 1);
+        assert_eq!(net.metrics().counter("net.h0.h1.faults_dropped"), 1);
+        assert_eq!(net.metrics().counter("net.h1.h0.faults_dropped"), 0);
+    }
+
+    #[test]
+    fn crashed_host_drops_frames_until_restart() {
+        let (mut sim, net, a, b) = two_host_net();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = count.clone();
+        let dst = Addr::new(b, 1);
+        net.bind(dst, Box::new(move |_, _| *c.borrow_mut() += 1));
+        net.with_faults(|f| f.crash_host(b));
+        net.send(&mut sim, Frame::new(Addr::new(a, 9), dst, 100, ()));
+        sim.run_until_idle();
+        assert_eq!(*count.borrow(), 0);
+        net.with_faults(|f| f.restart_host(b));
+        net.send(&mut sim, Frame::new(Addr::new(a, 9), dst, 100, ()));
+        sim.run_until_idle();
+        assert_eq!(*count.borrow(), 1);
     }
 
     #[test]

@@ -52,6 +52,44 @@ fn rdma_data_path_has_zero_kernel_copies_and_zero_crossings() {
 }
 
 #[test]
+fn lossy_rdma_run_still_moves_every_byte_by_dma_with_zero_kernel_crossings() {
+    // Frame loss forces the RC retransmission path to do real work; the
+    // recovery must happen inside the RNIC model — robustness must not
+    // silently re-route traffic through the socket cost model.
+    let (_, snap) = fig3::channel_echo_lossy_instrumented(PAYLOAD, MSGS, RubinConfig::paper(), 0.1);
+
+    // The fault plane actually dropped frames and the QP recovered them.
+    assert!(
+        snap.total("faults_dropped") > 0,
+        "10% loss must drop at least one frame"
+    );
+    assert!(
+        snap.total("retransmits") > 0,
+        "dropped frames must be recovered by RC retransmission"
+    );
+
+    // Recovery stayed on the RDMA path: still no kernel involvement.
+    assert_eq!(
+        snap.total("kernel_copies"),
+        0,
+        "lossy RDMA path must not copy via the kernel"
+    );
+    assert_eq!(
+        snap.total("syscalls"),
+        0,
+        "lossy RDMA path must not syscall"
+    );
+    assert_eq!(snap.total("kernel_crossings"), 0);
+
+    // Every payload still crossed the wire (at least once) by DMA.
+    assert!(snap.total("dma_transfers") > 0);
+    assert!(
+        snap.total("dma_bytes") >= (2 * MSGS * PAYLOAD) as u64,
+        "every echoed payload crosses the wire twice via DMA"
+    );
+}
+
+#[test]
 fn quiescent_rdma_run_has_no_rnr_retries() {
     // The RUBIN channel keeps receives pre-posted, so a well-paced echo
     // never hits receiver-not-ready backoff.
