@@ -15,4 +15,9 @@ fn main() {
         "{}",
         render_table("RUBIN optimization ablation — latency", "us", &series)
     );
+    let cop = ablation::cop_run(4 * msgs as u64, 16);
+    print!(
+        "\n{}",
+        render_table("COP parallelization ablation — by pipeline count", "", &cop)
+    );
 }

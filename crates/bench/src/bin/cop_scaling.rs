@@ -1,0 +1,182 @@
+//! COP scaling sweep plus the CI bench-regression gate.
+//!
+//! Runs the Consensus-Oriented Parallelization sweep (`p` ∈ {1, 2, 4}
+//! pipelines on the 4-core Xeon-v2 host model) together with reduced-count
+//! fig3/fig4 shape checks, writes a machine-readable `BENCH_PR3.json`
+//! (hand-rolled JSON, validated like the metrics sidecar), and exits
+//! non-zero if any EXPERIMENTS.md shape claim regresses:
+//!
+//! * fig3: TCP slower than Send/Recv slower than Read/Write, RUBIN fastest;
+//! * fig4: the RUBIN selector beats the NIO selector;
+//! * COP: throughput at `p = 4` is ≥ 1.6× `p = 1`, and the `p = 1`
+//!   operating point is byte-identical to the pre-COP replica (the sweep's
+//!   single-pipeline run re-produces the recorded baseline exactly — the
+//!   simulator is deterministic, so any drift is a real behaviour change).
+//!
+//! Usage: `cop_scaling [msgs] [total] [depth]` — `msgs` feeds fig3/fig4,
+//! `total`/`depth` the COP sweep. `BENCH_JSON_PATH` overrides the output
+//! path (default `target/BENCH_PR3.json`). Set `COP_SKIP_FIGS=1` to gate
+//! the COP sweep alone (used while iterating locally).
+
+use bench::{fig3, fig4, replicated};
+use simnet::Series;
+
+/// The `p = 1` operating point of the pre-COP replica (captured on the
+/// seed revision at the gate's default parameters: payload 4096 B,
+/// `total` 240, `depth` 16, seed `0xC0C`). The deterministic simulator
+/// reproduces these digits exactly; the gate fails on any drift.
+const P1_BASELINE: Option<replicated::CopPoint> = Some(replicated::CopPoint {
+    pipelines: 1,
+    latency_us: 896.579,
+    rps: 17276.130146847107,
+});
+
+/// Default COP sweep parameters (what CI runs and the baseline refers to).
+const DEFAULT_TOTAL: u64 = 240;
+const DEFAULT_DEPTH: usize = 16;
+
+fn json_series(series: &[Series]) -> String {
+    let mut out = String::from("{");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{{", s.label.replace('"', "")));
+        for (j, p) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.3}", p.payload_bytes, p.value));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+fn json_checks(checks: &[(String, bool)]) -> String {
+    let mut out = String::from("{");
+    for (i, (desc, ok)) in checks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", desc.replace('"', "'"), ok));
+    }
+    out.push('}');
+    out
+}
+
+fn main() {
+    let arg = |n: usize| std::env::args().nth(n);
+    let msgs: usize = arg(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let total: u64 = arg(2).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_TOTAL);
+    let depth: usize = arg(3).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_DEPTH);
+    let skip_figs = std::env::var("COP_SKIP_FIGS").is_ok_and(|v| v == "1");
+
+    let mut checks: Vec<(String, bool)> = Vec::new();
+    let mut sections: Vec<String> = Vec::new();
+
+    // --- COP sweep -----------------------------------------------------
+    println!("# COP scaling — p pipelines on the 4-core Xeon-v2 host model");
+    println!(
+        "({total} requests of {} B, depth {depth})\n",
+        replicated::COP_PAYLOAD
+    );
+    println!(
+        "{:>10} {:>14} {:>12} {:>10}",
+        "pipelines", "latency(us)", "req/s", "speedup"
+    );
+    let points = replicated::cop_scaling(total, depth);
+    let p1 = points[0];
+    for p in &points {
+        println!(
+            "{:>10} {:>14.1} {:>12.0} {:>9.2}x",
+            p.pipelines,
+            p.latency_us,
+            p.rps,
+            p.rps / p1.rps
+        );
+    }
+    let p4 = points
+        .iter()
+        .find(|p| p.pipelines == 4)
+        .expect("sweep includes p=4");
+    checks.push((
+        format!(
+            "COP scaling: p=4 throughput ({:.0} rps) >= 1.6x p=1 ({:.0} rps)",
+            p4.rps, p1.rps
+        ),
+        p4.rps >= 1.6 * p1.rps,
+    ));
+    if let Some(base) = P1_BASELINE {
+        if total == DEFAULT_TOTAL && depth == DEFAULT_DEPTH {
+            checks.push((
+                format!(
+                    "COP p=1 byte-identical to pre-COP baseline ({:.3} us, {:.3} rps)",
+                    base.latency_us, base.rps
+                ),
+                p1.latency_us == base.latency_us && p1.rps == base.rps,
+            ));
+        }
+    }
+    {
+        let mut cop = String::from("\"cop_scaling\":[");
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                cop.push(',');
+            }
+            cop.push_str(&format!(
+                "{{\"pipelines\":{},\"latency_us\":{:.3},\"rps\":{:.3}}}",
+                p.pipelines, p.latency_us, p.rps
+            ));
+        }
+        cop.push(']');
+        sections.push(cop);
+    }
+
+    // --- fig3/fig4 shape checks at reduced counts ----------------------
+    if !skip_figs {
+        println!("\n# fig3 shape checks ({msgs} msgs)");
+        let (lat3, thr3) = fig3::run(msgs);
+        for (desc, ok) in fig3::shape_report(&lat3, &thr3) {
+            println!("- [{}] {desc}", if ok { "x" } else { " " });
+            checks.push((format!("fig3: {desc}"), ok));
+        }
+        sections.push(format!("\"fig3_latency_us\":{}", json_series(&lat3)));
+        sections.push(format!("\"fig3_rps\":{}", json_series(&thr3)));
+
+        println!("\n# fig4 shape checks ({msgs} msgs)");
+        let (lat4, thr4) = fig4::run(msgs);
+        for (desc, ok) in fig4::shape_report(&lat4, &thr4) {
+            println!("- [{}] {desc}", if ok { "x" } else { " " });
+            checks.push((format!("fig4: {desc}"), ok));
+        }
+        sections.push(format!("\"fig4_latency_us\":{}", json_series(&lat4)));
+        sections.push(format!("\"fig4_rps\":{}", json_series(&thr4)));
+    }
+
+    // --- gate + JSON ---------------------------------------------------
+    sections.push(format!("\"checks\":{}", json_checks(&checks)));
+    let json = format!("{{{}}}", sections.join(","));
+    simnet::metrics::validate_json(&json).expect("bench JSON must be valid");
+    let path =
+        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "target/BENCH_PR3.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).expect("bench JSON directory");
+    }
+    std::fs::write(&path, &json).expect("write bench JSON");
+    println!("\nwrote {path} ({} bytes)", json.len());
+
+    let failed: Vec<&(String, bool)> = checks.iter().filter(|(_, ok)| !ok).collect();
+    println!(
+        "\n# gate: {}/{} checks passed",
+        checks.len() - failed.len(),
+        checks.len()
+    );
+    if !failed.is_empty() {
+        for (desc, _) in failed {
+            eprintln!("REGRESSION: {desc}");
+        }
+        std::process::exit(1);
+    }
+}

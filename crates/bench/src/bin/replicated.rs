@@ -24,10 +24,10 @@ fn main() {
         render_table("Replicated BFT — throughput", "req/s", &thr)
     );
 
-    println!("\n# COP scaling (consensus pillars, direct transport)");
-    println!("{:>10} {:>12}", "pillars", "req/s");
-    for (pillars, rps) in replicated::cop_scaling(total, depth.max(16)) {
-        println!("{pillars:>10} {rps:>12.0}");
+    println!("\n# COP scaling (consensus pipelines, direct transport)");
+    println!("{:>10} {:>14} {:>12}", "pipelines", "latency(us)", "req/s");
+    for p in replicated::cop_scaling(total, depth.max(16)) {
+        println!("{:>10} {:>14.1} {:>12.0}", p.pipelines, p.latency_us, p.rps);
     }
 
     println!("\n# Mixed workloads (Troxy-style request mixes)");

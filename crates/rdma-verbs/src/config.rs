@@ -51,14 +51,17 @@ pub struct RnicModel {
     /// QP enters the error state. Mirrors ibverbs `retry_cnt` (7 is the
     /// common maximum).
     pub retry_cnt: u32,
-    /// ACK timeout: how long a transmitted operation may stay
-    /// unacknowledged before the NIC retransmits it. Mirrors ibverbs
-    /// `timeout` (which encodes `4.096 µs × 2^timeout`); here the duration
-    /// is given directly. Must exceed the worst-case ACK round trip —
-    /// including the receiver's RNR hold window
-    /// (`rnr_timer × (rnr_retry + 1)`) — or holds trigger spurious
-    /// retransmissions. `Nanos::ZERO` disables retransmission entirely
-    /// (pre-recovery behaviour: a lost frame stalls the sender forever).
+    /// ACK timeout: how long the connection may go without cumulative ACK
+    /// progress before the oldest unacknowledged operation is
+    /// retransmitted. Mirrors ibverbs `timeout` (which encodes
+    /// `4.096 µs × 2^timeout`); here the duration is given directly. The
+    /// clock measures *silence*, not per-packet age — operations queued
+    /// behind a deep send window are not retransmitted while ACKs keep
+    /// advancing — so the value must exceed the worst-case single-message
+    /// ACK round trip, including the receiver's RNR hold window
+    /// (`rnr_timer × (rnr_retry + 1)`), not the whole queue's drain time.
+    /// `Nanos::ZERO` disables retransmission entirely (pre-recovery
+    /// behaviour: a lost frame stalls the sender forever).
     pub timeout: Nanos,
     /// Wire size of a NIC-level acknowledgement.
     pub ack_bytes: usize,

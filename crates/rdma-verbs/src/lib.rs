@@ -796,6 +796,39 @@ mod tests {
     }
 
     #[test]
+    fn deep_send_queue_on_healthy_link_never_retransmits() {
+        // 30 × 100 KB takes far longer to drain (≈3 MB at 10 Gbps ≈ 2.4 ms)
+        // than one ACK `timeout` (1 ms). The timeout must clock ACK
+        // *silence*, not per-packet age — otherwise a deep send queue on a
+        // lossless link spuriously exhausts `retry_cnt` and breaks the QP
+        // (the regression behind the fig4 100 KB stall).
+        let mut p = connected_pair();
+        const N: usize = 30;
+        const LEN: usize = 100 * 1024;
+        for i in 0..N {
+            let rbuf = p.dev_b.reg_mr(&p.pd_b, LEN, Access::LOCAL_WRITE);
+            p.qp_b
+                .post_recv(&mut p.tb.sim, RecvWr::new(WrId(i as u64), Sge::whole(rbuf)))
+                .unwrap();
+        }
+        let payload = vec![7u8; LEN];
+        for _ in 0..N {
+            send_bytes(&mut p, &payload, true);
+        }
+        p.tb.sim.run_until_idle();
+        assert_eq!(p.rcq_b.poll(64).len(), N, "all messages delivered");
+        let tx = p.scq_a.poll(64);
+        assert_eq!(tx.len(), N);
+        assert!(tx.iter().all(|wc| wc.is_ok()));
+        assert_eq!(
+            p.qp_a.stats().retransmits,
+            0,
+            "a healthy link must never retransmit, however deep the queue"
+        );
+        assert_ne!(p.qp_a.state(), QpState::Error);
+    }
+
+    #[test]
     fn recv_posted_accounting_tracks_queue() {
         let mut p = connected_pair();
         assert_eq!(p.qp_b.recv_posted(), 0);

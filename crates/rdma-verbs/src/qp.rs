@@ -115,6 +115,12 @@ pub(crate) struct QpInner {
     /// exactly this value (RC go-back-N ordering); anything below it is a
     /// duplicate, anything above it is dropped for the sender to retransmit.
     rx_expected: u64,
+    /// When the last ACK advanced the pending window. The retransmission
+    /// timeout clocks *silence*, not per-packet age: as long as cumulative
+    /// ACK progress is being made, queued-behind operations are not
+    /// retransmitted (RC hardware times the oldest unacknowledged PSN and
+    /// restarts the clock on every ACK).
+    last_ack_progress: Nanos,
     stats: QpStats,
     /// Shared cross-layer registry (the owning network's), plus this QP's
     /// key prefix `rdma.{host}.{qpnum}.`.
@@ -198,6 +204,7 @@ impl QueuePair {
                 nic_busy_until: Nanos::ZERO,
                 next_seq: 0,
                 rx_expected: 0,
+                last_ack_progress: Nanos::ZERO,
                 stats: QpStats::default(),
                 metrics,
                 metrics_prefix,
@@ -584,8 +591,13 @@ impl QueuePair {
         if timeout == Nanos::ZERO {
             return;
         }
+        self.arm_retry_in(sim, seq, timeout);
+    }
+
+    /// Arms the retransmission timer for `seq` with an explicit delay.
+    fn arm_retry_in(&self, sim: &mut Simulator, seq: u64, delay: Nanos) {
         let qp = self.clone();
-        let id = sim.schedule_in(timeout, Box::new(move |sim| qp.retry_fire(sim, seq)));
+        let id = sim.schedule_in(delay, Box::new(move |sim| qp.retry_fire(sim, seq)));
         if let Some(p) = self.inner.borrow_mut().pending.get_mut(&seq) {
             p.retry_timer = Some(id);
         }
@@ -596,11 +608,34 @@ impl QueuePair {
     /// retry budget is spent.
     fn retry_fire(&self, sim: &mut Simulator, seq: u64) {
         let model = self.device.model().clone();
-        let resend = {
-            let mut inner = self.inner.borrow_mut();
-            if inner.state == QpState::Error {
+        let rearm = {
+            let inner = self.inner.borrow();
+            if inner.state == QpState::Error || !inner.pending.contains_key(&seq) {
                 return;
             }
+            let oldest = inner.pending.keys().min().copied();
+            if oldest != Some(seq) {
+                // Go-back-N: only the oldest unacknowledged operation's
+                // timer drives retransmission. Entries queued behind it
+                // re-arm without consuming their retry budget — on a deep
+                // send queue their ACKs are late because of queueing, not
+                // loss.
+                Some(model.timeout)
+            } else {
+                // Oldest entry, but the window advanced less than one
+                // timeout ago: the link is live, so keep clocking silence
+                // rather than age.
+                let idle = sim.now() - inner.last_ack_progress;
+                (inner.last_ack_progress > Nanos::ZERO && idle < model.timeout)
+                    .then(|| Nanos::from_nanos(model.timeout.as_nanos() - idle.as_nanos()))
+            }
+        };
+        if let Some(delay) = rearm {
+            self.arm_retry_in(sim, seq, delay);
+            return;
+        }
+        let resend = {
+            let mut inner = self.inner.borrow_mut();
             let Some(p) = inner.pending.get_mut(&seq) else {
                 // Completed while the timer event was already popped.
                 return;
@@ -1177,6 +1212,7 @@ impl QueuePair {
         let timer = {
             let mut inner = self.inner.borrow_mut();
             if let Some(p) = inner.pending.remove(&seq) {
+                inner.last_ack_progress = sim.now();
                 inner.outstanding_sends = inner.outstanding_sends.saturating_sub(1);
                 inner.stats.bytes_sent += p.byte_len as u64;
                 inner.bump("sends_completed", 1);

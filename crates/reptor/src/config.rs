@@ -16,9 +16,11 @@ pub struct ReptorConfig {
     pub window: usize,
     /// A checkpoint is taken every `checkpoint_interval` sequence numbers.
     pub checkpoint_interval: u64,
-    /// Number of COP consensus pillars (parallel protocol instances,
-    /// Behl et al. \[10\]); agreement work for sequence `s` runs on core
-    /// `s % pillars`, offset by one to leave core 0 for execution.
+    /// Number of COP agreement pipelines (parallel whole-protocol
+    /// instances, Behl et al. \[10\]). Pipeline `s % pillars` owns sequence
+    /// number `s` and runs its pre-prepare/prepare/commit state machine on
+    /// its own core (`simnet::CoreAffinity` maps lanes onto cores `1..`,
+    /// leaving core 0 for the sequential executor stage).
     pub pillars: usize,
     /// Backup timer before suspecting the primary and starting a view
     /// change.

@@ -40,8 +40,10 @@ mod client;
 mod cluster;
 mod codec;
 mod config;
+mod executor;
 mod messages;
 mod nio_transport;
+mod pipeline;
 mod replica;
 mod rubin_transport;
 mod state;
@@ -55,10 +57,11 @@ pub use messages::{
     batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage, View,
 };
 pub use nio_transport::NioTransport;
+pub use pipeline::PipelineStats;
 pub use replica::{ByzantineMode, Replica, ReplicaStats};
 pub use rubin_transport::RubinTransport;
 pub use state::{CounterService, EchoService, KvOp, KvService, StateMachine};
-pub use transport::{DeliveryFn, NodeId, SimTransport, Transport};
+pub use transport::{DeliveryFn, LaneDeliveryFn, NodeId, SimTransport, Transport};
 
 #[cfg(test)]
 mod tests {

@@ -533,6 +533,31 @@ impl SignedMessage {
         })
     }
 
+    /// Peeks the agreement sequence number out of an encoded wire frame
+    /// without decoding or verifying it — the cheap header inspection the
+    /// COP transport demultiplexer uses to route a frame to its owning
+    /// pipeline before MAC verification runs on that pipeline's core.
+    ///
+    /// Returns `Some(seq)` only for sequence-bearing agreement messages
+    /// (PRE-PREPARE, PREPARE, COMMIT, CATCH-UP-REPLY); `None` for all other
+    /// kinds and for frames too short to carry the claimed fields. A
+    /// Byzantine header can only misroute its own frame to a different
+    /// pipeline core; verification and full decoding still gate acceptance.
+    pub fn peek_wire_seq(wire: &[u8]) -> Option<SeqNum> {
+        let body_len = u32::from_le_bytes(wire.get(..4)?.try_into().ok()?) as usize;
+        let body = wire.get(4..4 + body_len)?;
+        let seq_at = |off: usize| -> Option<SeqNum> {
+            Some(u64::from_le_bytes(body.get(off..off + 8)?.try_into().ok()?))
+        };
+        match body.first()? {
+            // PRE-PREPARE / PREPARE / COMMIT: tag, view u64, seq u64.
+            1..=3 => seq_at(9),
+            // CATCH-UP-REPLY: tag, seq u64.
+            9 => seq_at(1),
+            _ => None,
+        }
+    }
+
     /// Verifies the MAC for the holder of `keys` and decodes the body.
     ///
     /// # Errors

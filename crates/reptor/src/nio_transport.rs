@@ -616,4 +616,16 @@ impl Transport for NioTransport {
     fn set_delivery(&self, f: DeliveryFn) {
         self.inner.borrow_mut().delivery = Some(f);
     }
+
+    fn set_lane_delivery(&self, lanes: usize, f: crate::transport::LaneDeliveryFn) {
+        // Same demux rule as the default, plus per-lane delivery counters
+        // so benchmarks can see agreement traffic spreading over pipelines.
+        let metrics = self.metrics();
+        let node = self.node();
+        self.set_delivery(Rc::new(move |sim, from, bytes| {
+            let lane = crate::transport::wire_lane(&bytes, lanes);
+            metrics.incr(&format!("nio_transport.{node}.lane{lane}_delivered"));
+            f(sim, lane, from, bytes);
+        }));
+    }
 }

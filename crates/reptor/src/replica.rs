@@ -1,12 +1,19 @@
-//! The PBFT replica with COP-style parallel agreement pillars.
+//! The PBFT replica, parallelized with Consensus-Oriented Parallelization
+//! (COP).
 //!
 //! Implements Castro & Liskov's PBFT \[14\] as used by Reptor \[10\]:
 //! pre-prepare/prepare/commit agreement with MAC-vector authentication,
 //! batching, checkpoint-based log truncation, and view changes. Agreement
-//! work for sequence number `s` is charged to pillar core `1 + (s mod p)`
-//! — the Consensus-Oriented Parallelization scheme, where whole protocol
-//! instances (not functional stages) run in parallel while execution
-//! remains sequential on core 0.
+//! is partitioned into `p` independent [`crate::pipeline::Pipeline`]s —
+//! pipeline `l` owns every sequence number with `seq mod p == l`, runs its
+//! own pre-prepare/prepare/commit state machine, and is pinned to a
+//! dedicated simulated core via [`simnet::CoreAffinity`], so whole protocol
+//! instances (not functional stages) genuinely overlap in simulated time.
+//! Committed batches flow into the deterministic
+//! [`crate::executor::Executor`], which totally orders them by sequence
+//! number before the sequential service applies them on the execution core
+//! (core 0). View changes, checkpoints and catch-up span all pipelines and
+//! remain coordinated here.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -14,12 +21,14 @@ use std::fmt;
 use std::rc::Rc;
 
 use bft_crypto::{Digest, KeyTable};
-use simnet::{CoreId, HostId, Nanos, Network, Simulator};
+use simnet::{CoreAffinity, CoreId, HostId, Nanos, Network, Simulator};
 
 use crate::config::ReptorConfig;
+use crate::executor::Executor;
 use crate::messages::{
     batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage, View,
 };
+use crate::pipeline::{Instance, Pipeline, PipelineStats};
 use crate::state::StateMachine;
 use crate::transport::Transport;
 
@@ -75,23 +84,6 @@ pub struct ReplicaStats {
     pub malformed_dropped: u64,
 }
 
-#[derive(Debug, Default)]
-struct Instance {
-    view: View,
-    digest: Option<Digest>,
-    batch: Option<Vec<Request>>,
-    pre_prepared: bool,
-    prepares: HashSet<ReplicaId>,
-    commits: HashSet<ReplicaId>,
-    prepared: bool,
-    committed: bool,
-    executed: bool,
-    /// Phase timestamps feeding the `reptor.r{id}.phase.*` histograms.
-    pre_prepared_at: Option<Nanos>,
-    prepared_at: Option<Nanos>,
-    committed_at: Option<Nanos>,
-}
-
 struct ReplicaInner {
     id: ReplicaId,
     cfg: ReptorConfig,
@@ -105,9 +97,13 @@ struct ReplicaInner {
     view: View,
     in_view_change: bool,
     next_seq: SeqNum,
-    last_executed: SeqNum,
     low_mark: SeqNum,
-    log: BTreeMap<SeqNum, Instance>,
+    /// The COP agreement pipelines: pipeline `l` owns `seq mod p == l`.
+    pipelines: Vec<Pipeline>,
+    /// The static pipeline → core map (core 0 reserved for execution).
+    affinity: CoreAffinity,
+    /// The deterministic total-order execution stage.
+    executor: Executor,
     pending: VecDeque<Request>,
     proposed: HashSet<(ClientId, u64)>,
     client_state: HashMap<ClientId, (u64, Vec<u8>)>,
@@ -131,9 +127,6 @@ struct ReplicaInner {
     /// Outbound serialization horizon: sends leave the replica in
     /// submission order (the comm stack's single sender queue).
     send_horizon: Nanos,
-    /// Executed history `(seq, batch digest)` — the safety witness used by
-    /// tests.
-    executed_log: Vec<(SeqNum, Digest)>,
     stats: ReplicaStats,
     /// Shared registry plus this replica's `reptor.r{id}.` key prefix.
     metrics: simnet::Metrics,
@@ -155,7 +148,8 @@ impl fmt::Debug for Replica {
         f.debug_struct("Replica")
             .field("id", &inner.id)
             .field("view", &inner.view)
-            .field("last_executed", &inner.last_executed)
+            .field("last_executed", &inner.executor.last_executed)
+            .field("pipelines", &inner.pipelines.len())
             .field("in_view_change", &inner.in_view_change)
             .finish()
     }
@@ -173,6 +167,15 @@ impl Replica {
         service: Box<dyn StateMachine>,
     ) -> Replica {
         cfg.validate();
+        // Pin each pipeline to a simulated core up front: core 0 stays the
+        // execution core, lanes spread over cores 1.. and wrap when there
+        // are more pipelines than agreement cores.
+        let num_cores = net.host(host).borrow().num_cores();
+        let affinity = CoreAffinity::new(num_cores, cfg.pillars);
+        let pipelines: Vec<Pipeline> = (0..cfg.pillars)
+            .map(|lane| Pipeline::new(lane, affinity.lane_core(lane)))
+            .collect();
+        let lanes = pipelines.len();
         let replica = Replica {
             inner: Rc::new(RefCell::new(ReplicaInner {
                 id,
@@ -186,9 +189,10 @@ impl Replica {
                 view: 0,
                 in_view_change: false,
                 next_seq: 1,
-                last_executed: 0,
                 low_mark: 0,
-                log: BTreeMap::new(),
+                pipelines,
+                affinity,
+                executor: Executor::new(),
                 pending: VecDeque::new(),
                 proposed: HashSet::new(),
                 client_state: HashMap::new(),
@@ -200,17 +204,22 @@ impl Replica {
                 voted_view: 0,
                 vc_attempts: 0,
                 send_horizon: Nanos::ZERO,
-                executed_log: Vec::new(),
                 stats: ReplicaStats::default(),
                 metrics: net.metrics(),
                 metrics_prefix: format!("reptor.r{id}."),
                 arrivals: HashMap::new(),
             })),
         };
+        // Inbound demultiplexing: the transport peeks the sequence number
+        // out of the wire frame and routes agreement traffic to its owning
+        // pipeline (lane 0 carries everything without a sequence number).
         let r = replica.clone();
-        transport.set_delivery(Rc::new(move |sim, from, bytes| {
-            r.on_raw(sim, from, bytes);
-        }));
+        transport.set_lane_delivery(
+            lanes,
+            Rc::new(move |sim, lane, from, bytes| {
+                r.on_raw(sim, lane, from, bytes);
+            }),
+        );
         replica
     }
 
@@ -231,7 +240,17 @@ impl Replica {
 
     /// Highest contiguously executed sequence number.
     pub fn last_executed(&self) -> SeqNum {
-        self.inner.borrow().last_executed
+        self.inner.borrow().executor.last_executed
+    }
+
+    /// Per-pipeline progress counters (one entry per COP pipeline).
+    pub fn pipeline_stats(&self) -> Vec<PipelineStats> {
+        self.inner
+            .borrow()
+            .pipelines
+            .iter()
+            .map(Pipeline::stats)
+            .collect()
     }
 
     /// Stable low watermark.
@@ -247,7 +266,7 @@ impl Replica {
 
     /// The executed `(seq, digest)` history (safety checks).
     pub fn executed_log(&self) -> Vec<(SeqNum, Digest)> {
-        self.inner.borrow().executed_log.clone()
+        self.inner.borrow().executor.executed_log.clone()
     }
 
     /// Counters.
@@ -275,7 +294,7 @@ impl Replica {
     // Inbound path
     // ------------------------------------------------------------------
 
-    fn on_raw(&self, sim: &mut Simulator, _from: u32, bytes: Vec<u8>) {
+    fn on_raw(&self, sim: &mut Simulator, lane: usize, _from: u32, bytes: Vec<u8>) {
         if self.inner.borrow().byzantine == ByzantineMode::Crash {
             return;
         }
@@ -286,8 +305,10 @@ impl Replica {
                 return;
             }
         };
-        // Charge MAC verification to the pillar core responsible for this
-        // message's sequence number (core 0 for non-agreement messages).
+        // Charge MAC verification to the core of the pipeline that owns
+        // this message's sequence number — the transport's lane demux
+        // already derived it from the wire frame (lane 0 / core 0 for
+        // non-agreement messages).
         let msg = {
             let mut inner = self.inner.borrow_mut();
             let verified = signed.verify_and_decode(&inner.keys);
@@ -301,7 +322,7 @@ impl Replica {
                     return;
                 }
                 Ok(Some(m)) => {
-                    let core = inner.core_for(&m);
+                    let core = inner.lane_core_for(lane, &m);
                     let cost = inner.cfg.crypto.verify_cost(signed.body.len());
                     inner.charge(sim, core, cost);
                     m
@@ -479,7 +500,7 @@ impl Replica {
             inner.stats.catch_up_requests_sent += 1;
             inner.bump("catch_up_requests_sent", 1);
             Message::CatchUpRequest {
-                from_seq: inner.last_executed + 1,
+                from_seq: inner.executor.last_executed + 1,
                 replica: inner.id,
             }
         };
@@ -504,7 +525,8 @@ impl Replica {
                 {
                     None
                 } else {
-                    let in_flight = (inner.next_seq - 1).saturating_sub(inner.last_executed);
+                    let in_flight =
+                        (inner.next_seq - 1).saturating_sub(inner.executor.last_executed);
                     let high_mark = inner.low_mark + 2 * inner.cfg.checkpoint_interval;
                     if in_flight >= inner.cfg.window as u64 || inner.next_seq > high_mark {
                         None
@@ -529,13 +551,13 @@ impl Replica {
                         for r in &batch {
                             inner.proposed.insert((r.client, r.timestamp));
                         }
-                        if inner.next_seq <= inner.last_executed {
-                            inner.next_seq = inner.last_executed + 1;
+                        if inner.next_seq <= inner.executor.last_executed {
+                            inner.next_seq = inner.executor.last_executed + 1;
                         }
                         let seq = inner.next_seq;
                         inner.next_seq += 1;
                         let digest = batch_digest(&batch);
-                        let core = inner.pillar_core(seq);
+                        let core = inner.affinity.seq_core(seq);
                         let cost = inner.cfg.crypto.digest_cost(batch_bytes(&batch));
                         inner.charge(sim, core, cost);
                         inner.stats.pre_prepares_sent += 1;
@@ -630,35 +652,21 @@ impl Replica {
                 return;
             }
             // Verify the digest binds the batch.
-            let core = inner.pillar_core(seq);
+            let core = inner.affinity.seq_core(seq);
             let cost = inner.cfg.crypto.digest_cost(batch_bytes(&batch));
             inner.charge(sim, core, cost);
             if batch_digest(&batch) != digest {
                 false
             } else {
                 let me = inner.id;
-                let entry = inner.log.entry(seq).or_default();
-                if entry.pre_prepared && entry.view == view {
-                    // Duplicate or conflicting pre-prepare in the same view:
-                    // keep the first. A conflict (Byzantine primary) starves
-                    // the quorum and the request timer triggers a view
-                    // change.
-                    false
-                } else {
-                    if view > entry.view || !entry.pre_prepared {
-                        *entry = Instance {
-                            view,
-                            digest: Some(digest),
-                            batch: Some(batch),
-                            pre_prepared: true,
-                            ..Instance::default()
-                        };
-                    }
-                    entry.prepares.insert(me);
+                let lane = inner.affinity.lane_of(seq);
+                if inner.pipelines[lane].accept_pre_prepare(view, seq, digest, batch, me) {
                     inner.stats.prepares_sent += 1;
                     inner.bump("prepares_sent", 1);
                     inner.note_pre_prepare(sim.now(), seq);
                     true
+                } else {
+                    false
                 }
             }
         };
@@ -689,14 +697,17 @@ impl Replica {
     ) {
         {
             let mut inner = self.inner.borrow_mut();
-            let entry = inner.log.entry(seq).or_default();
-            *entry = Instance {
-                view,
-                digest: Some(digest),
-                batch: Some(batch),
-                pre_prepared: true,
-                ..Instance::default()
-            };
+            let lane = inner.affinity.lane_of(seq);
+            inner.pipelines[lane].install(
+                seq,
+                Instance {
+                    view,
+                    digest: Some(digest),
+                    batch: Some(batch),
+                    pre_prepared: true,
+                    ..Instance::default()
+                },
+            );
             inner.note_pre_prepare(sim.now(), seq);
         }
         self.maybe_prepared(sim, seq);
@@ -715,12 +726,10 @@ impl Replica {
             if view != inner.view || inner.in_view_change || !inner.in_watermarks(seq) {
                 return;
             }
-            let entry = inner.log.entry(seq).or_default();
-            if entry.pre_prepared && entry.digest != Some(digest) {
+            let lane = inner.affinity.lane_of(seq);
+            if !inner.pipelines[lane].add_prepare(view, seq, digest, replica) {
                 return; // vote for a different digest
             }
-            entry.view = entry.view.max(view);
-            entry.prepares.insert(replica);
         }
         self.maybe_prepared(sim, seq);
     }
@@ -728,28 +737,17 @@ impl Replica {
     fn maybe_prepared(&self, sim: &mut Simulator, seq: SeqNum) {
         let commit = {
             let mut inner = self.inner.borrow_mut();
+            // The primary's pre-prepare plus 2f prepares (for the primary
+            // itself, 2f prepares from backups).
             let quorum = inner.cfg.prepare_quorum();
             let me = inner.id;
             let view = inner.view;
-            let Some(entry) = inner.log.get_mut(&seq) else {
+            let lane = inner.affinity.lane_of(seq);
+            let now = sim.now();
+            let Some((digest, since_pp)) = inner.pipelines[lane].try_prepare(seq, quorum, me, now)
+            else {
                 return;
             };
-            if entry.prepared || !entry.pre_prepared {
-                return;
-            }
-            // The primary's pre-prepare plus 2f prepares (for the primary
-            // itself, 2f prepares from backups).
-            let votes = entry.prepares.len();
-            if votes < quorum {
-                return;
-            }
-            entry.prepared = true;
-            entry.prepared_at = Some(sim.now());
-            entry.commits.insert(me);
-            let digest = entry.digest.expect("prepared instance has a digest");
-            let since_pp = entry
-                .pre_prepared_at
-                .map(|t| sim.now().as_nanos().saturating_sub(t.as_nanos()));
             inner.stats.commits_sent += 1;
             inner.bump("commits_sent", 1);
             if let Some(d) = since_pp {
@@ -784,11 +782,10 @@ impl Replica {
             if view != inner.view || inner.in_view_change || !inner.in_watermarks(seq) {
                 return;
             }
-            let entry = inner.log.entry(seq).or_default();
-            if entry.pre_prepared && entry.digest != Some(digest) {
+            let lane = inner.affinity.lane_of(seq);
+            if !inner.pipelines[lane].add_commit(seq, digest, replica) {
                 return;
             }
-            entry.commits.insert(replica);
         }
         self.maybe_committed(sim, seq);
     }
@@ -797,20 +794,14 @@ impl Replica {
         {
             let mut inner = self.inner.borrow_mut();
             let quorum = inner.cfg.commit_quorum();
-            let Some(entry) = inner.log.get_mut(&seq) else {
+            let lane = inner.affinity.lane_of(seq);
+            let Some(since_prep) = inner.pipelines[lane].try_commit(seq, quorum, sim.now()) else {
                 return;
             };
-            if entry.committed || !entry.prepared || entry.commits.len() < quorum {
-                return;
-            }
-            entry.committed = true;
-            entry.committed_at = Some(sim.now());
-            let since_prep = entry
-                .prepared_at
-                .map(|t| sim.now().as_nanos().saturating_sub(t.as_nanos()));
             if let Some(d) = since_prep {
                 inner.observe("phase.prepared_to_committed", d);
             }
+            inner.bump_lane_committed(lane);
         }
         self.try_execute(sim);
     }
@@ -821,31 +812,31 @@ impl Replica {
 
     fn try_execute(&self, sim: &mut Simulator) {
         loop {
-            let batch = {
+            let (seq, batch) = {
                 let mut inner = self.inner.borrow_mut();
-                let next = inner.last_executed + 1;
-                let ready = inner
-                    .log
-                    .get(&next)
-                    .is_some_and(|e| e.committed && !e.executed);
-                if !ready {
+                // The executor is the only cross-pipeline synchronization
+                // point: it releases committed batches strictly in sequence
+                // order, whatever the commit order across pipelines was.
+                let popped = {
+                    let ReplicaInner {
+                        pipelines,
+                        executor,
+                        ..
+                    } = &mut *inner;
+                    executor.pop_ready(pipelines)
+                };
+                let Some(exec) = popped else {
                     return;
-                }
-                let entry = inner.log.get_mut(&next).expect("checked above");
-                entry.executed = true;
-                let digest = entry.digest.expect("committed instance has digest");
-                let batch = entry.batch.clone().expect("committed instance has batch");
-                let since_commit = entry
+                };
+                let since_commit = exec
                     .committed_at
                     .map(|t| sim.now().as_nanos().saturating_sub(t.as_nanos()));
-                inner.last_executed = next;
-                inner.executed_log.push((next, digest));
                 inner.stats.executed_batches += 1;
                 inner.bump("batches_executed", 1);
                 if let Some(d) = since_commit {
                     inner.observe("phase.committed_to_executed", d);
                 }
-                batch
+                (exec.seq, exec.batch)
             };
             let mut replies = Vec::new();
             {
@@ -877,7 +868,6 @@ impl Replica {
             // Checkpointing.
             let checkpoint = {
                 let mut inner = self.inner.borrow_mut();
-                let seq = inner.last_executed;
                 if seq.is_multiple_of(inner.cfg.checkpoint_interval) {
                     let digest = inner.service.state_digest();
                     let cost = inner.cfg.crypto.digest_cost(64);
@@ -972,12 +962,14 @@ impl Replica {
         if votes < quorum {
             return;
         }
-        // Stable: advance the low watermark and truncate.
+        // Stable: advance the low watermark and truncate every pipeline.
         inner.low_mark = seq;
         inner.stats.stable_checkpoints += 1;
-        let log_before = inner.log.len();
-        inner.log.retain(|&s, _| s > seq);
-        let freed = (log_before - inner.log.len()) as u64;
+        let freed: u64 = inner
+            .pipelines
+            .iter_mut()
+            .map(|pl| pl.truncate_through(seq))
+            .sum();
         inner.checkpoint_votes.retain(|&s, _| s > seq);
         inner.catch_up_votes.retain(|&s, _| s > seq);
         inner.own_checkpoints.retain(|&s, _| s >= seq);
@@ -1020,23 +1012,32 @@ impl Replica {
                 return;
             }
             let me = inner.id;
-            let mut out = Vec::new();
-            for (&seq, entry) in inner.log.range(from_seq..) {
-                if out.len() >= MAX_INSTANCES || seq > inner.last_executed {
-                    break;
-                }
-                if !entry.executed {
-                    continue;
-                }
-                out.push(Message::CatchUpReply {
+            // Merge the per-pipeline logs back into one seq-ordered view of
+            // the executed history (each pipeline holds a disjoint residue
+            // class, so a sort by seq is a perfect merge).
+            let last = inner.executor.last_executed;
+            if from_seq > last {
+                return; // nothing executed at or past the requested seq
+            }
+            let mut executed: Vec<(SeqNum, &Instance)> = inner
+                .pipelines
+                .iter()
+                .flat_map(|pl| pl.log.range(from_seq..=last))
+                .filter(|(_, e)| e.executed)
+                .map(|(&s, e)| (s, e))
+                .collect();
+            executed.sort_unstable_by_key(|&(s, _)| s);
+            executed
+                .into_iter()
+                .take(MAX_INSTANCES)
+                .map(|(seq, entry)| Message::CatchUpReply {
                     seq,
                     view: entry.view,
                     digest: entry.digest.expect("executed instance has digest"),
                     batch: entry.batch.clone().expect("executed instance has batch"),
                     replica: me,
-                });
-            }
-            out
+                })
+                .collect::<Vec<_>>()
         };
         if replies.is_empty() {
             return;
@@ -1071,16 +1072,17 @@ impl Replica {
         }
         let outcome = {
             let mut inner = self.inner.borrow_mut();
-            if replica >= inner.cfg.n as u32 || seq <= inner.last_executed {
+            if replica >= inner.cfg.n as u32 || seq <= inner.executor.last_executed {
                 Outcome::Ignore
             } else {
                 // The digest must bind the batch, like a pre-prepare.
-                let core = inner.pillar_core(seq);
+                let core = inner.affinity.seq_core(seq);
                 let cost = inner.cfg.crypto.digest_cost(batch_bytes(&batch));
                 inner.charge(sim, core, cost);
+                let lane = inner.affinity.lane_of(seq);
                 if batch_digest(&batch) != digest {
                     Outcome::Ignore
-                } else if inner
+                } else if inner.pipelines[lane]
                     .log
                     .get(&seq)
                     .is_some_and(|e| e.executed || e.committed)
@@ -1090,7 +1092,7 @@ impl Replica {
                     Outcome::TryExec
                 } else {
                     let f = inner.cfg.f();
-                    let le = inner.last_executed;
+                    let le = inner.executor.last_executed;
                     inner.catch_up_votes.retain(|&s, _| s > le);
                     let (voters, stored) = inner
                         .catch_up_votes
@@ -1119,17 +1121,22 @@ impl Replica {
                     let mut inner = self.inner.borrow_mut();
                     inner.catch_up_votes.remove(&seq);
                     let now = sim.now();
-                    let entry = inner.log.entry(seq).or_default();
-                    *entry = Instance {
-                        view: cview,
-                        digest: Some(digest),
-                        batch: Some(cbatch),
-                        pre_prepared: true,
-                        prepared: true,
-                        committed: true,
-                        committed_at: Some(now),
-                        ..Instance::default()
-                    };
+                    let lane = inner.affinity.lane_of(seq);
+                    inner.pipelines[lane].install(
+                        seq,
+                        Instance {
+                            view: cview,
+                            digest: Some(digest),
+                            batch: Some(cbatch),
+                            pre_prepared: true,
+                            prepared: true,
+                            committed: true,
+                            committed_at: Some(now),
+                            ..Instance::default()
+                        },
+                    );
+                    inner.pipelines[lane].committed += 1;
+                    inner.bump_lane_committed(lane);
                     inner.stats.catch_ups_applied += 1;
                     inner.bump("catch_ups_applied", 1);
                     inner.metrics.trace(
@@ -1162,9 +1169,13 @@ impl Replica {
                 "reptor",
                 format!("{}view_change new_view={new_view}", inner.metrics_prefix),
             );
-            let prepared: Vec<PreparedProof> = inner
-                .log
+            // Prepared certificates are scattered across the pipelines;
+            // merge them back into one seq-ordered proof list (disjoint
+            // residue classes, so sorting by seq is a perfect merge).
+            let mut prepared: Vec<PreparedProof> = inner
+                .pipelines
                 .iter()
+                .flat_map(|pl| pl.log.iter())
                 .filter(|(s, e)| **s > inner.low_mark && e.prepared && !e.executed)
                 .map(|(s, e)| PreparedProof {
                     seq: *s,
@@ -1173,6 +1184,7 @@ impl Replica {
                     batch: e.batch.clone().expect("prepared has batch"),
                 })
                 .collect();
+            prepared.sort_unstable_by_key(|p| p.seq);
             let me = inner.id;
             let cp_digest = inner
                 .own_checkpoints
@@ -1394,28 +1406,31 @@ impl Replica {
             let mut to_send = Vec::new();
             for (seq, digest, batch) in pre_prepares {
                 max_seq = max_seq.max(seq);
-                if seq <= inner.last_executed {
+                if seq <= inner.executor.last_executed {
                     continue;
                 }
                 for r in &batch {
                     inner.proposed.insert((r.client, r.timestamp));
                 }
                 let me = inner.id;
-                let entry = inner.log.entry(seq).or_default();
-                *entry = Instance {
-                    view,
-                    digest: Some(digest),
-                    batch: Some(batch),
-                    pre_prepared: true,
-                    ..Instance::default()
-                };
+                let lane = inner.affinity.lane_of(seq);
+                let entry = inner.pipelines[lane].install(
+                    seq,
+                    Instance {
+                        view,
+                        digest: Some(digest),
+                        batch: Some(batch),
+                        pre_prepared: true,
+                        ..Instance::default()
+                    },
+                );
                 entry.prepares.insert(me);
                 inner.note_pre_prepare(sim.now(), seq);
                 if !as_primary {
                     to_send.push((seq, digest));
                 }
             }
-            inner.next_seq = (max_seq + 1).max(inner.last_executed + 1);
+            inner.next_seq = (max_seq + 1).max(inner.executor.last_executed + 1);
             to_send
         };
         let me = self.id();
@@ -1467,14 +1482,15 @@ impl Replica {
                     mac[0] ^= 0xFF;
                 }
             }
-            let core = inner.core_for(&msg);
+            let core = inner.msg_core(&msg);
             let cost = inner
                 .cfg
                 .crypto
                 .authenticator_cost(signed.body.len(), receivers.len());
             let done = inner.charge(sim, core, cost);
             // Keep the wire order equal to the submission order even when
-            // MAC work lands on different pillar cores.
+            // MAC work lands on different pipeline cores: the comm stack
+            // still has a single outbound sender queue.
             let at = done.max(inner.send_horizon);
             inner.send_horizon = at;
             (signed, inner.transport.clone(), at)
@@ -1505,12 +1521,19 @@ impl ReplicaInner {
             .observe(&format!("{}{metric}", self.metrics_prefix), value);
     }
 
+    /// Increments the per-pipeline committed-instance counter metric.
+    fn bump_lane_committed(&self, lane: usize) {
+        self.metrics
+            .incr(&format!("{}pipeline.{lane}.committed", self.metrics_prefix));
+    }
+
     /// Marks `seq` as pre-prepared at `now`: stamps the instance and
     /// settles the request→pre-prepare latency for every request in the
     /// batch whose arrival this replica witnessed.
     fn note_pre_prepare(&mut self, now: Nanos, seq: SeqNum) {
+        let lane = self.affinity.lane_of(seq);
         let keys: Vec<(ClientId, u64)> = {
-            let Some(entry) = self.log.get_mut(&seq) else {
+            let Some(entry) = self.pipelines[lane].log.get_mut(&seq) else {
                 return;
             };
             entry.pre_prepared_at = Some(now);
@@ -1534,24 +1557,29 @@ impl ReplicaInner {
         seq > self.low_mark && seq <= self.low_mark + 2 * self.cfg.checkpoint_interval
     }
 
-    /// The COP pillar core for sequence `seq` (cores `1..=pillars`,
-    /// leaving core 0 for execution), clamped to the host's core count.
-    fn pillar_core(&self, seq: SeqNum) -> CoreId {
-        let cores = self.net.host(self.host).borrow().num_cores() as u64;
-        if cores <= 1 {
-            return CoreId(0);
-        }
-        let pillars = (self.cfg.pillars as u64).min(cores - 1);
-        CoreId((1 + (seq % pillars)) as u16)
-    }
-
-    fn core_for(&self, msg: &Message) -> CoreId {
+    /// The core an outbound message's MAC work runs on: the owning
+    /// pipeline's core for agreement traffic, the execution core otherwise.
+    fn msg_core(&self, msg: &Message) -> CoreId {
         match msg {
             Message::PrePrepare { seq, .. }
             | Message::Prepare { seq, .. }
             | Message::Commit { seq, .. }
-            | Message::CatchUpReply { seq, .. } => self.pillar_core(*seq),
-            _ => CoreId(0),
+            | Message::CatchUpReply { seq, .. } => self.affinity.seq_core(*seq),
+            _ => self.affinity.exec_core(),
+        }
+    }
+
+    /// The core inbound MAC verification runs on. The transport's demux
+    /// already peeked the lane from the wire; trust it only for agreement
+    /// messages (everything else runs on the execution core regardless of
+    /// what a hostile frame header claims).
+    fn lane_core_for(&self, lane: usize, msg: &Message) -> CoreId {
+        match msg {
+            Message::PrePrepare { .. }
+            | Message::Prepare { .. }
+            | Message::Commit { .. }
+            | Message::CatchUpReply { .. } => self.pipelines[lane % self.pipelines.len()].core,
+            _ => self.affinity.exec_core(),
         }
     }
 

@@ -22,6 +22,19 @@ pub type NodeId = u32;
 /// Delivery callback: `(sim, from, bytes)`.
 pub type DeliveryFn = Rc<dyn Fn(&mut Simulator, NodeId, Vec<u8>)>;
 
+/// Lane-demultiplexed delivery callback: `(sim, lane, from, bytes)`. The
+/// lane is the COP pipeline owning the frame's sequence number (lane 0 for
+/// traffic without one).
+pub type LaneDeliveryFn = Rc<dyn Fn(&mut Simulator, usize, NodeId, Vec<u8>)>;
+
+/// The COP demultiplexing rule applied to an encoded wire frame: agreement
+/// traffic routes to pipeline `seq mod lanes`, everything else (requests,
+/// replies, checkpoints, view-change traffic) to lane 0.
+pub fn wire_lane(bytes: &[u8], lanes: usize) -> usize {
+    crate::messages::SignedMessage::peek_wire_seq(bytes)
+        .map_or(0, |seq| (seq % lanes.max(1) as u64) as usize)
+}
+
 /// A message-oriented, non-blocking transport between group members.
 pub trait Transport {
     /// This endpoint's node id.
@@ -33,6 +46,18 @@ pub trait Transport {
 
     /// Installs the delivery callback (replacing any previous one).
     fn set_delivery(&self, f: DeliveryFn);
+
+    /// Installs a lane-demultiplexed delivery callback: each inbound frame
+    /// is routed to one of `lanes` COP pipelines by peeking the sequence
+    /// number out of the wire header ([`wire_lane`]). The default adapts
+    /// [`Transport::set_delivery`]; transports with per-lane accounting
+    /// override it.
+    fn set_lane_delivery(&self, lanes: usize, f: LaneDeliveryFn) {
+        self.set_delivery(Rc::new(move |sim, from, bytes| {
+            let lane = wire_lane(&bytes, lanes);
+            f(sim, lane, from, bytes);
+        }));
+    }
 
     /// Sends `msg` to every node in `peers` (excluding self).
     fn broadcast(&self, sim: &mut Simulator, peers: &[NodeId], msg: &[u8]) {

@@ -56,6 +56,7 @@ mod frame;
 mod host;
 pub mod metrics;
 mod net;
+mod sched;
 mod sim;
 mod stats;
 mod time;
@@ -67,6 +68,7 @@ pub use frame::{Addr, Frame, Payload};
 pub use host::{CoreId, CpuModel, Host, HostId, HostRef};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot, TraceEvent};
 pub use net::{FrameHandler, LinkId, LinkSpec, NetStats, Network};
+pub use sched::CoreAffinity;
 pub use sim::Simulator;
 pub use stats::{
     render_table, throughput_ops_per_sec, LatencyRecorder, LatencySummary, Series, SeriesPoint,

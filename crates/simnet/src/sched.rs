@@ -1,0 +1,149 @@
+//! Core-affinity scheduling helpers for pipeline-parallel protocol layers.
+//!
+//! Consensus-Oriented Parallelization (COP) runs whole protocol instances
+//! on dedicated cores while execution stays sequential. The mapping from a
+//! *lane* (a protocol pipeline) to a [`CoreId`] is policy every COP layer
+//! needs and easy to get subtly wrong — reserving the execution core,
+//! clamping to the host's core count, oversubscription wrap-around — so it
+//! lives here as mechanism: a pure, shareable [`CoreAffinity`] table.
+//!
+//! The convention (matching the paper's 4-core Xeon-v2 testbed): core 0 is
+//! the *execution core* (sequential state-machine application, checkpoint
+//! digests, client replies), cores `1..` are *agreement cores*. Lane `l`
+//! of `p` pipelines is pinned to core `1 + (l mod a)` where `a` is the
+//! number of agreement cores actually available — with more pipelines than
+//! agreement cores, lanes wrap and contend, which is exactly how the
+//! simulation exposes the scaling plateau.
+
+use crate::host::CoreId;
+
+/// A static lane → core affinity table for one host.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{CoreAffinity, CoreId};
+///
+/// // 4 cores, 2 pipelines: execution on core 0, lanes on cores 1 and 2.
+/// let aff = CoreAffinity::new(4, 2);
+/// assert_eq!(aff.exec_core(), CoreId(0));
+/// assert_eq!(aff.lane_core(0), CoreId(1));
+/// assert_eq!(aff.lane_core(1), CoreId(2));
+/// // Sequence numbers partition round-robin across lanes.
+/// assert_eq!(aff.lane_of(7), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreAffinity {
+    num_cores: usize,
+    lanes: usize,
+}
+
+impl CoreAffinity {
+    /// Builds the affinity table for a host with `num_cores` cores running
+    /// `lanes` pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` or `lanes` is zero.
+    pub fn new(num_cores: usize, lanes: usize) -> CoreAffinity {
+        assert!(num_cores > 0, "a host needs at least one core");
+        assert!(lanes > 0, "at least one lane is required");
+        CoreAffinity { num_cores, lanes }
+    }
+
+    /// Number of configured lanes (pipelines).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The execution core (sequential stage): always core 0.
+    pub fn exec_core(&self) -> CoreId {
+        CoreId(0)
+    }
+
+    /// Number of distinct cores serving agreement lanes. On a single-core
+    /// host everything shares core 0; otherwise core 0 is reserved and at
+    /// most `num_cores - 1` agreement cores exist.
+    pub fn agreement_cores(&self) -> usize {
+        if self.num_cores <= 1 {
+            1
+        } else {
+            self.lanes.min(self.num_cores - 1)
+        }
+    }
+
+    /// The core lane `lane` is pinned to. Lanes beyond the agreement-core
+    /// count wrap around (oversubscription shares cores deterministically).
+    pub fn lane_core(&self, lane: usize) -> CoreId {
+        if self.num_cores <= 1 {
+            return CoreId(0);
+        }
+        let slots = self.agreement_cores();
+        CoreId((1 + (lane % self.lanes) % slots) as u16)
+    }
+
+    /// The lane owning sequence number `seq` (`seq mod lanes` — COP's
+    /// static partition of the sequence-number space).
+    pub fn lane_of(&self, seq: u64) -> usize {
+        (seq % self.lanes as u64) as usize
+    }
+
+    /// Convenience: the core that agreement work for `seq` runs on.
+    pub fn seq_core(&self, seq: u64) -> CoreId {
+        self.lane_core(self.lane_of(seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_host_collapses_to_core_zero() {
+        let aff = CoreAffinity::new(1, 4);
+        assert_eq!(aff.exec_core(), CoreId(0));
+        for lane in 0..4 {
+            assert_eq!(aff.lane_core(lane), CoreId(0));
+        }
+    }
+
+    #[test]
+    fn lanes_fit_agreement_cores() {
+        // 4 cores, 3 lanes: lanes 0..3 on cores 1..=3, no wrap.
+        let aff = CoreAffinity::new(4, 3);
+        assert_eq!(aff.agreement_cores(), 3);
+        assert_eq!(aff.lane_core(0), CoreId(1));
+        assert_eq!(aff.lane_core(1), CoreId(2));
+        assert_eq!(aff.lane_core(2), CoreId(3));
+    }
+
+    #[test]
+    fn oversubscribed_lanes_wrap() {
+        // 4 cores, 4 lanes: only 3 agreement cores — lane 3 shares core 1.
+        let aff = CoreAffinity::new(4, 4);
+        assert_eq!(aff.agreement_cores(), 3);
+        assert_eq!(aff.lane_core(3), CoreId(1));
+        // seq 3 → lane 3 → core 1; seq 4 → lane 0 → core 1.
+        assert_eq!(aff.seq_core(3), CoreId(1));
+        assert_eq!(aff.seq_core(4), CoreId(1));
+    }
+
+    #[test]
+    fn seq_partition_is_mod_lanes() {
+        let aff = CoreAffinity::new(4, 2);
+        assert_eq!(aff.lane_of(0), 0);
+        assert_eq!(aff.lane_of(1), 1);
+        assert_eq!(aff.lane_of(10), 0);
+        // Matches the legacy single-table mapping when lanes ≤ cores - 1:
+        // core = 1 + seq % lanes.
+        for seq in 0..16u64 {
+            assert_eq!(aff.seq_core(seq), CoreId(1 + (seq % 2) as u16));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = CoreAffinity::new(4, 0);
+    }
+}
