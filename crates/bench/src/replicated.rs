@@ -254,6 +254,102 @@ fn bft_instrumented(
     (result, net.metrics().snapshot())
 }
 
+/// Runs the checkpoint state-transfer recovery drill over the RUBIN stack
+/// and returns the run's cross-layer metrics snapshot: one replica is
+/// partitioned until it falls below the low-water mark, then rejoins via
+/// the one-sided RDMA READ fast path. The report sidecar embeds this
+/// snapshot so the bench artifact records the `state_transfer_*` counters
+/// (started/chunks/bytes/reads/retries/completed) for every CI run.
+pub fn state_transfer_instrumented(seed: u64) -> simnet::MetricsSnapshot {
+    let cfg = ReptorConfig {
+        checkpoint_interval: 4,
+        ..ReptorConfig::small()
+    };
+    let n = cfg.n;
+    let (mut sim, net, hosts) = TestBed::cluster(seed, n + 1);
+    let nodes: Vec<(u32, simnet::HostId, CoreId)> = hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (i as u32, h, CoreId(0)))
+        .collect();
+    let transports = RubinTransport::build_group(
+        &mut sim,
+        &net,
+        &nodes,
+        RnicModel::mt27520(),
+        RubinConfig::paper(),
+    );
+    sim.run_until_idle();
+    let transports: Vec<Rc<dyn Transport>> = transports
+        .into_iter()
+        .map(|t| Rc::new(t) as Rc<dyn Transport>)
+        .collect();
+
+    let replicas: Vec<Replica> = (0..n)
+        .map(|i| {
+            Replica::new(
+                i as u32,
+                cfg.clone(),
+                DOMAIN_SECRET,
+                transports[i].clone(),
+                &net,
+                hosts[i],
+                Box::new(EchoService::default()),
+            )
+        })
+        .collect();
+    let client = Client::new(n as u32, cfg.clone(), DOMAIN_SECRET, transports[n].clone());
+
+    // One request in flight at a time so every request lands in its own
+    // agreement instance and sequence numbers advance predictably.
+    let drive = |sim: &mut simnet::Simulator, client: &Client, total: u64| {
+        let mut guard = 0u64;
+        while client.stats().completed < total {
+            if client.pending_count() == 0 {
+                client.submit(sim, vec![7u8; 64]);
+            }
+            if !sim.step() {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 60_000_000, "state-transfer drill stalled");
+        }
+    };
+
+    // Warm up, then cut replica 2 off from everyone (client included).
+    drive(&mut sim, &client, 3);
+    let laggard = hosts[2];
+    net.with_faults(|f| {
+        for &h in &hosts {
+            if h != laggard {
+                f.partition(h, laggard);
+            }
+        }
+    });
+    // Three checkpoint intervals of progress put the laggard below the
+    // low-water mark; the hold lets QP retries exhaust so the outage is
+    // real (holding pens shed, channels break) rather than replayable.
+    drive(&mut sim, &client, 15);
+    sim.run_until(sim.now() + simnet::Nanos::from_millis(100));
+    net.with_faults(|f| {
+        for &h in &hosts {
+            if h != laggard {
+                f.heal(h, laggard);
+            }
+        }
+    });
+    sim.run_until(sim.now() + simnet::Nanos::from_millis(150));
+    // Fresh traffic triggers the laggard's recovery path; give the
+    // transfer time to finish.
+    drive(&mut sim, &client, 18);
+    sim.run_until(sim.now() + simnet::Nanos::from_millis(400));
+    assert!(
+        replicas[2].stats().state_transfers_completed >= 1,
+        "recovery drill must complete a state transfer"
+    );
+    net.metrics().snapshot()
+}
+
 /// The payload sweep for the replicated experiment (BFT messages are
 /// mostly small, §V).
 pub const BFT_PAYLOADS: [usize; 4] = [256, 1024, 4 * 1024, 16 * 1024];

@@ -50,6 +50,16 @@ impl Executor {
         self.last_executed + 1
     }
 
+    /// Jumps the execution horizon to `seq` after a completed state
+    /// transfer: everything at or below `seq` is embodied in the installed
+    /// checkpoint, so the per-instance history is skipped. The executed
+    /// log keeps a gap — the safety witness only compares digests at
+    /// sequence numbers both replicas actually executed.
+    pub(crate) fn fast_forward(&mut self, seq: SeqNum) {
+        debug_assert!(seq >= self.last_executed);
+        self.last_executed = seq;
+    }
+
     /// Pops the next batch in total order, if its owning pipeline has
     /// committed it: marks the instance executed, advances the execution
     /// horizon and appends to the safety witness. Returns `None` while the

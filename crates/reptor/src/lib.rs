@@ -47,6 +47,7 @@ mod pipeline;
 mod replica;
 mod rubin_transport;
 mod state;
+mod state_transfer;
 mod transport;
 
 pub use client::{Client, ClientStats, Completion};
@@ -54,14 +55,18 @@ pub use cluster::{Cluster, DOMAIN_SECRET};
 pub use codec::{CodecError, Reader, Writer};
 pub use config::ReptorConfig;
 pub use messages::{
-    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage, View,
+    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage,
+    View, MANIFEST_CHUNK,
 };
 pub use nio_transport::NioTransport;
 pub use pipeline::PipelineStats;
 pub use replica::{ByzantineMode, Replica, ReplicaStats};
 pub use rubin_transport::RubinTransport;
 pub use state::{CounterService, EchoService, KvOp, KvService, StateMachine};
-pub use transport::{DeliveryFn, LaneDeliveryFn, NodeId, SimTransport, Transport};
+pub use state_transfer::{
+    CheckpointPayload, CheckpointStore, Manifest, StateOffer, CHUNK_SIZE, MAX_STORE_BYTES,
+};
+pub use transport::{DeliveryFn, LaneDeliveryFn, NodeId, SimTransport, StateReadFn, Transport};
 
 #[cfg(test)]
 mod tests {
@@ -364,6 +369,68 @@ mod tests {
         }
     }
 
+    /// Byzantine-primary recovery when the agreement log is split across
+    /// COP pipelines: the view change must collect prepared certificates
+    /// from *every* pipeline's log (not just lane 0) and the new primary
+    /// re-proposes the merged set, so no lane's progress is lost and the
+    /// total order stays gap-free.
+    fn cop_view_change_merges_pipeline_logs(mode: ByzantineMode, pillars: usize, seed: u64) {
+        let cfg = ReptorConfig {
+            pillars,
+            batch_size: 1, // one request per instance: work lands in every lane
+            ..ReptorConfig::small()
+        };
+        let mut c = Cluster::sim_transport(cfg, 1, seed, || Box::new(CounterService::default()));
+        c.replicas[0].set_byzantine(mode);
+        let client = c.clients[0].clone();
+        for _ in 0..8 {
+            client.submit(&mut c.sim, b"inc".to_vec());
+        }
+        let done = c.run_until_completed(8, 10_000_000);
+        c.settle();
+        // Safety first, regardless of liveness.
+        c.assert_safety();
+        assert!(
+            done,
+            "requests spanning {pillars} pipelines must complete once the \
+             faulty primary is voted out"
+        );
+        for r in &c.replicas[1..] {
+            assert!(
+                r.view() >= 1,
+                "replica {} still in view {}",
+                r.id(),
+                r.view()
+            );
+            assert_eq!(
+                r.stats().executed_requests,
+                8,
+                "replica {} lost requests across the pipeline merge",
+                r.id()
+            );
+        }
+    }
+
+    #[test]
+    fn silent_primary_view_change_merges_two_pipelines() {
+        cop_view_change_merges_pipeline_logs(ByzantineMode::SilentPrimary, 2, 40);
+    }
+
+    #[test]
+    fn silent_primary_view_change_merges_four_pipelines() {
+        cop_view_change_merges_pipeline_logs(ByzantineMode::SilentPrimary, 4, 41);
+    }
+
+    #[test]
+    fn equivocating_primary_view_change_merges_two_pipelines() {
+        cop_view_change_merges_pipeline_logs(ByzantineMode::EquivocatingPrimary, 2, 42);
+    }
+
+    #[test]
+    fn equivocating_primary_view_change_merges_four_pipelines() {
+        cop_view_change_merges_pipeline_logs(ByzantineMode::EquivocatingPrimary, 4, 43);
+    }
+
     #[test]
     fn pre_prepare_beyond_high_watermark_is_ignored() {
         let cfg = ReptorConfig {
@@ -488,6 +555,8 @@ mod tests {
                     seq: 4,
                     state_digest: bft_crypto::Digest::of(*b),
                     replica: i as u32 + 1,
+                    store_rkey: 0,
+                    store_len: 0,
                 },
             );
         }

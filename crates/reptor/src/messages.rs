@@ -123,13 +123,24 @@ pub enum Message {
         result: Vec<u8>,
     },
     /// Periodic stable-state advertisement for log truncation.
+    ///
+    /// Doubles as the checkpoint-store certificate for state transfer: the
+    /// digest is the chunked store's root, and on RDMA transports the
+    /// sender piggybacks the rkey of the registered store region so a
+    /// lagging replica can fetch chunks with one-sided READs.
     Checkpoint {
         /// Sequence number the checkpoint covers.
         seq: SeqNum,
-        /// Digest of the service state after executing `seq`.
+        /// Root digest of the checkpoint store at `seq` (covers the
+        /// serialized service state and executor position).
         state_digest: Digest,
         /// Sending replica.
         replica: ReplicaId,
+        /// Remote key of the sender's registered checkpoint-store region;
+        /// zero when the transport has no one-sided read path.
+        store_rkey: u32,
+        /// Byte length of the registered store region (zero with no offer).
+        store_len: u64,
     },
     /// Vote to move to a new view after a suspected faulty primary.
     ViewChange {
@@ -179,7 +190,35 @@ pub enum Message {
         /// Sending replica.
         replica: ReplicaId,
     },
+    /// A replica in state transfer asks a peer for one piece of its
+    /// checkpoint store (the message path; RDMA transports read chunks
+    /// one-sided instead).
+    StateRequest {
+        /// Checkpoint sequence number being fetched.
+        seq: SeqNum,
+        /// Chunk index, or [`MANIFEST_CHUNK`] for the store manifest.
+        chunk: u32,
+        /// Requesting replica.
+        replica: ReplicaId,
+    },
+    /// One piece of a checkpoint store, served to a fetching replica. The
+    /// fetcher verifies `data` against the digest recorded in the
+    /// certified manifest, so a Byzantine responder cannot plant state.
+    StateChunk {
+        /// Checkpoint sequence number.
+        seq: SeqNum,
+        /// Chunk index, or [`MANIFEST_CHUNK`] for the store manifest.
+        chunk: u32,
+        /// Chunk (or manifest) bytes.
+        data: Vec<u8>,
+        /// Responding replica.
+        replica: ReplicaId,
+    },
 }
+
+/// Sentinel chunk index requesting/carrying the checkpoint-store manifest
+/// instead of a data chunk.
+pub const MANIFEST_CHUNK: u32 = u32::MAX;
 
 impl Message {
     /// Short tag for logs and statistics.
@@ -195,6 +234,8 @@ impl Message {
             Message::NewView { .. } => "NEW-VIEW",
             Message::CatchUpRequest { .. } => "CATCH-UP-REQUEST",
             Message::CatchUpReply { .. } => "CATCH-UP-REPLY",
+            Message::StateRequest { .. } => "STATE-REQUEST",
+            Message::StateChunk { .. } => "STATE-CHUNK",
         }
     }
 
@@ -263,11 +304,15 @@ impl Message {
                 seq,
                 state_digest,
                 replica,
+                store_rkey,
+                store_len,
             } => {
                 w.u8(5);
                 w.u64(*seq);
                 w.array(state_digest.as_bytes());
                 w.u32(*replica);
+                w.u32(*store_rkey);
+                w.u64(*store_len);
             }
             Message::ViewChange {
                 new_view,
@@ -332,6 +377,28 @@ impl Message {
                 }
                 w.u32(*replica);
             }
+            Message::StateRequest {
+                seq,
+                chunk,
+                replica,
+            } => {
+                w.u8(10);
+                w.u64(*seq);
+                w.u32(*chunk);
+                w.u32(*replica);
+            }
+            Message::StateChunk {
+                seq,
+                chunk,
+                data,
+                replica,
+            } => {
+                w.u8(11);
+                w.u64(*seq);
+                w.u32(*chunk);
+                w.bytes(data);
+                w.u32(*replica);
+            }
         }
         w.finish()
     }
@@ -392,6 +459,8 @@ impl Message {
                 seq: r.u64()?,
                 state_digest: Digest(r.array::<DIGEST_LEN>()?),
                 replica: r.u32()?,
+                store_rkey: r.u32()?,
+                store_len: r.u64()?,
             },
             6 => {
                 let new_view = r.u64()?;
@@ -464,6 +533,17 @@ impl Message {
                     replica: r.u32()?,
                 }
             }
+            10 => Message::StateRequest {
+                seq: r.u64()?,
+                chunk: r.u32()?,
+                replica: r.u32()?,
+            },
+            11 => Message::StateChunk {
+                seq: r.u64()?,
+                chunk: r.u32()?,
+                data: r.bytes()?,
+                replica: r.u32()?,
+            },
             tag => {
                 return Err(CodecError::BadTag {
                     what: "Message",
@@ -619,6 +699,8 @@ mod tests {
                 seq: 100,
                 state_digest: d,
                 replica: 1,
+                store_rkey: 77,
+                store_len: 4096,
             },
             Message::ViewChange {
                 new_view: 2,
@@ -647,6 +729,17 @@ mod tests {
                 digest: d,
                 batch: vec![req(10, 4), req(11, 2)],
                 replica: 0,
+            },
+            Message::StateRequest {
+                seq: 64,
+                chunk: MANIFEST_CHUNK,
+                replica: 2,
+            },
+            Message::StateChunk {
+                seq: 64,
+                chunk: 3,
+                data: vec![5; 97],
+                replica: 1,
             },
         ];
         for m in msgs {
@@ -703,6 +796,32 @@ mod tests {
         let mut tampered = decoded.clone();
         tampered.body[0] ^= 0xFF;
         assert_eq!(tampered.verify_and_decode(&keys1).unwrap(), None);
+    }
+
+    #[test]
+    fn state_transfer_messages_route_to_lane_zero() {
+        let keys = KeyTable::new(1, b"secret".to_vec());
+        for msg in [
+            Message::StateRequest {
+                seq: 640,
+                chunk: 0,
+                replica: 1,
+            },
+            Message::StateChunk {
+                seq: 640,
+                chunk: 0,
+                data: vec![1; 32],
+                replica: 1,
+            },
+        ] {
+            let wire = SignedMessage::create(&msg, &keys, &[0]).encode();
+            assert_eq!(
+                SignedMessage::peek_wire_seq(&wire),
+                None,
+                "{} must not demux onto an agreement lane",
+                msg.kind()
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,13 @@ const RECONNECT_BASE: Nanos = Nanos::from_millis(2);
 /// Cap on the backoff doubling: delay = base << min(attempts, CAP_SHIFT).
 const RECONNECT_CAP_SHIFT: u32 = 5;
 
+/// Maximum frames held for a peer whose stream is down or still
+/// connecting. Large enough to ride over a reconnect round-trip, small
+/// enough that a long outage cannot grow unbounded queues at healthy
+/// peers — a revived replica recovers truncated history through
+/// checkpoint state transfer instead of replay.
+const PEN_CAP: usize = 16;
+
 struct PeerConn {
     stream: TcpStream,
     key: KeyId,
@@ -386,6 +393,7 @@ impl NioTransport {
                         // A hello from an already-known peer means it
                         // reconnected: retire the stale stream and carry
                         // its queued (whole, unwritten) frames over.
+                        let mut retired = None;
                         if let Some(&old) = inner.by_node.get(&peer) {
                             if old != slot {
                                 let mut outq = std::mem::take(&mut inner.conns[old].outq);
@@ -400,10 +408,17 @@ impl NioTransport {
                                 let old_key = inner.conns[old].key;
                                 inner.selector.cancel(old_key);
                                 inner.conns[slot].outq = outq;
+                                retired = Some(inner.conns[old].stream.clone());
                             }
                         }
                         inner.by_node.insert(peer, slot);
                         drop(inner);
+                        if let Some(s) = retired {
+                            // Unbind the stale socket so anything still
+                            // addressed to it fails fast instead of being
+                            // acked into a buffer nobody drains.
+                            s.close(sim);
+                        }
                         // The carried-over queue may have pending frames.
                         self.flush(sim, slot);
                     }
@@ -422,7 +437,7 @@ impl NioTransport {
     /// with exponential backoff. The lower-id side keeps the dead slot as
     /// a holding pen for queued frames until the peer re-dials.
     fn on_conn_down(&self, sim: &mut Simulator, slot: usize) {
-        let (peer, node, metrics) = {
+        let (stream, peer, node, metrics) = {
             let mut inner = self.inner.borrow_mut();
             if inner.conns[slot].dead {
                 return;
@@ -434,10 +449,33 @@ impl NioTransport {
                 inner.conns[slot].outq.pop_front();
                 inner.conns[slot].front_written = 0;
             }
+            // The slot becomes a holding pen: shed everything but the
+            // newest PEN_CAP frames now, so a long outage hands the
+            // replacement stream recent traffic rather than stale history
+            // (recovered by catch-up/state transfer instead).
+            let shed = inner.conns[slot].outq.len().saturating_sub(PEN_CAP);
+            inner.conns[slot].outq.drain(..shed);
+            if shed > 0 {
+                let node = inner.node;
+                inner
+                    .net
+                    .metrics()
+                    .incr_by(&format!("nio_transport.{node}.pen_dropped"), shed as u64);
+            }
             let key = inner.conns[slot].key;
             inner.selector.cancel(key);
-            (inner.conns[slot].peer, inner.node, inner.net.metrics())
+            (
+                inner.conns[slot].stream.clone(),
+                inner.conns[slot].peer,
+                inner.node,
+                inner.net.metrics(),
+            )
         };
+        // Close the socket so its port unbinds: a peer that still thinks
+        // this stream is alive must see its segments go unanswered (RTO
+        // exhaustion -> EOF) instead of having them silently buffered and
+        // acked by a retired socket nobody reads.
+        stream.close(sim);
         metrics.incr(&format!("nio_transport.{node}.conns_down"));
         metrics.trace(
             sim.now(),
@@ -530,6 +568,22 @@ impl NioTransport {
         {
             let mut inner = self.inner.borrow_mut();
             inner.conns[slot].outq.push_back(framed);
+            // A dead or still-connecting stream cannot drain; bound the
+            // holding pen by shedding the oldest frame (never a partially
+            // written one — writes only happen on established streams).
+            // The survivors are the newest traffic — recent checkpoints
+            // and votes — which is what a peer returning from a long
+            // outage can still use; older history is recovered by
+            // catch-up/state transfer, not by replay.
+            let draining = !inner.conns[slot].dead && inner.conns[slot].stream.is_established();
+            if !draining && inner.conns[slot].outq.len() > PEN_CAP {
+                inner.conns[slot].outq.pop_front();
+                let node = inner.node;
+                inner
+                    .net
+                    .metrics()
+                    .incr(&format!("nio_transport.{node}.pen_dropped"));
+            }
         }
         self.flush(sim, slot);
     }

@@ -26,10 +26,14 @@ use simnet::{CoreAffinity, CoreId, HostId, Nanos, Network, Simulator};
 use crate::config::ReptorConfig;
 use crate::executor::Executor;
 use crate::messages::{
-    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage, View,
+    batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage,
+    View, MANIFEST_CHUNK,
 };
 use crate::pipeline::{Instance, Pipeline, PipelineStats};
 use crate::state::StateMachine;
+use crate::state_transfer::{
+    CheckpointPayload, CheckpointStore, ChunkVerdict, StateOffer, Transfer, CHUNK_SIZE,
+};
 use crate::transport::Transport;
 
 /// Fault-injection modes for a replica (the Byzantine behaviours the
@@ -49,6 +53,15 @@ pub enum ByzantineMode {
     EquivocatingPrimary,
     /// Sends messages whose MACs do not verify (receivers must drop them).
     CorruptMacs,
+    /// Serves corrupted checkpoint-store bytes to state-transferring peers
+    /// (both over `StateChunk` messages and through its registered RDMA
+    /// region); otherwise behaves correctly. Fetchers detect the chunks by
+    /// digest mismatch against the certified manifest.
+    BogusStateChunks,
+    /// Answers state-transfer traffic with its *previous* checkpoint's
+    /// bytes and attests stale checkpoints during catch-up; fetchers detect
+    /// the manifest root mismatch and route around.
+    StaleCheckpoint,
 }
 
 /// Per-replica counters used by tests and benchmarks.
@@ -78,6 +91,14 @@ pub struct ReplicaStats {
     pub catch_up_replies_sent: u64,
     /// Instances committed locally from `f + 1` catch-up certificates.
     pub catch_ups_applied: u64,
+    /// Catch-up requests answered with a truncated (paginated) reply set.
+    pub catch_up_replies_truncated: u64,
+    /// Checkpoint state transfers started.
+    pub state_transfers_started: u64,
+    /// Checkpoint state transfers completed and installed.
+    pub state_transfers_completed: u64,
+    /// Responder switches and timeout re-drives during state transfer.
+    pub state_transfer_retries: u64,
     /// Messages dropped for failing MAC verification.
     pub bad_mac_dropped: u64,
     /// Messages dropped as malformed.
@@ -107,9 +128,21 @@ struct ReplicaInner {
     pending: VecDeque<Request>,
     proposed: HashSet<(ClientId, u64)>,
     client_state: HashMap<ClientId, (u64, Vec<u8>)>,
-    /// `seq → digest → voters`, for checkpoint certificates.
-    checkpoint_votes: BTreeMap<SeqNum, HashMap<Digest, HashSet<ReplicaId>>>,
+    /// `seq → digest → voter → read offer`, for checkpoint certificates.
+    /// The offer piggybacked on each vote tells a fetcher where that
+    /// attester's store can be READ one-sided.
+    checkpoint_votes: BTreeMap<SeqNum, HashMap<Digest, HashMap<ReplicaId, StateOffer>>>,
     own_checkpoints: BTreeMap<SeqNum, Digest>,
+    /// Sealed checkpoint stores this replica can serve, newest last. The
+    /// latest and the previous are retained (the previous keeps in-flight
+    /// remote reads of the old store valid across a checkpoint).
+    stores: BTreeMap<SeqNum, (CheckpointStore, StateOffer)>,
+    /// In-progress fetch-side state transfer, if any.
+    transfer: Option<Transfer>,
+    /// A checkpoint certified by `2f + 1` votes that this replica has not
+    /// executed up to yet: stabilization is deferred until execution (or a
+    /// state transfer) reaches it.
+    pending_stable: Option<(SeqNum, Digest)>,
     /// `view → voter → (last_stable, prepared proofs)`.
     vc_votes: BTreeMap<View, BTreeMap<ReplicaId, (SeqNum, Vec<PreparedProof>)>>,
     /// `seq → digest → (voters, batch)` for catch-up certificates: `f + 1`
@@ -198,6 +231,9 @@ impl Replica {
                 client_state: HashMap::new(),
                 checkpoint_votes: BTreeMap::new(),
                 own_checkpoints: BTreeMap::new(),
+                stores: BTreeMap::new(),
+                transfer: None,
+                pending_stable: None,
                 vc_votes: BTreeMap::new(),
                 catch_up_votes: BTreeMap::new(),
                 last_catch_up_at: 0,
@@ -258,6 +294,12 @@ impl Replica {
         self.inner.borrow().low_mark
     }
 
+    /// Whether `seq` falls inside the agreement window (test hook).
+    #[cfg(test)]
+    pub(crate) fn in_watermarks(&self, seq: SeqNum) -> bool {
+        self.inner.borrow().in_watermarks(seq)
+    }
+
     /// True if this replica is the current primary.
     pub fn is_primary(&self) -> bool {
         let inner = self.inner.borrow();
@@ -288,6 +330,63 @@ impl Replica {
             return;
         }
         self.dispatch(sim, msg);
+    }
+
+    /// Restarts the replica cold: every piece of volatile state —
+    /// agreement logs, executor position, client session table, sealed
+    /// checkpoint stores — is wiped, and the service is replaced with
+    /// `service` (a fresh, empty instance from the same factory). The
+    /// replica rejoins by broadcasting a catch-up request; peers answer
+    /// the unservable request with checkpoint attestations, and `f + 1`
+    /// matching ones trigger a full state transfer back to the group's
+    /// latest stable checkpoint.
+    pub fn restart(&self, sim: &mut Simulator, service: Box<dyn StateMachine>) {
+        let (released, transport) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.byzantine = ByzantineMode::Honest;
+            inner.service = service;
+            inner.view = 0;
+            inner.in_view_change = false;
+            inner.next_seq = 1;
+            inner.low_mark = 0;
+            let pipelines: Vec<Pipeline> = (0..inner.cfg.pillars)
+                .map(|lane| Pipeline::new(lane, inner.affinity.lane_core(lane)))
+                .collect();
+            inner.pipelines = pipelines;
+            inner.executor = Executor::new();
+            inner.pending.clear();
+            inner.proposed.clear();
+            inner.client_state.clear();
+            inner.checkpoint_votes.clear();
+            inner.own_checkpoints.clear();
+            inner.vc_votes.clear();
+            inner.catch_up_votes.clear();
+            inner.last_catch_up_at = 0;
+            inner.voted_view = 0;
+            inner.vc_attempts = 0;
+            inner.transfer = None;
+            inner.pending_stable = None;
+            inner.arrivals.clear();
+            let released: Vec<StateOffer> = inner
+                .stores
+                .values()
+                .map(|(_, offer)| *offer)
+                .filter(|o| o.readable())
+                .collect();
+            inner.stores.clear();
+            inner.bump("restarts", 1);
+            inner.metrics.trace(
+                sim.now(),
+                "reptor",
+                format!("{}restart", inner.metrics_prefix),
+            );
+            (released, inner.transport.clone())
+        };
+        for offer in &released {
+            transport.release_state_region(offer);
+        }
+        self.request_catch_up(sim);
+        self.arm_rejoin_probe(sim, 0);
     }
 
     // ------------------------------------------------------------------
@@ -357,7 +456,18 @@ impl Replica {
                 seq,
                 state_digest,
                 replica,
-            } => self.handle_checkpoint(sim, seq, state_digest, replica),
+                store_rkey,
+                store_len,
+            } => self.handle_checkpoint(
+                sim,
+                seq,
+                state_digest,
+                replica,
+                StateOffer {
+                    rkey: store_rkey,
+                    len: store_len,
+                },
+            ),
             Message::ViewChange {
                 new_view,
                 last_stable,
@@ -380,6 +490,17 @@ impl Replica {
                 batch,
                 replica,
             } => self.handle_catch_up_reply(sim, seq, view, digest, batch, replica),
+            Message::StateRequest {
+                seq,
+                chunk,
+                replica,
+            } => self.handle_state_request(sim, seq, chunk, replica),
+            Message::StateChunk {
+                seq,
+                chunk,
+                data,
+                replica,
+            } => self.handle_state_chunk(sim, seq, chunk, data, replica),
             Message::Reply { .. } => { /* replicas ignore replies */ }
         }
     }
@@ -826,6 +947,10 @@ impl Replica {
                     executor.pop_ready(pipelines)
                 };
                 let Some(exec) = popped else {
+                    drop(inner);
+                    // A checkpoint certified while this replica was behind
+                    // may now be reachable.
+                    self.maybe_deferred_stable(sim);
                     return;
                 };
                 let since_commit = exec
@@ -866,36 +991,12 @@ impl Replica {
                 self.send_reply(sim, client, ts, result);
             }
             // Checkpointing.
-            let checkpoint = {
-                let mut inner = self.inner.borrow_mut();
-                if seq.is_multiple_of(inner.cfg.checkpoint_interval) {
-                    let digest = inner.service.state_digest();
-                    let cost = inner.cfg.crypto.digest_cost(64);
-                    inner.charge(sim, CoreId(0), cost);
-                    inner.own_checkpoints.insert(seq, digest);
-                    let me = inner.id;
-                    inner
-                        .checkpoint_votes
-                        .entry(seq)
-                        .or_default()
-                        .entry(digest)
-                        .or_default()
-                        .insert(me);
-                    Some((seq, digest, me))
-                } else {
-                    None
-                }
+            let is_checkpoint = {
+                let inner = self.inner.borrow();
+                seq.is_multiple_of(inner.cfg.checkpoint_interval)
             };
-            if let Some((seq, state_digest, me)) = checkpoint {
-                self.broadcast_to_replicas(
-                    sim,
-                    Message::Checkpoint {
-                        seq,
-                        state_digest,
-                        replica: me,
-                    },
-                );
-                self.maybe_stable_checkpoint(sim, seq, state_digest);
+            if is_checkpoint {
+                self.make_checkpoint(sim, seq);
             }
             // New window space may allow further proposals.
             self.try_propose(sim);
@@ -925,16 +1026,96 @@ impl Replica {
     // Checkpoints
     // ------------------------------------------------------------------
 
+    /// Seals the executed state at checkpoint `seq` into a
+    /// [`CheckpointStore`], registers it for one-sided reads (where the
+    /// transport supports it), votes for its root and broadcasts the vote
+    /// with the read offer piggybacked.
+    fn make_checkpoint(&self, sim: &mut Simulator, seq: SeqNum) {
+        let (reg_bytes, transport) = {
+            let mut inner = self.inner.borrow_mut();
+            let payload = inner.build_checkpoint_payload(seq).encode();
+            let cost = inner.cfg.crypto.digest_cost(payload.len().max(64));
+            inner.charge(sim, CoreId(0), cost);
+            let store = CheckpointStore::build(seq, payload);
+            inner.own_checkpoints.insert(seq, store.root());
+            // What actually backs the read offer depends on honesty: a
+            // Byzantine responder registers corrupted or stale bytes while
+            // still voting the honest root.
+            let reg_bytes: Vec<u8> = match inner.byzantine {
+                ByzantineMode::BogusStateChunks => corrupt_chunks(store.bytes()),
+                ByzantineMode::StaleCheckpoint => {
+                    let mut stale = inner
+                        .stores
+                        .last_key_value()
+                        .map(|(_, (prev, _))| prev.bytes().to_vec())
+                        .unwrap_or_else(|| corrupt_chunks(store.bytes()));
+                    // Pad to the honest length so remote reads stay within
+                    // the region (the *content* is what's wrong).
+                    stale.resize(store.bytes().len(), 0);
+                    stale
+                }
+                _ => store.bytes().to_vec(),
+            };
+            inner.stores.insert(seq, (store, StateOffer::default()));
+            (reg_bytes, inner.transport.clone())
+        };
+        let offer = transport
+            .register_state_region(sim, &reg_bytes)
+            .unwrap_or_default();
+        let (msg, root, released) = {
+            let mut inner = self.inner.borrow_mut();
+            let root = {
+                let entry = inner.stores.get_mut(&seq).expect("just inserted");
+                entry.1 = offer;
+                entry.0.root()
+            };
+            let me = inner.id;
+            inner
+                .checkpoint_votes
+                .entry(seq)
+                .or_default()
+                .entry(root)
+                .or_default()
+                .insert(me, offer);
+            // Retain the latest two stores; release everything older so the
+            // registered regions do not accumulate.
+            let mut released = Vec::new();
+            while inner.stores.len() > 2 {
+                let (_, (_, old_offer)) = inner.stores.pop_first().expect("len > 2");
+                if old_offer.readable() {
+                    released.push(old_offer);
+                }
+            }
+            (
+                Message::Checkpoint {
+                    seq,
+                    state_digest: root,
+                    replica: me,
+                    store_rkey: offer.rkey,
+                    store_len: offer.len,
+                },
+                root,
+                released,
+            )
+        };
+        for old in released {
+            transport.release_state_region(&old);
+        }
+        self.broadcast_to_replicas(sim, msg);
+        self.maybe_stable_checkpoint(sim, seq, root);
+    }
+
     fn handle_checkpoint(
         &self,
         sim: &mut Simulator,
         seq: SeqNum,
         digest: Digest,
         replica: ReplicaId,
+        offer: StateOffer,
     ) {
         {
             let mut inner = self.inner.borrow_mut();
-            if seq <= inner.low_mark {
+            if seq <= inner.low_mark || replica >= inner.cfg.n as u32 {
                 return;
             }
             inner
@@ -943,7 +1124,7 @@ impl Replica {
                 .or_default()
                 .entry(digest)
                 .or_default()
-                .insert(replica);
+                .insert(replica, offer);
         }
         self.maybe_stable_checkpoint(sim, seq, digest);
     }
@@ -958,12 +1139,27 @@ impl Replica {
             .checkpoint_votes
             .get(&seq)
             .and_then(|m| m.get(&digest))
-            .map_or(0, HashSet::len);
+            .map_or(0, HashMap::len);
         if votes < quorum {
+            return;
+        }
+        if inner.executor.last_executed < seq {
+            // Certified, but this replica has not executed up to it: defer
+            // stabilization and give ordinary catch-up one grace period
+            // before falling back to full state transfer.
+            let arm = inner.pending_stable.is_none_or(|(s, _)| s < seq);
+            if arm {
+                inner.pending_stable = Some((seq, digest));
+                drop(inner);
+                self.arm_transfer_grace(sim, seq);
+            }
             return;
         }
         // Stable: advance the low watermark and truncate every pipeline.
         inner.low_mark = seq;
+        if inner.pending_stable.is_some_and(|(s, _)| s <= seq) {
+            inner.pending_stable = None;
+        }
         inner.stats.stable_checkpoints += 1;
         let freed: u64 = inner
             .pipelines
@@ -996,38 +1192,544 @@ impl Replica {
     }
 
     // ------------------------------------------------------------------
+    // State transfer (below-checkpoint recovery and cold rejoin)
+    // ------------------------------------------------------------------
+
+    /// Stabilizes a deferred checkpoint once execution has reached it.
+    fn maybe_deferred_stable(&self, sim: &mut Simulator) {
+        let ready = {
+            let inner = self.inner.borrow();
+            inner
+                .pending_stable
+                .filter(|&(s, _)| inner.executor.last_executed >= s)
+        };
+        if let Some((seq, digest)) = ready {
+            self.inner.borrow_mut().pending_stable = None;
+            self.maybe_stable_checkpoint(sim, seq, digest);
+        }
+    }
+
+    /// One grace period between "certified checkpoint this replica has not
+    /// reached" and full state transfer: per-instance catch-up is cheaper
+    /// when the gap is small, so it gets the first try.
+    fn arm_transfer_grace(&self, sim: &mut Simulator, seq: SeqNum) {
+        let timeout = self.inner.borrow().cfg.view_change_timeout;
+        let replica = self.clone();
+        sim.schedule_in(
+            timeout,
+            Box::new(move |sim| {
+                let go = {
+                    let inner = replica.inner.borrow();
+                    inner.byzantine != ByzantineMode::Crash
+                        && inner.transfer.is_none()
+                        && inner.pending_stable.is_some_and(|(s, _)| s == seq)
+                        && inner.executor.last_executed < seq
+                };
+                if go {
+                    replica.maybe_start_transfer(sim);
+                }
+            }),
+        );
+    }
+
+    /// Starts a transfer towards the highest checkpoint attested by
+    /// `f + 1` matching votes beyond this replica's execution horizon —
+    /// enough to guarantee at least one honest replica vouches for that
+    /// exact state (stabilization still demands `2f + 1`).
+    fn maybe_start_transfer(&self, sim: &mut Simulator) {
+        let plan = {
+            let inner = self.inner.borrow();
+            if inner.transfer.is_some() {
+                return;
+            }
+            let f = inner.cfg.f();
+            let me = inner.id;
+            let le = inner.executor.last_executed;
+            inner
+                .checkpoint_votes
+                .iter()
+                .rev()
+                .filter(|&(&s, _)| s > le)
+                .find_map(|(&s, by_digest)| {
+                    // Deterministic pick: only one digest can gather f+1
+                    // votes honestly, but sort anyway so a hostile vote set
+                    // cannot make replicas diverge on iteration order.
+                    let mut certified: Vec<_> = by_digest
+                        .iter()
+                        .filter(|(_, voters)| voters.len() > f)
+                        .collect();
+                    certified.sort_unstable_by_key(|(d, _)| *d);
+                    certified.into_iter().find_map(|(&d, voters)| {
+                        let mut peers: Vec<(ReplicaId, StateOffer)> = voters
+                            .iter()
+                            .filter(|&(&r, _)| r != me)
+                            .map(|(&r, &o)| (r, o))
+                            .collect();
+                        peers.sort_unstable_by_key(|&(r, _)| r);
+                        (!peers.is_empty()).then_some((s, d, peers))
+                    })
+                })
+        };
+        if let Some((seq, root, peers)) = plan {
+            self.start_state_transfer(sim, seq, root, peers);
+        }
+    }
+
+    fn start_state_transfer(
+        &self,
+        sim: &mut Simulator,
+        target: SeqNum,
+        root: Digest,
+        peers: Vec<(ReplicaId, StateOffer)>,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.transfer.is_some() || inner.executor.last_executed >= target {
+                return;
+            }
+            let me = inner.id;
+            inner.transfer = Some(Transfer::new(target, root, peers, me));
+            inner.stats.state_transfers_started += 1;
+            inner.bump("state_transfer_started", 1);
+            inner.metrics.trace(
+                sim.now(),
+                "reptor",
+                format!(
+                    "{}state_transfer_start target={target}",
+                    inner.metrics_prefix
+                ),
+            );
+        }
+        self.arm_transfer_timer(sim);
+        self.drive_transfer(sim);
+    }
+
+    /// Issues the next fetch step: the manifest first (always over the
+    /// message path — it is what everything else is verified against),
+    /// then chunks in order: one-sided RDMA READs where the responder
+    /// offered a registered region, `StateRequest` messages otherwise.
+    /// One operation is outstanding at a time; the stall timer covers
+    /// losses and silent responders.
+    fn drive_transfer(&self, sim: &mut Simulator) {
+        enum Step {
+            Manifest(ReplicaId, SeqNum),
+            Read(ReplicaId, StateOffer, SeqNum, u32, usize),
+            Request(ReplicaId, SeqNum, u32),
+            Done,
+        }
+        let me = self.id();
+        let step = {
+            let inner = self.inner.borrow();
+            let Some(t) = &inner.transfer else { return };
+            let (peer, offer) = t.current_peer();
+            match &t.manifest {
+                None => Step::Manifest(peer, t.target),
+                Some(manifest) => match t.next_missing() {
+                    Some(idx) => {
+                        let len = manifest.chunk_len(idx);
+                        if offer.readable() {
+                            Step::Read(peer, offer, t.target, idx, len)
+                        } else {
+                            Step::Request(peer, t.target, idx)
+                        }
+                    }
+                    None => Step::Done,
+                },
+            }
+        };
+        match step {
+            Step::Manifest(peer, seq) => self.send_msg(
+                sim,
+                Message::StateRequest {
+                    seq,
+                    chunk: MANIFEST_CHUNK,
+                    replica: me,
+                },
+                &[peer],
+            ),
+            Step::Request(peer, seq, chunk) => self.send_msg(
+                sim,
+                Message::StateRequest {
+                    seq,
+                    chunk,
+                    replica: me,
+                },
+                &[peer],
+            ),
+            Step::Read(peer, offer, seq, idx, len) => {
+                let transport = self.inner.borrow().transport.clone();
+                let replica = self.clone();
+                let issued = transport.read_state(
+                    sim,
+                    peer,
+                    offer.rkey,
+                    idx as u64 * CHUNK_SIZE as u64,
+                    len,
+                    Box::new(move |sim, data| replica.on_state_read_done(sim, seq, idx, data)),
+                );
+                if issued {
+                    self.inner.borrow_mut().bump("state_transfer_reads", 1);
+                } else {
+                    // No live one-sided path to this responder right now
+                    // (channel down or re-dialing): use the message path.
+                    self.send_msg(
+                        sim,
+                        Message::StateRequest {
+                            seq,
+                            chunk: idx,
+                            replica: me,
+                        },
+                        &[peer],
+                    );
+                }
+            }
+            Step::Done => self.finish_transfer(sim),
+        }
+    }
+
+    /// Completion of a one-sided chunk READ.
+    fn on_state_read_done(
+        &self,
+        sim: &mut Simulator,
+        seq: SeqNum,
+        idx: u32,
+        data: Option<Vec<u8>>,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.byzantine == ByzantineMode::Crash {
+                return;
+            }
+            let mut accepted_bytes = 0u64;
+            let mut retried = false;
+            {
+                let Some(t) = inner.transfer.as_mut() else {
+                    return;
+                };
+                if t.target != seq {
+                    return;
+                }
+                match &data {
+                    Some(bytes) => match t.accept_chunk(idx, bytes) {
+                        ChunkVerdict::Accepted => accepted_bytes = bytes.len() as u64,
+                        ChunkVerdict::Mismatch => {
+                            t.next_peer();
+                            retried = true;
+                        }
+                        ChunkVerdict::Ignored => {}
+                    },
+                    // Failed READ (stale rkey, flushed queue pair): rotate.
+                    None => {
+                        t.next_peer();
+                        retried = true;
+                    }
+                }
+            }
+            if accepted_bytes > 0 {
+                inner.bump("state_transfer_chunks", 1);
+                inner.bump("state_transfer_bytes", accepted_bytes);
+            }
+            if retried {
+                inner.stats.state_transfer_retries += 1;
+                inner.bump("state_transfer_retries", 1);
+            }
+        }
+        self.drive_transfer(sim);
+    }
+
+    /// Serves a manifest or chunk of a retained checkpoint store over the
+    /// message path (`chunk == MANIFEST_CHUNK` selects the manifest).
+    fn handle_state_request(
+        &self,
+        sim: &mut Simulator,
+        seq: SeqNum,
+        chunk: u32,
+        requester: ReplicaId,
+    ) {
+        let reply = {
+            let inner = self.inner.borrow();
+            if requester == inner.id || requester >= inner.cfg.n as u32 {
+                return;
+            }
+            // A StaleCheckpoint responder answers with its *oldest*
+            // retained store's content under the requested seq; the
+            // fetcher's root/digest checks catch the substitution.
+            let store = match inner.byzantine {
+                ByzantineMode::StaleCheckpoint => inner.stores.values().next().map(|(s, _)| s),
+                _ => inner.stores.get(&seq).map(|(s, _)| s),
+            };
+            let Some(store) = store else { return };
+            let data = if chunk == MANIFEST_CHUNK {
+                store.manifest().to_vec()
+            } else {
+                match store.chunk(chunk) {
+                    Some(c) => c.to_vec(),
+                    None => return,
+                }
+            };
+            let data = if inner.byzantine == ByzantineMode::BogusStateChunks {
+                corrupt_chunks(&data)
+            } else {
+                data
+            };
+            Message::StateChunk {
+                seq,
+                chunk,
+                data,
+                replica: inner.id,
+            }
+        };
+        self.send_msg(sim, reply, &[requester]);
+    }
+
+    /// A manifest or chunk arriving over the message path.
+    fn handle_state_chunk(
+        &self,
+        sim: &mut Simulator,
+        seq: SeqNum,
+        chunk: u32,
+        data: Vec<u8>,
+        _replica: ReplicaId,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let mut accepted_bytes = 0u64;
+            let mut retried = false;
+            {
+                let Some(t) = inner.transfer.as_mut() else {
+                    return;
+                };
+                if t.target != seq {
+                    return;
+                }
+                if chunk == MANIFEST_CHUNK {
+                    if t.manifest.is_none() && !t.install_manifest(&data) {
+                        // Stale or forged manifest: route around.
+                        t.next_peer();
+                        retried = true;
+                    }
+                } else {
+                    match t.accept_chunk(chunk, &data) {
+                        ChunkVerdict::Accepted => accepted_bytes = data.len() as u64,
+                        ChunkVerdict::Mismatch => {
+                            t.next_peer();
+                            retried = true;
+                        }
+                        ChunkVerdict::Ignored => {}
+                    }
+                }
+            }
+            if accepted_bytes > 0 {
+                inner.bump("state_transfer_chunks", 1);
+                inner.bump("state_transfer_bytes", accepted_bytes);
+            }
+            if retried {
+                inner.stats.state_transfer_retries += 1;
+                inner.bump("state_transfer_retries", 1);
+            }
+        }
+        self.drive_transfer(sim);
+    }
+
+    /// Installs a fully verified transfer: restores the service snapshot,
+    /// rebuilds the client session table, fast-forwards the executor past
+    /// the checkpoint and resumes normal operation above it.
+    fn finish_transfer(&self, sim: &mut Simulator) {
+        let (target, payload) = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.transfer.as_ref().is_some_and(Transfer::is_complete) {
+                return;
+            }
+            let t = inner.transfer.take().expect("checked above");
+            let bytes = t.assemble().expect("complete transfer assembles");
+            let Some(payload) = CheckpointPayload::decode(&bytes) else {
+                // Digest-verified bytes that do not decode mean the
+                // certifying quorum itself was faulty (> f faults); there
+                // is no correct state to install.
+                inner.bump("state_transfer_undecodable", 1);
+                return;
+            };
+            (t.target, payload)
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.service.restore(&payload.service_snapshot) {
+                inner.bump("state_transfer_restore_failed", 1);
+                return;
+            }
+            inner.client_state = payload
+                .clients
+                .iter()
+                .map(|(c, ts, reply)| (*c, (*ts, reply.clone())))
+                .collect();
+            inner.executor.fast_forward(target);
+            inner.low_mark = target;
+            if inner.next_seq <= target {
+                inner.next_seq = target + 1;
+            }
+            for pl in &mut inner.pipelines {
+                pl.truncate_through(target);
+            }
+            inner.checkpoint_votes.retain(|&s, _| s > target);
+            inner.catch_up_votes.retain(|&s, _| s > target);
+            inner.own_checkpoints.retain(|&s, _| s >= target);
+            if inner.pending_stable.is_some_and(|(s, _)| s <= target) {
+                inner.pending_stable = None;
+            }
+            inner.stats.state_transfers_completed += 1;
+            inner.bump("state_transfer_completed", 1);
+            inner.metrics.trace(
+                sim.now(),
+                "reptor",
+                format!(
+                    "{}state_transfer_done target={target}",
+                    inner.metrics_prefix
+                ),
+            );
+        }
+        // Seal and attest the installed state as this replica's own
+        // checkpoint (other laggards may fetch from it in turn), then
+        // resume per-instance catch-up for everything past it.
+        self.make_checkpoint(sim, target);
+        self.inner.borrow_mut().last_catch_up_at = 0;
+        self.request_catch_up(sim);
+        self.try_execute(sim);
+    }
+
+    /// Stall detection: while a transfer is active, check every timeout
+    /// period that it made progress; if not, rotate to the next attester
+    /// and re-drive (covers lost messages, failed READs and silent or
+    /// Byzantine responders).
+    fn arm_transfer_timer(&self, sim: &mut Simulator) {
+        let (timeout, mark) = {
+            let inner = self.inner.borrow();
+            let Some(t) = &inner.transfer else { return };
+            (inner.cfg.view_change_timeout, t.progress())
+        };
+        let replica = self.clone();
+        sim.schedule_in(
+            timeout,
+            Box::new(move |sim| {
+                let stalled = {
+                    let mut inner = replica.inner.borrow_mut();
+                    if inner.byzantine == ByzantineMode::Crash {
+                        return;
+                    }
+                    let stalled = {
+                        let Some(t) = inner.transfer.as_mut() else {
+                            return;
+                        };
+                        if t.progress() == mark {
+                            t.next_peer();
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if stalled {
+                        inner.stats.state_transfer_retries += 1;
+                        inner.bump("state_transfer_retries", 1);
+                    }
+                    stalled
+                };
+                if stalled {
+                    replica.drive_transfer(sim);
+                }
+                replica.arm_transfer_timer(sim);
+            }),
+        );
+    }
+
+    /// Periodic rejoin probe after a cold restart: keep requesting
+    /// catch-up (whose unservable answers carry checkpoint attestations)
+    /// and checking for an `f + 1`-attested checkpoint to transfer
+    /// towards, until the replica has rejoined or the probe budget runs
+    /// out (a lone replica in an idle group has nothing to rejoin to).
+    fn arm_rejoin_probe(&self, sim: &mut Simulator, attempts: u32) {
+        const MAX_PROBES: u32 = 32;
+        if attempts >= MAX_PROBES {
+            return;
+        }
+        let timeout = self.inner.borrow().cfg.view_change_timeout;
+        let replica = self.clone();
+        sim.schedule_in(
+            timeout,
+            Box::new(move |sim| {
+                {
+                    let inner = replica.inner.borrow();
+                    if inner.byzantine == ByzantineMode::Crash {
+                        return;
+                    }
+                    // Rejoined: executing again with no transfer in flight.
+                    if inner.executor.last_executed > 0 && inner.transfer.is_none() {
+                        return;
+                    }
+                }
+                replica.request_catch_up(sim);
+                replica.maybe_start_transfer(sim);
+                replica.arm_rejoin_probe(sim, attempts + 1);
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Catch-up (lagging-replica recovery)
     // ------------------------------------------------------------------
 
     /// A peer reports it may have missed committed instances: re-send the
-    /// executed `(seq, view, digest, batch)` certificates it asks for.
-    /// Instances truncated below the stable checkpoint cannot be served
-    /// per-instance; a replica that far behind needs state transfer.
+    /// executed `(seq, view, digest, batch)` certificates it asks for, one
+    /// bounded page at a time. Instances truncated below the stable
+    /// checkpoint cannot be served per-instance — a requester that far
+    /// behind is sent this replica's latest checkpoint attestation
+    /// instead, steering it into state transfer.
     fn handle_catch_up_request(&self, sim: &mut Simulator, from_seq: SeqNum, requester: ReplicaId) {
-        /// Per-request cap; a still-lagging replica simply asks again.
-        const MAX_INSTANCES: usize = 128;
-        let replies = {
+        /// Per-request page cap. A still-lagging replica asks again from
+        /// its new horizon, so pagination bounds every reply burst without
+        /// stalling convergence.
+        const MAX_INSTANCES: usize = 32;
+        let (attest, replies, truncated) = {
             let inner = self.inner.borrow();
             if requester == inner.id || requester >= inner.cfg.n as u32 {
                 return;
             }
             let me = inner.id;
+            // Below the stable checkpoint: that history is gone. Attest the
+            // latest sealed checkpoint (a StaleCheckpoint responder lies
+            // and attests its oldest; `f + 1` matching honest attestations
+            // outvote it at the requester).
+            let attest = if from_seq <= inner.low_mark {
+                let pick = match inner.byzantine {
+                    ByzantineMode::StaleCheckpoint => inner.stores.iter().next(),
+                    _ => inner.stores.iter().next_back(),
+                };
+                pick.map(|(&s, (store, offer))| Message::Checkpoint {
+                    seq: s,
+                    state_digest: store.root(),
+                    replica: me,
+                    store_rkey: offer.rkey,
+                    store_len: offer.len,
+                })
+            } else {
+                None
+            };
             // Merge the per-pipeline logs back into one seq-ordered view of
             // the executed history (each pipeline holds a disjoint residue
             // class, so a sort by seq is a perfect merge).
             let last = inner.executor.last_executed;
-            if from_seq > last {
-                return; // nothing executed at or past the requested seq
-            }
-            let mut executed: Vec<(SeqNum, &Instance)> = inner
-                .pipelines
-                .iter()
-                .flat_map(|pl| pl.log.range(from_seq..=last))
-                .filter(|(_, e)| e.executed)
-                .map(|(&s, e)| (s, e))
-                .collect();
+            let mut executed: Vec<(SeqNum, &Instance)> = if from_seq <= last {
+                inner
+                    .pipelines
+                    .iter()
+                    .flat_map(|pl| pl.log.range(from_seq..=last))
+                    .filter(|(_, e)| e.executed)
+                    .map(|(&s, e)| (s, e))
+                    .collect()
+            } else {
+                Vec::new()
+            };
             executed.sort_unstable_by_key(|&(s, _)| s);
-            executed
+            let truncated = executed.len() > MAX_INSTANCES;
+            let replies = executed
                 .into_iter()
                 .take(MAX_INSTANCES)
                 .map(|(seq, entry)| Message::CatchUpReply {
@@ -1037,8 +1739,12 @@ impl Replica {
                     batch: entry.batch.clone().expect("executed instance has batch"),
                     replica: me,
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            (attest, replies, truncated)
         };
+        if let Some(msg) = attest {
+            self.send_msg(sim, msg, &[requester]);
+        }
         if replies.is_empty() {
             return;
         }
@@ -1046,6 +1752,10 @@ impl Replica {
             let mut inner = self.inner.borrow_mut();
             inner.stats.catch_up_replies_sent += replies.len() as u64;
             inner.bump("catch_up_replies_sent", replies.len() as u64);
+            if truncated {
+                inner.stats.catch_up_replies_truncated += 1;
+                inner.bump("catch_up_replies_truncated", 1);
+            }
         }
         for msg in replies {
             self.send_msg(sim, msg, &[requester]);
@@ -1553,8 +2263,29 @@ impl ReplicaInner {
         }
     }
 
+    /// The agreement window `(low_mark, low_mark + 2L]`: the low watermark
+    /// itself is *excluded* (it is covered by the stable checkpoint), the
+    /// high watermark is *included* — matching `try_propose`, which blocks
+    /// once `next_seq > low_mark + 2L`.
     fn in_watermarks(&self, seq: SeqNum) -> bool {
         seq > self.low_mark && seq <= self.low_mark + 2 * self.cfg.checkpoint_interval
+    }
+
+    /// Serializes the executed state at checkpoint `seq`: service snapshot
+    /// plus the client session table, sorted by client id so every honest
+    /// replica produces the identical byte string (and thus root digest).
+    fn build_checkpoint_payload(&self, seq: SeqNum) -> CheckpointPayload {
+        let mut clients: Vec<(ClientId, u64, Vec<u8>)> = self
+            .client_state
+            .iter()
+            .map(|(&c, (ts, reply))| (c, *ts, reply.clone()))
+            .collect();
+        clients.sort_unstable_by_key(|entry| entry.0);
+        CheckpointPayload {
+            seq,
+            service_snapshot: self.service.snapshot(),
+            clients,
+        }
     }
 
     /// The core an outbound message's MAC work runs on: the owning
@@ -1593,4 +2324,87 @@ impl ReplicaInner {
 
 fn batch_bytes(batch: &[Request]) -> usize {
     batch.iter().map(|r| r.payload.len() + 16).sum::<usize>()
+}
+
+/// Byzantine store bytes: flips one byte in every chunk-sized slice, so
+/// each corrupted chunk fails its digest check at the fetcher while
+/// lengths (and therefore read offsets) stay valid.
+fn corrupt_chunks(bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    for chunk in out.chunks_mut(CHUNK_SIZE) {
+        if let Some(b) = chunk.first_mut() {
+            *b ^= 0xA5;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, CounterService};
+
+    fn cluster(interval: u64, seed: u64) -> Cluster {
+        Cluster::sim_transport(
+            ReptorConfig {
+                checkpoint_interval: interval,
+                ..ReptorConfig::small()
+            },
+            1,
+            seed,
+            || Box::new(CounterService::default()),
+        )
+    }
+
+    #[test]
+    fn watermark_window_boundaries() {
+        let c = cluster(8, 40);
+        let r = &c.replicas[1];
+        // Window is (low_mark, low_mark + 2L] with L = 8, low_mark = 0.
+        assert!(!r.in_watermarks(0), "the low mark itself is outside");
+        assert!(r.in_watermarks(1), "first seq past the low mark");
+        assert!(r.in_watermarks(16), "the high watermark is inclusive");
+        assert!(!r.in_watermarks(17), "one past the high watermark");
+    }
+
+    #[test]
+    fn pre_prepare_at_high_watermark_accepted_one_past_rejected() {
+        let mut c = cluster(8, 41);
+        let batch = vec![Request {
+            client: 4,
+            timestamp: 1,
+            payload: b"inc".to_vec(),
+        }];
+        let digest = batch_digest(&batch);
+        c.replicas[1].inject_message(
+            &mut c.sim,
+            Message::PrePrepare {
+                view: 0,
+                seq: 16, // exactly low_mark + 2 * checkpoint_interval
+                digest,
+                batch: batch.clone(),
+            },
+        );
+        c.settle();
+        assert_eq!(
+            c.replicas[1].stats().prepares_sent,
+            1,
+            "seq == high watermark must be accepted"
+        );
+        c.replicas[1].inject_message(
+            &mut c.sim,
+            Message::PrePrepare {
+                view: 0,
+                seq: 17,
+                digest,
+                batch,
+            },
+        );
+        c.settle();
+        assert_eq!(
+            c.replicas[1].stats().prepares_sent,
+            1,
+            "seq == high watermark + 1 must be rejected"
+        );
+    }
 }

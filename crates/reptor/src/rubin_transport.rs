@@ -19,13 +19,14 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use rdma_verbs::{RdmaDevice, RnicModel};
+use rdma_verbs::{Access, MemoryRegion, ProtectionDomain, RdmaDevice, RnicModel};
 use rubin::{
     Interest, RdmaChannel, RdmaSelector, RdmaServerChannel, RecvOutcome, RubinConfig, RubinKey,
 };
 use simnet::{Addr, CoreId, HostId, Nanos, Network, Simulator};
 
-use crate::transport::{DeliveryFn, NodeId, Transport};
+use crate::state_transfer::StateOffer;
+use crate::transport::{DeliveryFn, NodeId, StateReadFn, Transport};
 
 /// Base port for RUBIN transport server channels.
 const RUBIN_PORT_BASE: u32 = 1100;
@@ -41,6 +42,13 @@ const RECONNECT_CAP_SHIFT: u32 = 5;
 /// connection management has no timeout of its own — a ConnRequest lost to
 /// a crashed host would otherwise hang the dialer forever.
 const CONNECT_ATTEMPT_TIMEOUT: Nanos = Nanos::from_millis(20);
+
+/// Maximum messages held for a peer whose channel is down or still
+/// connecting. Large enough to ride over a reconnect round-trip, small
+/// enough that a long outage cannot grow unbounded queues at healthy
+/// peers — a revived replica recovers truncated history through
+/// checkpoint state transfer instead of replay.
+const PEN_CAP: usize = 16;
 
 struct PeerChan {
     channel: RdmaChannel,
@@ -71,6 +79,13 @@ struct RubinInner {
     directory: HashMap<NodeId, HostId>,
     /// Consecutive failed re-dial attempts per peer (drives the backoff).
     redial_attempts: HashMap<NodeId, u32>,
+    /// Protection domain holding checkpoint-store regions. Allocated on
+    /// first registration; MRs are validated per-rkey, not per-domain, so
+    /// any peer queue pair can READ them.
+    state_pd: Option<ProtectionDomain>,
+    /// Live checkpoint-store regions by rkey, held so `release` can
+    /// invalidate them.
+    state_regions: HashMap<u32, MemoryRegion>,
     delivery: Option<DeliveryFn>,
     msgs_sent: u64,
     msgs_delivered: u64,
@@ -131,6 +146,8 @@ impl RubinTransport {
                         by_node: HashMap::new(),
                         directory: nodes.iter().map(|&(n, h, _)| (n, h)).collect(),
                         redial_attempts: HashMap::new(),
+                        state_pd: None,
+                        state_regions: HashMap::new(),
                         delivery: None,
                         msgs_sent: 0,
                         msgs_delivered: 0,
@@ -399,8 +416,22 @@ impl RubinTransport {
                 return;
             }
             inner.chans[slot].dead = true;
+            // The slot becomes a holding pen: shed everything but the
+            // newest PEN_CAP messages now, so a long outage hands the
+            // replacement channel recent traffic rather than stale
+            // history (recovered by catch-up/state transfer instead).
+            let shed = inner.chans[slot].outq.len().saturating_sub(PEN_CAP);
+            inner.chans[slot].outq.drain(..shed);
             let key = inner.chans[slot].key;
             inner.selector.cancel(key);
+            if shed > 0 {
+                let node = inner.node;
+                inner
+                    .device
+                    .net()
+                    .metrics()
+                    .incr_by(&format!("rubin_transport.{node}.pen_dropped"), shed as u64);
+            }
             (
                 inner.chans[slot].peer,
                 inner.node,
@@ -621,12 +652,81 @@ impl Transport for RubinTransport {
         {
             let mut inner = self.inner.borrow_mut();
             inner.chans[slot].outq.push_back(msg);
+            // A dead or still-connecting channel cannot drain; bound the
+            // holding pen by shedding the oldest message. The survivors are
+            // the newest traffic — recent checkpoints and votes — which is
+            // exactly what a peer coming back from a long outage can still
+            // use (older history is recovered by catch-up/state transfer,
+            // not by replay).
+            let draining = !inner.chans[slot].dead && inner.chans[slot].channel.is_established();
+            if !draining && inner.chans[slot].outq.len() > PEN_CAP {
+                inner.chans[slot].outq.pop_front();
+                let node = inner.node;
+                inner
+                    .device
+                    .net()
+                    .metrics()
+                    .incr(&format!("rubin_transport.{node}.pen_dropped"));
+            }
         }
         self.flush(sim, slot);
     }
 
     fn set_delivery(&self, f: DeliveryFn) {
         self.inner.borrow_mut().delivery = Some(f);
+    }
+
+    fn register_state_region(&self, sim: &mut Simulator, bytes: &[u8]) -> Option<StateOffer> {
+        let _ = sim;
+        let mut inner = self.inner.borrow_mut();
+        if inner.state_pd.is_none() {
+            let pd = inner.device.alloc_pd();
+            inner.state_pd = Some(pd);
+        }
+        let pd = inner.state_pd.expect("just ensured");
+        // Zero-length registrations are meaningless; a 1-byte region keeps
+        // the rkey live so empty stores still advertise a valid offer.
+        let mr = inner
+            .device
+            .reg_mr(&pd, bytes.len().max(1), Access::REMOTE_READ);
+        if !bytes.is_empty() {
+            mr.write(0, bytes).expect("store fits its region");
+        }
+        let rkey = mr.rkey().0;
+        inner.state_regions.insert(rkey, mr);
+        Some(StateOffer {
+            rkey,
+            len: bytes.len() as u64,
+        })
+    }
+
+    fn release_state_region(&self, offer: &StateOffer) {
+        if let Some(mr) = self.inner.borrow_mut().state_regions.remove(&offer.rkey) {
+            mr.invalidate();
+        }
+    }
+
+    fn read_state(
+        &self,
+        sim: &mut Simulator,
+        peer: NodeId,
+        rkey: u32,
+        offset: u64,
+        len: usize,
+        done: StateReadFn,
+    ) -> bool {
+        let channel = {
+            let inner = self.inner.borrow();
+            let Some(&slot) = inner.by_node.get(&peer) else {
+                return false;
+            };
+            let c = &inner.chans[slot];
+            if c.dead || !c.channel.is_established() {
+                return false;
+            }
+            c.channel.clone()
+        };
+        channel.post_read(sim, rkey, offset, len, done).is_ok()
     }
 
     fn set_lane_delivery(&self, lanes: usize, f: crate::transport::LaneDeliveryFn) {

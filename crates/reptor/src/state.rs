@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use bft_crypto::Digest;
 use simnet::Nanos;
 
+use crate::codec::{Reader, Writer};
 use crate::messages::Request;
 
 /// A deterministic replicated service.
@@ -24,6 +25,26 @@ pub trait StateMachine {
     fn op_cost(&self, req: &Request) -> Nanos {
         Nanos::from_nanos(1_000 + 2 * req.payload.len() as u64)
     }
+
+    /// Serializes the full service state for checkpoint state transfer.
+    ///
+    /// The default returns an empty snapshot: agreement-layer metadata
+    /// (executor position, client sessions) still transfers, but the
+    /// service itself starts empty on the fetcher — acceptable only for
+    /// stateless demo services. Replicated services that want rejoin
+    /// support must override both this and [`StateMachine::restore`] so
+    /// that `restore(&snapshot())` reproduces a state with an identical
+    /// [`StateMachine::state_digest`].
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Replaces the service state with a previously snapshotted one.
+    /// Returns false on malformed bytes (the state transfer aborts and
+    /// retries from another peer).
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        snapshot.is_empty()
+    }
 }
 
 /// Echoes the request payload (the workload of the paper's echo
@@ -41,6 +62,20 @@ impl StateMachine for EchoService {
 
     fn state_digest(&self) -> Digest {
         Digest::of(&self.ops.to_le_bytes())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.ops.to_le_bytes().to_vec()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        match <[u8; 8]>::try_from(snapshot) {
+            Ok(raw) => {
+                self.ops = u64::from_le_bytes(raw);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -68,6 +103,20 @@ impl StateMachine for CounterService {
 
     fn state_digest(&self) -> Digest {
         Digest::of(&self.value.to_le_bytes())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.value.to_le_bytes().to_vec()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        match <[u8; 8]>::try_from(snapshot) {
+            Ok(raw) => {
+                self.value = u64::from_le_bytes(raw);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -196,6 +245,36 @@ impl StateMachine for KvService {
         }
         Digest::of_parts(&parts)
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.version);
+        w.u32(self.map.len() as u32);
+        for (k, v) in &self.map {
+            w.bytes(k);
+            w.bytes(v);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        let mut r = Reader::new(snapshot);
+        let Ok(version) = r.u64() else { return false };
+        let Ok(count) = r.u32() else { return false };
+        let mut map = BTreeMap::new();
+        for _ in 0..count {
+            let (Ok(k), Ok(v)) = (r.bytes(), r.bytes()) else {
+                return false;
+            };
+            map.insert(k, v);
+        }
+        if r.expect_end().is_err() {
+            return false;
+        }
+        self.version = version;
+        self.map = map;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -280,5 +359,51 @@ mod tests {
     fn op_cost_scales_with_payload() {
         let e = EchoService::default();
         assert!(e.op_cost(&req(vec![0; 10_000])) > e.op_cost(&req(vec![0; 10])));
+    }
+
+    #[test]
+    fn snapshots_roundtrip_with_identical_digests() {
+        let mut counter = CounterService::default();
+        counter.apply(&req(b"inc".to_vec()));
+        counter.apply(&req(b"inc".to_vec()));
+        let mut fresh = CounterService::default();
+        assert!(fresh.restore(&counter.snapshot()));
+        assert_eq!(fresh.value(), 2);
+        assert_eq!(fresh.state_digest(), counter.state_digest());
+
+        let mut echo = EchoService::default();
+        echo.apply(&req(b"ping".to_vec()));
+        let mut fresh = EchoService::default();
+        assert!(fresh.restore(&echo.snapshot()));
+        assert_eq!(fresh.state_digest(), echo.state_digest());
+
+        let mut kv = KvService::default();
+        kv.apply(&req(KvOp::Put(b"a".to_vec(), b"1".to_vec()).encode()));
+        kv.apply(&req(KvOp::Put(b"b".to_vec(), b"2".to_vec()).encode()));
+        kv.apply(&req(KvOp::Del(b"a".to_vec()).encode()));
+        let mut fresh = KvService::default();
+        assert!(fresh.restore(&kv.snapshot()));
+        assert_eq!(fresh.get(b"b"), Some(&b"2".to_vec()));
+        assert_eq!(fresh.state_digest(), kv.state_digest());
+    }
+
+    #[test]
+    fn malformed_snapshots_rejected_without_mutation() {
+        let mut counter = CounterService::default();
+        counter.apply(&req(b"inc".to_vec()));
+        assert!(!counter.restore(b"short"));
+        assert_eq!(counter.value(), 1, "failed restore must not mutate");
+
+        let mut kv = KvService::default();
+        kv.apply(&req(KvOp::Put(b"k".to_vec(), b"v".to_vec()).encode()));
+        let before = kv.state_digest();
+        assert!(!kv.restore(b"garbage-bytes"));
+        let mut truncated = kv.snapshot();
+        truncated.pop();
+        assert!(!kv.restore(&truncated));
+        let mut trailing = kv.snapshot();
+        trailing.push(0);
+        assert!(!kv.restore(&trailing));
+        assert_eq!(kv.state_digest(), before);
     }
 }

@@ -16,11 +16,17 @@ use std::rc::Rc;
 
 use simnet::{Addr, Frame, HostId, Network, Simulator};
 
+use crate::state_transfer::StateOffer;
+
 /// A node in the replica/client group.
 pub type NodeId = u32;
 
 /// Delivery callback: `(sim, from, bytes)`.
 pub type DeliveryFn = Rc<dyn Fn(&mut Simulator, NodeId, Vec<u8>)>;
+
+/// Completion callback for a one-sided state read: `Some(bytes)` on
+/// success, `None` if the read failed (bad rkey, flushed QP, dead link).
+pub type StateReadFn = Box<dyn FnOnce(&mut Simulator, Option<Vec<u8>>)>;
 
 /// Lane-demultiplexed delivery callback: `(sim, lane, from, bytes)`. The
 /// lane is the COP pipeline owning the frame's sequence number (lane 0 for
@@ -66,6 +72,39 @@ pub trait Transport {
                 self.send(sim, p, msg.to_vec());
             }
         }
+    }
+
+    /// Registers `bytes` as a remotely readable state region (the
+    /// checkpoint store) and returns its read offer. Transports without a
+    /// one-sided read primitive return `None`; peers then fall back to
+    /// chunked `StateRequest`/`StateChunk` messages.
+    fn register_state_region(&self, sim: &mut Simulator, bytes: &[u8]) -> Option<StateOffer> {
+        let _ = (sim, bytes);
+        None
+    }
+
+    /// Releases a region previously returned by
+    /// [`Transport::register_state_region`]; pending remote reads of it
+    /// will fail with a protection error.
+    fn release_state_region(&self, offer: &StateOffer) {
+        let _ = offer;
+    }
+
+    /// Issues a one-sided read of `[offset, offset+len)` from `peer`'s
+    /// region `rkey`, invoking `done` with the bytes (or `None` on
+    /// failure). Returns false if this transport (or the link to `peer`)
+    /// has no one-sided read path — the caller falls back to messages.
+    fn read_state(
+        &self,
+        sim: &mut Simulator,
+        peer: NodeId,
+        rkey: u32,
+        offset: u64,
+        len: usize,
+        done: StateReadFn,
+    ) -> bool {
+        let _ = (sim, peer, rkey, offset, len, done);
+        false
     }
 }
 

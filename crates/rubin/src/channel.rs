@@ -12,13 +12,13 @@
 //! source of RUBIN's degradation beyond 16 KB payloads.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
 use rdma_verbs::{
-    Access, ConnRequest, ProtectionDomain, QpConfig, QueuePair, RdmaDevice, RecvWr, SendWr, Sge,
-    VerbsError, WcOpcode, WcStatus, WrId,
+    Access, ConnRequest, MemoryRegion, ProtectionDomain, QpConfig, QueuePair, RKey, RdmaDevice,
+    RecvWr, SendWr, Sge, VerbsError, WcOpcode, WcStatus, WrId,
 };
 use simnet::{Addr, CoreId, Nanos, Simulator};
 
@@ -162,6 +162,24 @@ pub struct ChannelStats {
     pub repost_batches: u64,
     /// Messages delivered through the zero-copy borrowed-receive path.
     pub borrowed_reads: u64,
+    /// One-sided RDMA READs posted via [`RdmaChannel::post_read`].
+    pub reads_posted: u64,
+    /// Bytes pulled by completed one-sided READs.
+    pub read_bytes: u64,
+}
+
+/// Completion callback for [`RdmaChannel::post_read`]: `Some(bytes)` on a
+/// successful read, `None` if the operation failed or was flushed.
+pub type ReadDoneFn = Box<dyn FnOnce(&mut Simulator, Option<Vec<u8>>)>;
+
+/// One-sided READ work-request ids live in their own range so the in-order
+/// send-completion pop below can never confuse them with SEND wr_ids.
+const READ_WR_BASE: u64 = 1 << 48;
+
+struct PendingRead {
+    sink: MemoryRegion,
+    len: usize,
+    done: ReadDoneFn,
 }
 
 pub(crate) struct ChanInner {
@@ -174,6 +192,9 @@ pub(crate) struct ChanInner {
     recv_pool: BufferPool,
     /// Outstanding sends in posting order: `(wr_id, pooled slab if any)`.
     inflight: VecDeque<(u64, Option<SlabIndex>)>,
+    /// Outstanding one-sided READs by wr_id (disjoint id range).
+    pending_reads: HashMap<u64, PendingRead>,
+    read_count: u64,
     send_count: u64,
     since_signal: usize,
     outstanding_sends: usize,
@@ -258,6 +279,8 @@ impl RdmaChannel {
                 send_pool,
                 recv_pool,
                 inflight: VecDeque::new(),
+                pending_reads: HashMap::new(),
+                read_count: 0,
                 send_count: 0,
                 since_signal: 0,
                 outstanding_sends: 0,
@@ -538,6 +561,59 @@ impl RdmaChannel {
         Ok(true)
     }
 
+    /// Posts a one-sided RDMA READ of `[remote_offset, remote_offset+len)`
+    /// from the peer's region `rkey` into a fresh local sink; `done` fires
+    /// with the bytes once the read completes (or with `None` if the QP
+    /// fails first). The remote CPU does no work serving the read — its
+    /// NIC validates the rkey and DMAs the data out directly, which is why
+    /// checkpoint state transfer uses this path on RUBIN.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChannelError::NotConnected`] before establishment.
+    /// * [`ChannelError::Broken`] after a failure.
+    /// * [`ChannelError::Verbs`] on posting errors.
+    pub fn post_read(
+        &self,
+        sim: &mut Simulator,
+        rkey: u32,
+        remote_offset: u64,
+        len: usize,
+        done: ReadDoneFn,
+    ) -> Result<(), ChannelError> {
+        let (qp, wr, wr_id) = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(why) = &inner.broken {
+                return Err(ChannelError::Broken(why.clone()));
+            }
+            if !inner.established {
+                return Err(ChannelError::NotConnected);
+            }
+            let sink = inner
+                .device
+                .reg_mr(&inner.pd, len.max(1), Access::LOCAL_WRITE);
+            let wr_id = READ_WR_BASE + inner.read_count;
+            inner.read_count += 1;
+            inner.stats.reads_posted += 1;
+            let wr = SendWr::read(
+                WrId(wr_id),
+                Sge::new(sink.clone(), 0, len),
+                RKey(rkey),
+                remote_offset as usize,
+            )
+            .signaled();
+            inner
+                .pending_reads
+                .insert(wr_id, PendingRead { sink, len, done });
+            (inner.qp.clone(), wr, wr_id)
+        };
+        if let Err(e) = qp.post_send(sim, wr) {
+            self.inner.borrow_mut().pending_reads.remove(&wr_id);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
     /// Non-blocking message receive.
     ///
     /// Copies the message out of the pre-posted registered buffer (the
@@ -709,9 +785,29 @@ impl RdmaChannel {
             let inner = self.inner.borrow();
             inner.device.charge_poll(sim, inner.core, total);
         }
+        let mut finished_reads: Vec<(ReadDoneFn, Option<Vec<u8>>)> = Vec::new();
         {
             let mut inner = self.inner.borrow_mut();
             for wc in send_wcs {
+                // One-sided READ completions carry their own id range and
+                // resolve a pending-read callback; they never participate
+                // in the in-order SEND pop below.
+                if wc.opcode == WcOpcode::RdmaRead {
+                    if let Some(pr) = inner.pending_reads.remove(&wc.wr_id.0) {
+                        let data = (wc.status == WcStatus::Success)
+                            .then(|| pr.sink.read(0, pr.len).ok())
+                            .flatten();
+                        if let Some(d) = &data {
+                            inner.stats.read_bytes += d.len() as u64;
+                        }
+                        pr.sink.invalidate();
+                        finished_reads.push((pr.done, data));
+                    }
+                    if wc.status == WcStatus::WorkRequestFlushed {
+                        inner.eof = true;
+                    }
+                    continue;
+                }
                 match wc.status {
                     WcStatus::Success => {
                         // RC completes in order: everything up to and
@@ -750,6 +846,11 @@ impl RdmaChannel {
                     }
                 }
             }
+        }
+        // Callbacks run with the channel borrow released: a completion
+        // handler may immediately post follow-up reads or sends.
+        for (done, data) in finished_reads {
+            done(sim, data);
         }
         self.refresh_readiness(sim);
     }

@@ -77,7 +77,10 @@ struct World {
 }
 
 fn build(kind: StackKind, seed: u64) -> World {
-    let cfg = ReptorConfig::small();
+    build_cfg(kind, seed, ReptorConfig::small())
+}
+
+fn build_cfg(kind: StackKind, seed: u64, cfg: ReptorConfig) -> World {
     let n = cfg.n;
     let (mut sim, net, hosts) = TestBed::cluster(seed, n + 1);
     let nodes: Vec<(u32, HostId, CoreId)> = hosts
@@ -378,10 +381,12 @@ fn primary_crash_scenario(kind: StackKind, seed: u64) -> String {
     );
 
     // Phase 4: the host restarts; backoff re-dials now land and the mesh
-    // heals. The peers' holding-pen queues carried the protocol traffic
-    // addressed to the dead host across the outage, so on reconnect the
-    // revived replica replays the backlog and may catch up part or all of
-    // the way (dedicated state transfer is out of scope).
+    // heals. The peers' holding-pen queues carried recent protocol traffic
+    // addressed to the dead host across the outage (bounded at PEN_CAP
+    // frames), so on reconnect the revived replica replays the backlog and
+    // catches up per-instance; a replica that fell below the watermark
+    // recovers via checkpoint state transfer instead (see the
+    // state-transfer scenarios below).
     let t_heal = w.sim.now() + Nanos::from_millis(1);
     ChaosSchedule::new()
         .at(t_heal, ChaosAction::RestartHost { host: w.hosts[0] })
@@ -442,4 +447,293 @@ fn fixed_seed_crash_timeline_replays_byte_identically() {
     let a = primary_crash_scenario(StackKind::Rubin, chaos_seed());
     let b = primary_crash_scenario(StackKind::Rubin, chaos_seed());
     assert_eq!(a, b, "same seed must give a byte-identical snapshot");
+}
+
+/// Submits `count` requests one at a time, waiting for each to complete,
+/// so every request lands in its own agreement instance (concurrent
+/// submission would batch them and collapse the checkpoint-interval
+/// arithmetic the state-transfer scenarios rely on).
+fn submit_sequentially(w: &mut World, count: u64, already_done: u64) {
+    let client = w.client.clone();
+    for i in 0..count {
+        client.submit(&mut w.sim, b"inc".to_vec());
+        run_to_completion(w, already_done + i + 1);
+    }
+}
+
+/// The tentpole recovery scenario: one backup is partitioned away while
+/// the rest of the group executes more than two checkpoint intervals.
+/// The live replicas' stable checkpoint moves past the laggard's whole
+/// watermark window, their per-instance logs are truncated below it, and
+/// the bounded holding pens shed the backlog — so when the partition
+/// heals, replayed traffic cannot rebuild the missed instances and the
+/// laggard's only way back is a full checkpoint state transfer (one-sided
+/// RDMA READs on the RUBIN stack, chunk messages on the socket stack),
+/// after which it rejoins live agreement.
+///
+/// `responder_fault` optionally makes one state-serving backup Byzantine:
+/// it still votes for the correct checkpoint roots (so it is counted in
+/// the `f + 1` certificate and is the laggard's *first* fetch target),
+/// but serves corrupted or stale bytes. The per-chunk digest checks must
+/// detect this and route the transfer around it.
+///
+/// Returns the run's metrics snapshot JSON for the determinism test.
+fn state_transfer_scenario(kind: StackKind, responder_fault: ByzantineMode, seed: u64) -> String {
+    let cfg = ReptorConfig {
+        checkpoint_interval: 4,
+        ..ReptorConfig::small()
+    };
+    let interval = cfg.checkpoint_interval;
+    let mut w = build_cfg(kind, seed, cfg);
+    let laggard = w.replicas[2].clone();
+
+    // Phase 1: a healthy prefix everyone executes and checkpoints.
+    submit_sequentially(&mut w, 3, 0);
+    w.sim.run_until_idle();
+    assert_eq!(laggard.last_executed(), 3);
+
+    // Replica 3 may be a Byzantine *state server*; its agreement role
+    // stays honest so checkpoint certificates still form.
+    w.replicas[3].set_byzantine(responder_fault);
+
+    // Phase 2: cut the laggard off from every other host, client included.
+    let laggard_host = w.hosts[2];
+    let t_cut = w.sim.now() + Nanos::from_micros(10);
+    let mut cut = ChaosSchedule::new();
+    for &h in &w.hosts {
+        if h != laggard_host {
+            cut.push(
+                t_cut,
+                ChaosAction::Partition {
+                    a: laggard_host,
+                    b: h,
+                },
+            );
+        }
+    }
+    cut.install(&mut w.sim, &w.net);
+    w.sim.run_until(t_cut + Nanos::from_micros(1));
+
+    // Phase 3: the live trio executes three more checkpoint intervals,
+    // then the partition holds long enough for the reliability layer to
+    // give up on the unreachable peer — the queue pairs / streams break
+    // after retry exhaustion and the holding pens shed the backlog. This
+    // is what makes the scenario a true long outage: on heal, replay
+    // cannot resurrect the missed instances.
+    submit_sequentially(&mut w, 3 * interval, 3);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(100));
+    assert_eq!(laggard.last_executed(), 3, "partitioned replica is frozen");
+    for r in [&w.replicas[0], &w.replicas[1], &w.replicas[3]] {
+        assert!(
+            r.low_mark() >= laggard.last_executed() + 2 * interval,
+            "stable checkpoint must clear the laggard's watermark window \
+             (low_mark {} vs laggard at {})",
+            r.low_mark(),
+            laggard.last_executed()
+        );
+    }
+
+    // Phase 4: heal and give the re-dial backoff (64 ms cap) time to
+    // rebuild the mesh.
+    let t_heal = w.sim.now() + Nanos::from_micros(10);
+    let mut heal = ChaosSchedule::new();
+    for &h in &w.hosts {
+        if h != laggard_host {
+            heal.push(
+                t_heal,
+                ChaosAction::Heal {
+                    a: laggard_host,
+                    b: h,
+                },
+            );
+        }
+    }
+    heal.install(&mut w.sim, &w.net);
+    w.sim.run_until(t_heal + Nanos::from_millis(150));
+
+    // Phase 5: new workload. The requests reach the laggard too; its
+    // stalled-request timers trigger catch-up, whose unservable answers
+    // carry checkpoint attestations that steer it into state transfer;
+    // the grace timer, the transfer itself and the per-instance tail all
+    // run on the 40 ms protocol timeout.
+    let total = 3 + 3 * interval;
+    submit_sequentially(&mut w, 3, total);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(400));
+
+    let stats = laggard.stats();
+    assert!(
+        stats.state_transfers_started >= 1,
+        "laggard must have entered state transfer"
+    );
+    assert!(
+        stats.state_transfers_completed >= 1,
+        "laggard must have completed a state transfer"
+    );
+    if responder_fault != ByzantineMode::Honest {
+        assert!(
+            stats.state_transfer_retries >= 1,
+            "the Byzantine responder is the first fetch target; the digest \
+             checks must have rejected it and rotated peers"
+        );
+    }
+
+    assert_total_order(&w.replicas);
+    assert_eq!(
+        laggard.last_executed(),
+        w.replicas[0].last_executed(),
+        "recovered replica must track the head of the log"
+    );
+    let digests: Vec<_> = w
+        .replicas
+        .iter()
+        .map(|r| r.with_service(|s| s.state_digest()))
+        .collect();
+    for d in &digests[1..] {
+        assert_eq!(
+            *d, digests[0],
+            "every replica must hold byte-identical application state"
+        );
+    }
+    w.net.metrics().snapshot().to_json()
+}
+
+#[test]
+fn partitioned_replica_rejoins_via_state_transfer_on_rubin_stack() {
+    let json = state_transfer_scenario(StackKind::Rubin, ByzantineMode::Honest, chaos_seed());
+    // On the RDMA stack the chunks move by one-sided READs.
+    assert!(json.contains("state_transfer_reads"));
+    assert!(json.contains("\"reptor.r2.state_transfer_completed\":"));
+}
+
+#[test]
+fn partitioned_replica_rejoins_via_state_transfer_on_nio_stack() {
+    let json = state_transfer_scenario(StackKind::Nio, ByzantineMode::Honest, chaos_seed());
+    assert!(json.contains("\"reptor.r2.state_transfer_completed\":"));
+}
+
+#[test]
+fn bogus_state_chunks_responder_is_detected_and_routed_around() {
+    state_transfer_scenario(
+        StackKind::Rubin,
+        ByzantineMode::BogusStateChunks,
+        chaos_seed(),
+    );
+}
+
+#[test]
+fn bogus_state_chunks_responder_is_routed_around_on_nio_stack() {
+    state_transfer_scenario(
+        StackKind::Nio,
+        ByzantineMode::BogusStateChunks,
+        chaos_seed(),
+    );
+}
+
+#[test]
+fn stale_checkpoint_responder_is_detected_and_routed_around() {
+    state_transfer_scenario(
+        StackKind::Rubin,
+        ByzantineMode::StaleCheckpoint,
+        chaos_seed(),
+    );
+}
+
+/// A full state transfer — partition, watermark lag, manifest and chunk
+/// fetches, Byzantine route-around machinery armed, rejoin — replays
+/// byte-identically from a fixed seed.
+#[test]
+fn fixed_seed_state_transfer_replays_byte_identically() {
+    let a = state_transfer_scenario(StackKind::Rubin, ByzantineMode::Honest, chaos_seed());
+    let b = state_transfer_scenario(StackKind::Rubin, ByzantineMode::Honest, chaos_seed());
+    assert_eq!(a, b, "same seed must give a byte-identical snapshot");
+}
+
+/// Cold restart: a backup's host loses power, the group executes far past
+/// its window, and the host comes back with the replica's volatile state
+/// gone. `Replica::restart` rebuilds it from a fresh service instance;
+/// rejoin probes steer it through catch-up attestations into a state
+/// transfer and back into live agreement.
+fn restart_scenario(kind: StackKind, seed: u64) {
+    let cfg = ReptorConfig {
+        checkpoint_interval: 4,
+        ..ReptorConfig::small()
+    };
+    let interval = cfg.checkpoint_interval;
+    let mut w = build_cfg(kind, seed, cfg);
+    let victim = w.replicas[1].clone();
+
+    // Healthy prefix.
+    submit_sequentially(&mut w, 3, 0);
+    w.sim.run_until_idle();
+    assert_eq!(victim.last_executed(), 3);
+
+    // Power off the backup's host (scripted, replayable).
+    let victim_host = w.hosts[1];
+    let t_crash = w.sim.now() + Nanos::from_micros(100);
+    ChaosSchedule::new()
+        .at(t_crash, ChaosAction::CrashHost { host: victim_host })
+        .install(&mut w.sim, &w.net);
+    let v = victim.clone();
+    w.sim.schedule_at(
+        t_crash,
+        Box::new(move |_sim| {
+            v.set_byzantine(ByzantineMode::Crash);
+        }),
+    );
+    w.sim.run_until(t_crash + Nanos::from_micros(1));
+
+    // The live trio executes three checkpoint intervals, and the outage
+    // lasts long enough for retry exhaustion to break the channels to the
+    // dead host: the victim's history is truncated everywhere and the
+    // holding pens shed the backlog.
+    submit_sequentially(&mut w, 3 * interval, 3);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(100));
+    for r in [&w.replicas[0], &w.replicas[2], &w.replicas[3]] {
+        assert!(r.low_mark() >= 2 * interval);
+    }
+
+    // Power back on; the replica restarts cold — fresh service, empty
+    // logs — and must rebuild itself from the group's checkpoint.
+    let t_back = w.sim.now() + Nanos::from_millis(1);
+    ChaosSchedule::new()
+        .at(t_back, ChaosAction::RestartHost { host: victim_host })
+        .install(&mut w.sim, &w.net);
+    let v = victim.clone();
+    w.sim.schedule_at(
+        t_back,
+        Box::new(move |sim| {
+            v.restart(sim, Box::new(CounterService::default()));
+        }),
+    );
+    w.sim.run_until(t_back + Nanos::from_millis(400));
+
+    assert!(
+        victim.stats().state_transfers_completed >= 1,
+        "cold-restarted replica must have rebuilt itself by state transfer"
+    );
+
+    // The rejoined replica executes new requests with everyone else.
+    let total = 3 + 3 * interval;
+    submit_sequentially(&mut w, 3, total);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(100));
+    assert_total_order(&w.replicas);
+    assert_eq!(victim.last_executed(), w.replicas[0].last_executed());
+    let digests: Vec<_> = w
+        .replicas
+        .iter()
+        .map(|r| r.with_service(|s| s.state_digest()))
+        .collect();
+    for d in &digests[1..] {
+        assert_eq!(*d, digests[0], "restarted replica state must converge");
+    }
+}
+
+#[test]
+fn crashed_backup_restarts_cold_and_rejoins_via_state_transfer_on_rubin_stack() {
+    restart_scenario(StackKind::Rubin, chaos_seed());
+}
+
+#[test]
+fn crashed_backup_restarts_cold_and_rejoins_via_state_transfer_on_nio_stack() {
+    restart_scenario(StackKind::Nio, chaos_seed());
 }

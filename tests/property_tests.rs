@@ -134,13 +134,22 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     result
                 }
             ),
-        (any::<u64>(), arb_digest(), any::<u32>()).prop_map(|(seq, state_digest, replica)| {
-            Message::Checkpoint {
-                seq,
-                state_digest,
-                replica,
-            }
-        }),
+        (
+            any::<u64>(),
+            arb_digest(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>()
+        )
+            .prop_map(|(seq, state_digest, replica, store_rkey, store_len)| {
+                Message::Checkpoint {
+                    seq,
+                    state_digest,
+                    replica,
+                    store_rkey,
+                    store_len,
+                }
+            }),
         (
             any::<u64>(),
             any::<u64>(),
