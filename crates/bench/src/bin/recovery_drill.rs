@@ -1,0 +1,41 @@
+//! Proactive-recovery epoch drill: one full rotation — epoch roll,
+//! memory-region rotation, four staggered replica refreshes — over the
+//! RUBIN stack under closed-loop client load, printing the recovery
+//! counters the report sidecar records for CI.
+//!
+//! Usage: `cargo run --release -p bench --bin recovery_drill [seed]`
+
+use bench::replicated;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB8u64);
+    let snap = replicated::recovery_epoch_drill_instrumented(seed);
+
+    println!("# Proactive recovery epoch drill (RUBIN stack, seed {seed})");
+    println!("\n## Scheduler");
+    for (key, value) in &snap.counters {
+        if key.starts_with("recovery.") {
+            println!("{key:<48} {value}");
+        }
+    }
+    println!("\n## Replicas");
+    for (key, value) in &snap.counters {
+        let fenced = key.ends_with(".epoch_rolls")
+            || key.ends_with(".mr_rotations")
+            || key.ends_with(".stale_epoch_rejected")
+            || key.ends_with(".state_transfer_completed")
+            || key.ends_with(".state_transfer_reads");
+        if key.starts_with("reptor.") && fenced {
+            println!("{key:<48} {value}");
+        }
+    }
+    println!("\n## RNIC fence");
+    println!(
+        "{:<48} {}",
+        "stale_rkey_denied (all QPs)",
+        snap.total("stale_rkey_denied")
+    );
+}

@@ -11,8 +11,8 @@ use std::rc::Rc;
 
 use rdma_verbs::RnicModel;
 use reptor::{
-    Client, EchoService, NioTransport, Replica, ReptorConfig, RubinTransport, SimTransport,
-    Transport, DOMAIN_SECRET,
+    Client, EchoService, NioTransport, RecoveryConfig, RecoveryScheduler, Replica, ReptorConfig,
+    RubinTransport, SimTransport, Transport, DOMAIN_SECRET,
 };
 use rubin::RubinConfig;
 use simnet::{throughput_ops_per_sec, CoreId, LatencyRecorder, Series, TestBed};
@@ -347,6 +347,106 @@ pub fn state_transfer_instrumented(seed: u64) -> simnet::MetricsSnapshot {
         replicas[2].stats().state_transfers_completed >= 1,
         "recovery drill must complete a state transfer"
     );
+    net.metrics().snapshot()
+}
+
+/// Runs the proactive-recovery epoch drill over the RUBIN stack and
+/// returns the run's cross-layer metrics snapshot: a [`RecoveryScheduler`]
+/// drives one full epoch rotation — epoch roll, per-replica memory-region
+/// re-registration, four staggered restart + state-transfer refreshes —
+/// while a closed-loop client keeps the group under load. The report
+/// sidecar embeds this snapshot so the bench artifact records the
+/// `proactive_*` counters (epoch_rolls/refreshes/rotations) plus the
+/// `mr_rotations` and `epoch_rolls` replica counters for every CI run.
+pub fn recovery_epoch_drill_instrumented(seed: u64) -> simnet::MetricsSnapshot {
+    let cfg = ReptorConfig {
+        checkpoint_interval: 4,
+        ..ReptorConfig::small()
+    };
+    let n = cfg.n;
+    let (mut sim, net, hosts) = TestBed::cluster(seed, n + 1);
+    let nodes: Vec<(u32, simnet::HostId, CoreId)> = hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (i as u32, h, CoreId(0)))
+        .collect();
+    let transports = RubinTransport::build_group(
+        &mut sim,
+        &net,
+        &nodes,
+        RnicModel::mt27520(),
+        RubinConfig::paper(),
+    );
+    sim.run_until_idle();
+    let transports: Vec<Rc<dyn Transport>> = transports
+        .into_iter()
+        .map(|t| Rc::new(t) as Rc<dyn Transport>)
+        .collect();
+
+    let replicas: Vec<Replica> = (0..n)
+        .map(|i| {
+            Replica::new(
+                i as u32,
+                cfg.clone(),
+                DOMAIN_SECRET,
+                transports[i].clone(),
+                &net,
+                hosts[i],
+                Box::new(EchoService::default()),
+            )
+        })
+        .collect();
+    let client = Client::new(n as u32, cfg.clone(), DOMAIN_SECRET, transports[n].clone());
+
+    // Warm up past the first checkpoint so refreshed replicas have a
+    // certified store to rebuild from.
+    let mut guard = 0u64;
+    while client.stats().completed < 6 {
+        if client.pending_count() == 0 {
+            client.submit(&mut sim, vec![7u8; 64]);
+        }
+        assert!(sim.step(), "recovery drill went idle in warm-up");
+        guard += 1;
+        assert!(guard < 60_000_000, "recovery drill warm-up stalled");
+    }
+
+    let sched = RecoveryScheduler::new(
+        replicas.clone(),
+        RecoveryConfig {
+            period: simnet::Nanos::from_millis(30),
+            poll: simnet::Nanos::from_millis(2),
+            refresh_deadline: simnet::Nanos::from_millis(400),
+        },
+        net.metrics(),
+        Box::new(|| Box::new(EchoService::default())),
+    );
+    sched.start(&mut sim, 1);
+
+    // Closed-loop load straight through the rotation: the stagger bound
+    // keeps the quorum intact, so requests keep completing while each
+    // replica in turn is torn down and rebuilt.
+    while sched.stats().rotations_completed < 1 {
+        if client.pending_count() == 0 {
+            client.submit(&mut sim, vec![7u8; 64]);
+        }
+        assert!(sim.step(), "recovery drill went idle mid-rotation");
+        guard += 1;
+        assert!(guard < 60_000_000, "recovery drill rotation stalled");
+    }
+    sim.run_until(sim.now() + simnet::Nanos::from_millis(100));
+
+    let stats = sched.stats();
+    assert_eq!(
+        stats.refreshes_completed, n as u64,
+        "every replica must refresh and rejoin in the drill ({stats:?})"
+    );
+    for r in &replicas {
+        assert!(
+            r.stats().state_transfers_completed >= 1,
+            "drilled replica {} must have rebuilt by state transfer",
+            r.id()
+        );
+    }
     net.metrics().snapshot()
 }
 

@@ -347,15 +347,66 @@ mod tests {
     #[test]
     fn invalidated_stag_denies_access() {
         let mut p = connected_pair();
-        let target = p
-            .dev_b
-            .reg_mr(&p.pd_b, 128, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+        let target = p.dev_b.reg_mr(
+            &p.pd_b,
+            128,
+            Access::LOCAL_WRITE | Access::REMOTE_WRITE | Access::REMOTE_READ,
+        );
         target.invalidate();
         let src = p.dev_a.reg_mr(&p.pd_a, 16, Access::NONE);
         let wr = SendWr::write(WrId(11), Sge::whole(src), target.rkey(), 0).signaled();
         p.qp_a.post_send(&mut p.tb.sim, wr).unwrap();
         p.tb.sim.run_until_idle();
         assert_eq!(p.scq_a.poll(8)[0].status, WcStatus::RemoteAccessError);
+        // The revoked-but-known rkey is the proactive-recovery fence: it is
+        // counted separately from a never-registered rkey.
+        let metrics = p.tb.net.metrics();
+        assert_eq!(metrics.total("stale_rkey_denied"), 1);
+
+        // A one-sided READ with the same stale rkey is fenced identically
+        // (the state-transfer fast path after an epoch roll). The QP went
+        // into error on the failed WRITE, so use a fresh pair.
+        let mut p = connected_pair();
+        let remote = p.dev_b.reg_mr(&p.pd_b, 128, Access::REMOTE_READ);
+        remote.invalidate();
+        let local = p.dev_a.reg_mr(&p.pd_a, 64, Access::LOCAL_WRITE);
+        let wr = SendWr::read(WrId(12), Sge::whole(local), remote.rkey(), 0).signaled();
+        p.qp_a.post_send(&mut p.tb.sim, wr).unwrap();
+        p.tb.sim.run_until_idle();
+        assert_eq!(p.scq_a.poll(8)[0].status, WcStatus::RemoteAccessError);
+        assert_eq!(p.tb.net.metrics().total("stale_rkey_denied"), 1);
+    }
+
+    /// An in-flight one-sided READ racing the MR invalidation: the rkey is
+    /// valid when the requester posts the READ, and the region is revoked
+    /// while the request packet is still on the wire. The responder-side
+    /// permission check must fence it (deny + count) — permission is
+    /// checked at access time, not at post time.
+    #[test]
+    fn in_flight_read_racing_invalidation_is_fenced() {
+        let mut p = connected_pair();
+        let remote = p
+            .dev_b
+            .reg_mr(&p.pd_b, 256, Access::LOCAL_WRITE | Access::REMOTE_READ);
+        remote.write(0, &[0x5A; 256]).unwrap();
+        let local = p.dev_a.reg_mr(&p.pd_a, 256, Access::LOCAL_WRITE);
+        let wr = SendWr::read(WrId(13), Sge::whole(local.clone()), remote.rkey(), 0).signaled();
+        p.qp_a.post_send(&mut p.tb.sim, wr).unwrap();
+        // Revoke shortly after posting — long before the ~µs propagation
+        // delay delivers the request to the responder RNIC.
+        let mr = remote.clone();
+        p.tb.sim
+            .schedule_in(Nanos::from_nanos(10), Box::new(move |_| mr.invalidate()));
+        p.tb.sim.run_until_idle();
+        let tx = p.scq_a.poll(8);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].status, WcStatus::RemoteAccessError);
+        assert_eq!(p.tb.net.metrics().total("stale_rkey_denied"), 1);
+        assert_eq!(
+            local.read(0, 256).unwrap(),
+            vec![0u8; 256],
+            "no bytes may land from a fenced READ"
+        );
     }
 
     #[test]

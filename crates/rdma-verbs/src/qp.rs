@@ -1024,7 +1024,10 @@ impl QueuePair {
         );
         let target = match target {
             Ok(mr) => mr,
-            Err(_) => {
+            Err(e) => {
+                if matches!(e, VerbsError::Deregistered) {
+                    self.inner.borrow().bump("stale_rkey_denied", 1);
+                }
                 self.send_nak(sim, seq, WcStatus::RemoteAccessError);
                 return;
             }
@@ -1118,7 +1121,13 @@ impl QueuePair {
                 .validate_remote(crate::types::RKey(rkey), offset, len, Access::REMOTE_READ);
         let target = match target {
             Ok(mr) => mr,
-            Err(_) => {
+            Err(e) => {
+                // A revoked-but-known rkey is the proactive-recovery fence
+                // firing: the region was invalidated on an epoch roll and
+                // the requester is reading with a stale offer.
+                if matches!(e, VerbsError::Deregistered) {
+                    self.inner.borrow().bump("stale_rkey_denied", 1);
+                }
                 self.send_nak(sim, seq, WcStatus::RemoteAccessError);
                 return;
             }

@@ -44,6 +44,7 @@ mod executor;
 mod messages;
 mod nio_transport;
 mod pipeline;
+mod recovery;
 mod replica;
 mod rubin_transport;
 mod state;
@@ -60,6 +61,7 @@ pub use messages::{
 };
 pub use nio_transport::NioTransport;
 pub use pipeline::PipelineStats;
+pub use recovery::{RecoveryConfig, RecoveryScheduler, RecoveryStats, ServiceFactory};
 pub use replica::{ByzantineMode, Replica, ReplicaStats};
 pub use rubin_transport::RubinTransport;
 pub use state::{CounterService, EchoService, KvOp, KvService, StateMachine};
@@ -557,6 +559,7 @@ mod tests {
                     replica: i as u32 + 1,
                     store_rkey: 0,
                     store_len: 0,
+                    store_epoch: 0,
                 },
             );
         }

@@ -141,6 +141,10 @@ pub enum Message {
         store_rkey: u32,
         /// Byte length of the registered store region (zero with no offer).
         store_len: u64,
+        /// Recovery epoch the store region was registered under. A proactive
+        /// epoch roll re-registers the region and invalidates the previous
+        /// one, so an rkey tagged with a stale epoch is fenced by the RNIC.
+        store_epoch: u64,
     },
     /// Vote to move to a new view after a suspected faulty primary.
     ViewChange {
@@ -200,6 +204,10 @@ pub enum Message {
         chunk: u32,
         /// Requesting replica.
         replica: ReplicaId,
+        /// Recovery epoch of the offer being fetched; the responder rejects
+        /// requests carrying a stale epoch (the message-path mirror of the
+        /// RNIC rkey fence).
+        epoch: u64,
     },
     /// One piece of a checkpoint store, served to a fetching replica. The
     /// fetcher verifies `data` against the digest recorded in the
@@ -306,6 +314,7 @@ impl Message {
                 replica,
                 store_rkey,
                 store_len,
+                store_epoch,
             } => {
                 w.u8(5);
                 w.u64(*seq);
@@ -313,6 +322,7 @@ impl Message {
                 w.u32(*replica);
                 w.u32(*store_rkey);
                 w.u64(*store_len);
+                w.u64(*store_epoch);
             }
             Message::ViewChange {
                 new_view,
@@ -381,11 +391,13 @@ impl Message {
                 seq,
                 chunk,
                 replica,
+                epoch,
             } => {
                 w.u8(10);
                 w.u64(*seq);
                 w.u32(*chunk);
                 w.u32(*replica);
+                w.u64(*epoch);
             }
             Message::StateChunk {
                 seq,
@@ -461,6 +473,7 @@ impl Message {
                 replica: r.u32()?,
                 store_rkey: r.u32()?,
                 store_len: r.u64()?,
+                store_epoch: r.u64()?,
             },
             6 => {
                 let new_view = r.u64()?;
@@ -537,6 +550,7 @@ impl Message {
                 seq: r.u64()?,
                 chunk: r.u32()?,
                 replica: r.u32()?,
+                epoch: r.u64()?,
             },
             11 => Message::StateChunk {
                 seq: r.u64()?,
@@ -701,6 +715,7 @@ mod tests {
                 replica: 1,
                 store_rkey: 77,
                 store_len: 4096,
+                store_epoch: 3,
             },
             Message::ViewChange {
                 new_view: 2,
@@ -734,6 +749,7 @@ mod tests {
                 seq: 64,
                 chunk: MANIFEST_CHUNK,
                 replica: 2,
+                epoch: 1,
             },
             Message::StateChunk {
                 seq: 64,
@@ -806,6 +822,7 @@ mod tests {
                 seq: 640,
                 chunk: 0,
                 replica: 1,
+                epoch: 0,
             },
             Message::StateChunk {
                 seq: 640,

@@ -62,6 +62,13 @@ pub enum ByzantineMode {
     /// bytes and attests stale checkpoints during catch-up; fetchers detect
     /// the manifest root mismatch and route around.
     StaleCheckpoint,
+    /// After a recovery-epoch roll, keeps advertising the rkey of its
+    /// *previous* epoch's (invalidated) store region, re-tagged with the
+    /// current epoch so the advisory epoch field looks fresh. The lie is
+    /// undetectable by digest checks — the attested root is honest — and
+    /// is caught only by the responder RNIC refusing the revoked rkey
+    /// (`stale_rkey_denied`); fetchers route around on the failed READ.
+    StaleEpochOffer,
 }
 
 /// Per-replica counters used by tests and benchmarks.
@@ -103,6 +110,11 @@ pub struct ReplicaStats {
     pub bad_mac_dropped: u64,
     /// Messages dropped as malformed.
     pub malformed_dropped: u64,
+    /// State requests rejected for carrying a stale recovery epoch (the
+    /// message-path mirror of the RNIC rkey fence).
+    pub stale_epoch_rejected: u64,
+    /// Recovery-epoch rolls applied (MR rotations).
+    pub epoch_rolls: u64,
 }
 
 struct ReplicaInner {
@@ -139,6 +151,13 @@ struct ReplicaInner {
     stores: BTreeMap<SeqNum, (CheckpointStore, StateOffer)>,
     /// In-progress fetch-side state transfer, if any.
     transfer: Option<Transfer>,
+    /// Current proactive-recovery epoch. Advanced by
+    /// [`Replica::roll_recovery_epoch`]; every store offer advertised and
+    /// every `StateRequest` served is tagged/checked against it.
+    recovery_epoch: u64,
+    /// A `StaleEpochOffer` responder's recorded previous-epoch offer (the
+    /// rkey/len of the region invalidated at the last roll).
+    stale_offer: Option<StateOffer>,
     /// A checkpoint certified by `2f + 1` votes that this replica has not
     /// executed up to yet: stabilization is deferred until execution (or a
     /// state transfer) reaches it.
@@ -233,6 +252,8 @@ impl Replica {
                 own_checkpoints: BTreeMap::new(),
                 stores: BTreeMap::new(),
                 transfer: None,
+                recovery_epoch: 0,
+                stale_offer: None,
                 pending_stable: None,
                 vc_votes: BTreeMap::new(),
                 catch_up_votes: BTreeMap::new(),
@@ -316,6 +337,121 @@ impl Replica {
         self.inner.borrow().stats
     }
 
+    /// The recovery epoch this replica currently tags its store offers
+    /// with (and checks inbound `StateRequest`s against).
+    pub fn recovery_epoch(&self) -> u64 {
+        self.inner.borrow().recovery_epoch
+    }
+
+    /// True while a checkpoint state transfer is in flight. The recovery
+    /// scheduler polls this to decide when a refreshed replica has fully
+    /// rejoined and the rotation can move on to the next one.
+    pub fn transfer_in_progress(&self) -> bool {
+        self.inner.borrow().transfer.is_some()
+    }
+
+    /// Advances this replica's recovery epoch to `epoch` (monotone: stale
+    /// or duplicate rolls are ignored). Every registered checkpoint-store
+    /// region is re-registered under the new epoch and the previous
+    /// region released — release invalidates the backing memory region, so
+    /// any rkey still circulating from the old epoch is refused by the
+    /// responder-side RNIC permission check rather than by a digest
+    /// comparison. Fresh votes re-attesting the retained store roots are
+    /// broadcast so peers (in particular any in-flight fetcher) learn the
+    /// re-registered offers.
+    pub fn roll_recovery_epoch(&self, sim: &mut Simulator, epoch: u64) {
+        let (to_roll, transport) = {
+            let mut inner = self.inner.borrow_mut();
+            if epoch <= inner.recovery_epoch {
+                return;
+            }
+            inner.recovery_epoch = epoch;
+            inner.stats.epoch_rolls += 1;
+            inner.bump("epoch_rolls", 1);
+            inner.metrics.trace(
+                sim.now(),
+                "reptor",
+                format!("{}recovery_epoch_roll epoch={epoch}", inner.metrics_prefix),
+            );
+            if inner.byzantine == ByzantineMode::Crash {
+                return;
+            }
+            // Every store's advertised offer is re-stamped with the new
+            // epoch; RDMA-readable stores additionally move to a fresh
+            // memory region so the old rkey is revoked at the NIC. Stacks
+            // without one-sided READs (no registered region) still roll
+            // the epoch so stale `StateRequest`s die at the responder.
+            let to_roll: Vec<(SeqNum, Option<Vec<u8>>)> = inner
+                .stores
+                .iter()
+                .map(|(&s, (store, offer))| (s, offer.readable().then(|| store.bytes().to_vec())))
+                .collect();
+            (to_roll, inner.transport.clone())
+        };
+        let mut msgs = Vec::new();
+        let mut released = Vec::new();
+        for (seq, bytes) in to_roll {
+            let minted = bytes
+                .as_ref()
+                .and_then(|b| transport.register_state_region(sim, b));
+            let msg = {
+                let mut inner = self.inner.borrow_mut();
+                let me = inner.id;
+                let Some(entry) = inner.stores.get_mut(&seq) else {
+                    // The store was garbage-collected while re-registering;
+                    // drop the fresh region instead of leaking it.
+                    if let Some(o) = minted {
+                        drop(inner);
+                        transport.release_state_region(&o);
+                    }
+                    continue;
+                };
+                let old = entry.1;
+                let mut offer = minted.unwrap_or(old);
+                offer.epoch = epoch;
+                entry.1 = offer;
+                let rotated = offer.rkey != old.rkey;
+                let root = entry.0.root();
+                if rotated && inner.byzantine == ByzantineMode::StaleEpochOffer {
+                    // Remember the revoked offer: this is the rkey the
+                    // Byzantine replica will keep advertising.
+                    inner.stale_offer = Some(old);
+                }
+                let advertised = inner.advertised_offer(offer);
+                if let Some(votes) = inner
+                    .checkpoint_votes
+                    .get_mut(&seq)
+                    .and_then(|m| m.get_mut(&root))
+                {
+                    votes.insert(me, advertised);
+                }
+                if rotated {
+                    released.push(old);
+                }
+                Message::Checkpoint {
+                    seq,
+                    state_digest: root,
+                    replica: me,
+                    store_rkey: advertised.rkey,
+                    store_len: advertised.len,
+                    store_epoch: advertised.epoch,
+                }
+            };
+            msgs.push(msg);
+        }
+        if !released.is_empty() {
+            self.inner
+                .borrow_mut()
+                .bump("mr_rotations", released.len() as u64);
+        }
+        for old in &released {
+            transport.release_state_region(old);
+        }
+        for msg in msgs {
+            self.broadcast_to_replicas(sim, msg);
+        }
+    }
+
     /// Runs `f` against the replica's service (state inspection in tests).
     pub fn with_service<R>(&self, f: impl FnOnce(&dyn StateMachine) -> R) -> R {
         f(self.inner.borrow().service.as_ref())
@@ -365,6 +501,11 @@ impl Replica {
             inner.voted_view = 0;
             inner.vc_attempts = 0;
             inner.transfer = None;
+            // The recovery epoch survives a restart: it is local wall-clock
+            // bookkeeping, not replicated state, and the scheduler that
+            // restarted this replica expects its offers to stay
+            // current-epoch-tagged.
+            inner.stale_offer = None;
             inner.pending_stable = None;
             inner.arrivals.clear();
             let released: Vec<StateOffer> = inner
@@ -458,6 +599,7 @@ impl Replica {
                 replica,
                 store_rkey,
                 store_len,
+                store_epoch,
             } => self.handle_checkpoint(
                 sim,
                 seq,
@@ -466,6 +608,7 @@ impl Replica {
                 StateOffer {
                     rkey: store_rkey,
                     len: store_len,
+                    epoch: store_epoch,
                 },
             ),
             Message::ViewChange {
@@ -494,7 +637,8 @@ impl Replica {
                 seq,
                 chunk,
                 replica,
-            } => self.handle_state_request(sim, seq, chunk, replica),
+                epoch,
+            } => self.handle_state_request(sim, seq, chunk, replica, epoch),
             Message::StateChunk {
                 seq,
                 chunk,
@@ -1059,24 +1203,28 @@ impl Replica {
             inner.stores.insert(seq, (store, StateOffer::default()));
             (reg_bytes, inner.transport.clone())
         };
-        let offer = transport
+        let mut offer = transport
             .register_state_region(sim, &reg_bytes)
             .unwrap_or_default();
         let (msg, root, released) = {
             let mut inner = self.inner.borrow_mut();
+            // Tag the freshly registered region with the current recovery
+            // epoch; fetchers echo the tag and responders reject mismatches.
+            offer.epoch = inner.recovery_epoch;
             let root = {
                 let entry = inner.stores.get_mut(&seq).expect("just inserted");
                 entry.1 = offer;
                 entry.0.root()
             };
             let me = inner.id;
+            let advertised = inner.advertised_offer(offer);
             inner
                 .checkpoint_votes
                 .entry(seq)
                 .or_default()
                 .entry(root)
                 .or_default()
-                .insert(me, offer);
+                .insert(me, advertised);
             // Retain the latest two stores; release everything older so the
             // registered regions do not accumulate.
             let mut released = Vec::new();
@@ -1091,8 +1239,9 @@ impl Replica {
                     seq,
                     state_digest: root,
                     replica: me,
-                    store_rkey: offer.rkey,
-                    store_len: offer.len,
+                    store_rkey: advertised.rkey,
+                    store_len: advertised.len,
+                    store_epoch: advertised.epoch,
                 },
                 root,
                 released,
@@ -1125,6 +1274,17 @@ impl Replica {
                 .entry(digest)
                 .or_default()
                 .insert(replica, offer);
+            // A re-broadcast vote after an epoch roll carries the
+            // responder's *fresh* offer; refresh it into any in-flight
+            // transfer for the same certificate so the fetcher does not
+            // keep probing an rkey the roll just revoked.
+            if let Some(t) = inner.transfer.as_mut() {
+                if t.target == seq && t.root == digest {
+                    if let Some(p) = t.peers.iter_mut().find(|(id, _)| *id == replica) {
+                        p.1 = offer;
+                    }
+                }
+            }
         }
         self.maybe_stable_checkpoint(sim, seq, digest);
     }
@@ -1312,9 +1472,9 @@ impl Replica {
     /// losses and silent responders.
     fn drive_transfer(&self, sim: &mut Simulator) {
         enum Step {
-            Manifest(ReplicaId, SeqNum),
+            Manifest(ReplicaId, SeqNum, u64),
             Read(ReplicaId, StateOffer, SeqNum, u32, usize),
-            Request(ReplicaId, SeqNum, u32),
+            Request(ReplicaId, SeqNum, u32, u64),
             Done,
         }
         let me = self.id();
@@ -1323,14 +1483,14 @@ impl Replica {
             let Some(t) = &inner.transfer else { return };
             let (peer, offer) = t.current_peer();
             match &t.manifest {
-                None => Step::Manifest(peer, t.target),
+                None => Step::Manifest(peer, t.target, offer.epoch),
                 Some(manifest) => match t.next_missing() {
                     Some(idx) => {
                         let len = manifest.chunk_len(idx);
                         if offer.readable() {
                             Step::Read(peer, offer, t.target, idx, len)
                         } else {
-                            Step::Request(peer, t.target, idx)
+                            Step::Request(peer, t.target, idx, offer.epoch)
                         }
                     }
                     None => Step::Done,
@@ -1338,21 +1498,23 @@ impl Replica {
             }
         };
         match step {
-            Step::Manifest(peer, seq) => self.send_msg(
+            Step::Manifest(peer, seq, epoch) => self.send_msg(
                 sim,
                 Message::StateRequest {
                     seq,
                     chunk: MANIFEST_CHUNK,
                     replica: me,
+                    epoch,
                 },
                 &[peer],
             ),
-            Step::Request(peer, seq, chunk) => self.send_msg(
+            Step::Request(peer, seq, chunk, epoch) => self.send_msg(
                 sim,
                 Message::StateRequest {
                     seq,
                     chunk,
                     replica: me,
+                    epoch,
                 },
                 &[peer],
             ),
@@ -1378,6 +1540,7 @@ impl Replica {
                             seq,
                             chunk: idx,
                             replica: me,
+                            epoch: offer.epoch,
                         },
                         &[peer],
                     );
@@ -1445,10 +1608,19 @@ impl Replica {
         seq: SeqNum,
         chunk: u32,
         requester: ReplicaId,
+        epoch: u64,
     ) {
         let reply = {
-            let inner = self.inner.borrow();
+            let mut inner = self.inner.borrow_mut();
             if requester == inner.id || requester >= inner.cfg.n as u32 {
+                return;
+            }
+            // Message-path mirror of the RNIC rkey fence: a request tagged
+            // with a stale recovery epoch is refused outright. The fetcher's
+            // stall timer rotates it to a peer with a fresh offer.
+            if epoch != inner.recovery_epoch {
+                inner.stats.stale_epoch_rejected += 1;
+                inner.bump("stale_epoch_rejected", 1);
                 return;
             }
             // A StaleCheckpoint responder answers with its *oldest*
@@ -1645,12 +1817,20 @@ impl Replica {
     /// and checking for an `f + 1`-attested checkpoint to transfer
     /// towards, until the replica has rejoined or the probe budget runs
     /// out (a lone replica in an idle group has nothing to rejoin to).
+    ///
+    /// The probe period backs off exponentially with the same shape as the
+    /// transport reconnect policy (doubling, capped at `base << 5`): early
+    /// probes converge fast when peers are live, late ones stop flooding an
+    /// idle or partitioned group.
     fn arm_rejoin_probe(&self, sim: &mut Simulator, attempts: u32) {
         const MAX_PROBES: u32 = 32;
         if attempts >= MAX_PROBES {
             return;
         }
-        let timeout = self.inner.borrow().cfg.view_change_timeout;
+        let timeout = {
+            let base = self.inner.borrow().cfg.view_change_timeout;
+            rejoin_probe_delay(base, attempts)
+        };
         let replica = self.clone();
         sim.schedule_in(
             timeout,
@@ -1702,12 +1882,16 @@ impl Replica {
                     ByzantineMode::StaleCheckpoint => inner.stores.iter().next(),
                     _ => inner.stores.iter().next_back(),
                 };
-                pick.map(|(&s, (store, offer))| Message::Checkpoint {
-                    seq: s,
-                    state_digest: store.root(),
-                    replica: me,
-                    store_rkey: offer.rkey,
-                    store_len: offer.len,
+                pick.map(|(&s, (store, offer))| {
+                    let advertised = inner.advertised_offer(*offer);
+                    Message::Checkpoint {
+                        seq: s,
+                        state_digest: store.root(),
+                        replica: me,
+                        store_rkey: advertised.rkey,
+                        store_len: advertised.len,
+                        store_epoch: advertised.epoch,
+                    }
                 })
             } else {
                 None
@@ -2320,10 +2504,36 @@ impl ReplicaInner {
             .borrow_mut()
             .exec(sim.now(), core, work)
     }
+
+    /// The store offer this replica actually advertises in checkpoint
+    /// attestations. Honest replicas advertise the real (current-epoch)
+    /// offer; a [`ByzantineMode::StaleEpochOffer`] replica substitutes the
+    /// rkey of its previous, invalidated region re-tagged with the current
+    /// epoch — the advisory epoch field is attacker-controlled, so every
+    /// message-path check passes and only the responder RNIC refusing the
+    /// revoked rkey exposes the lie.
+    fn advertised_offer(&self, real: StateOffer) -> StateOffer {
+        match (self.byzantine, self.stale_offer) {
+            (ByzantineMode::StaleEpochOffer, Some(stale)) => StateOffer {
+                rkey: stale.rkey,
+                len: stale.len,
+                epoch: self.recovery_epoch,
+            },
+            _ => real,
+        }
+    }
 }
 
 fn batch_bytes(batch: &[Request]) -> usize {
     batch.iter().map(|r| r.payload.len() + 16).sum::<usize>()
+}
+
+/// Rejoin-probe backoff: doubles the probe period per attempt, capped at
+/// `base << 5` — the same schedule shape as the transport reconnect
+/// policy, so a restarted replica and its re-dialing channels converge on
+/// the same cadence instead of the probe flooding a still-down group.
+fn rejoin_probe_delay(base: Nanos, attempts: u32) -> Nanos {
+    base * (1u64 << attempts.min(5))
 }
 
 /// Byzantine store bytes: flips one byte in every chunk-sized slice, so
@@ -2406,5 +2616,22 @@ mod tests {
             1,
             "seq == high watermark + 1 must be rejected"
         );
+    }
+
+    #[test]
+    fn rejoin_probe_backoff_matches_reconnect_schedule() {
+        let base = Nanos::from_millis(40);
+        let delays: Vec<u64> = (0..8)
+            .map(|a| rejoin_probe_delay(base, a).as_nanos())
+            .collect();
+        assert_eq!(delays[0], base.as_nanos(), "first probe fires after base");
+        // Doubles per attempt up to the cap...
+        for (i, w) in delays.windows(2).take(5).enumerate() {
+            assert_eq!(w[1], w[0] * 2, "attempt {i} must double");
+        }
+        // ...then stays clamped at base << 5, the transport reconnect cap.
+        assert_eq!(delays[5], base.as_nanos() << 5);
+        assert_eq!(delays[6], delays[5], "cap holds past attempt 5");
+        assert_eq!(delays[7], delays[5], "cap holds past attempt 5");
     }
 }

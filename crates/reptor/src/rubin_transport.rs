@@ -697,6 +697,9 @@ impl Transport for RubinTransport {
         Some(StateOffer {
             rkey,
             len: bytes.len() as u64,
+            // The replica stamps its recovery epoch onto the offer; the
+            // transport only mints the region.
+            epoch: 0,
         })
     }
 

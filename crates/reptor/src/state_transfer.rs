@@ -38,12 +38,21 @@ pub const MAX_STORE_BYTES: u64 = 16 * 1024 * 1024;
 /// one-sided: the rkey of the registered memory region and its length.
 /// `rkey == 0` means the transport has no one-sided path and chunks must
 /// be fetched with `StateRequest` messages.
+///
+/// The `epoch` tags the offer with the recovery epoch it was registered
+/// under. On every proactive-recovery epoch roll the store region is
+/// re-registered and the previous epoch's region invalidated, so an offer
+/// carrying a past epoch names an rkey the responder's RNIC will refuse —
+/// the fence is enforced by the permission check, not by digest
+/// comparison.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StateOffer {
     /// Remote key of the registered store region (0 = message path only).
     pub rkey: u32,
     /// Length of the registered region in bytes.
     pub len: u64,
+    /// Recovery epoch the region was registered under.
+    pub epoch: u64,
 }
 
 impl StateOffer {
@@ -424,7 +433,14 @@ mod tests {
         let store = CheckpointStore::build(64, bytes.clone());
         let peers = vec![
             (0, StateOffer::default()),
-            (1, StateOffer { rkey: 9, len: 99 }),
+            (
+                1,
+                StateOffer {
+                    rkey: 9,
+                    len: 99,
+                    epoch: 0,
+                },
+            ),
             (3, StateOffer::default()),
         ];
         let mut t = Transfer::new(64, store.root(), peers, 2);

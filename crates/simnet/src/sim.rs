@@ -95,6 +95,27 @@ impl Simulator {
         self.queue.push(at, action)
     }
 
+    /// Schedules `action` to run every `period`, starting one period from
+    /// now, until it returns `false`. Each tick re-arms *after* the action
+    /// runs, so exactly one timer event is pending at a time (a recovery
+    /// scheduler or heartbeat cannot flood the queue). Returns the id of
+    /// the first tick; cancelling it stops the timer only before that tick
+    /// fires — afterwards, stopping is the action's job.
+    pub fn schedule_every<F>(&mut self, period: Nanos, action: F) -> EventId
+    where
+        F: FnMut(&mut Simulator) -> bool + 'static,
+    {
+        fn tick<F>(sim: &mut Simulator, period: Nanos, mut action: F)
+        where
+            F: FnMut(&mut Simulator) -> bool + 'static,
+        {
+            if action(sim) {
+                sim.schedule_in(period, Box::new(move |sim| tick(sim, period, action)));
+            }
+        }
+        self.schedule_in(period, Box::new(move |sim| tick(sim, period, action)))
+    }
+
     /// Cancels a previously scheduled event. Cancelling an event that has
     /// already run (or was already cancelled) is a no-op.
     pub fn cancel(&mut self, id: EventId) {
@@ -198,6 +219,33 @@ mod tests {
         let end = sim.run_until_idle();
         assert_eq!(*hits.borrow(), 2);
         assert_eq!(end.as_nanos(), 2);
+    }
+
+    #[test]
+    fn periodic_timer_ticks_until_stopped() {
+        let mut sim = Simulator::new(0);
+        let ticks: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(vec![]));
+        let t = ticks.clone();
+        sim.schedule_every(Nanos::from_nanos(10), move |sim| {
+            t.borrow_mut().push(sim.now().as_nanos());
+            t.borrow().len() < 4
+        });
+        sim.run_until_idle();
+        assert_eq!(*ticks.borrow(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn periodic_timer_first_tick_is_cancellable() {
+        let mut sim = Simulator::new(0);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        let id = sim.schedule_every(Nanos::from_nanos(10), move |_| {
+            *h.borrow_mut() += 1;
+            true
+        });
+        sim.cancel(id);
+        sim.run_until_idle();
+        assert_eq!(*hits.borrow(), 0);
     }
 
     #[test]

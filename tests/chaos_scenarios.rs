@@ -23,8 +23,8 @@ use std::rc::Rc;
 
 use rdma_verbs::RnicModel;
 use reptor::{
-    ByzantineMode, Client, CounterService, NioTransport, Replica, ReptorConfig, RubinTransport,
-    Transport, DOMAIN_SECRET,
+    ByzantineMode, Client, CounterService, NioTransport, RecoveryConfig, RecoveryScheduler,
+    Replica, ReptorConfig, RubinTransport, Transport, DOMAIN_SECRET,
 };
 use rubin::RubinConfig;
 use simnet::{ChaosAction, ChaosSchedule, CoreId, HostId, Nanos, Network, Simulator, TestBed};
@@ -736,4 +736,243 @@ fn crashed_backup_restarts_cold_and_rejoins_via_state_transfer_on_rubin_stack() 
 #[test]
 fn crashed_backup_restarts_cold_and_rejoins_via_state_transfer_on_nio_stack() {
     restart_scenario(StackKind::Nio, chaos_seed());
+}
+
+/// Proactive recovery colliding with a partition: a full epoch rotation
+/// starts while one replica is cut off from the rest of the group. The
+/// stagger bound means each live refresh takes exactly one more replica
+/// out, so the scheduler must march through the live members one at a
+/// time (each rejoins by state transfer from the two remaining peers),
+/// burn the refresh deadline on the unreachable victim instead of
+/// wedging, and complete the rotation. After the heal the abandoned
+/// replica — restarted cold into the partition — recovers through its
+/// own rejoin probes and converges.
+fn refresh_partition_collision_scenario(kind: StackKind, seed: u64) {
+    let cfg = ReptorConfig {
+        checkpoint_interval: 4,
+        ..ReptorConfig::small()
+    };
+    let mut w = build_cfg(kind, seed, cfg);
+
+    // Healthy prefix past the first checkpoint, so every replica holds a
+    // certified store a refreshed member can rebuild from.
+    submit_sequentially(&mut w, 6, 0);
+    w.sim.run_until_idle();
+
+    // Cut replica 2 off from every other host, client included.
+    let cut_host = w.hosts[2];
+    let t_cut = w.sim.now() + Nanos::from_micros(10);
+    let mut cut = ChaosSchedule::new();
+    for &h in &w.hosts {
+        if h != cut_host {
+            cut.push(t_cut, ChaosAction::Partition { a: cut_host, b: h });
+        }
+    }
+    cut.install(&mut w.sim, &w.net);
+    w.sim.run_until(t_cut + Nanos::from_micros(1));
+
+    // One full rotation, started into the partition.
+    let sched = RecoveryScheduler::new(
+        w.replicas.clone(),
+        RecoveryConfig {
+            period: Nanos::from_millis(10),
+            poll: Nanos::from_millis(2),
+            refresh_deadline: Nanos::from_millis(250),
+        },
+        w.net.metrics(),
+        Box::new(|| Box::new(CounterService::default())),
+    );
+    sched.start(&mut w.sim, 1);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(1500));
+
+    let stats = sched.stats();
+    assert_eq!(stats.rotations_completed, 1, "rotation must finish");
+    assert_eq!(
+        stats.refreshes_completed, 3,
+        "the live replicas refresh through the outage"
+    );
+    assert_eq!(
+        stats.refresh_timeouts, 1,
+        "the partitioned victim cannot rejoin and must be abandoned at \
+         the deadline instead of wedging the rotation"
+    );
+    for r in [&w.replicas[0], &w.replicas[1], &w.replicas[3]] {
+        assert_eq!(r.recovery_epoch(), 1, "replica {}", r.id());
+        assert!(
+            r.stats().state_transfers_completed >= 1,
+            "refreshed replica {} must have rebuilt by state transfer",
+            r.id()
+        );
+    }
+
+    // Heal; the abandoned replica was restarted cold into the partition,
+    // so its rejoin probes (exponential backoff) now find the group and
+    // steer it through catch-up into a state transfer.
+    let t_heal = w.sim.now() + Nanos::from_micros(10);
+    let mut heal = ChaosSchedule::new();
+    for &h in &w.hosts {
+        if h != cut_host {
+            heal.push(t_heal, ChaosAction::Heal { a: cut_host, b: h });
+        }
+    }
+    heal.install(&mut w.sim, &w.net);
+    w.sim.run_until(t_heal + Nanos::from_millis(150));
+
+    submit_sequentially(&mut w, 3, 6);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(2000));
+
+    let victim = &w.replicas[2];
+    assert!(
+        victim.stats().state_transfers_completed >= 1,
+        "healed victim must have rebuilt by state transfer"
+    );
+    assert_total_order(&w.replicas);
+    assert_eq!(victim.last_executed(), w.replicas[0].last_executed());
+    let digests: Vec<_> = w
+        .replicas
+        .iter()
+        .map(|r| r.with_service(|s| s.state_digest()))
+        .collect();
+    for d in &digests[1..] {
+        assert_eq!(*d, digests[0], "refreshed group state must converge");
+    }
+    let snap = w.net.metrics().snapshot();
+    assert_eq!(snap.total("proactive_rotations_completed"), 1);
+    assert_eq!(snap.total("proactive_refresh_timeouts"), 1);
+}
+
+#[test]
+fn proactive_refresh_collides_with_partition_on_rubin_stack() {
+    refresh_partition_collision_scenario(StackKind::Rubin, chaos_seed());
+}
+
+#[test]
+fn proactive_refresh_collides_with_partition_on_nio_stack() {
+    refresh_partition_collision_scenario(StackKind::Nio, chaos_seed());
+}
+
+/// A Byzantine responder advertising a stale-epoch rkey, on the RDMA
+/// stack. After the recovery-epoch roll re-registers every checkpoint
+/// store, replica 3 keeps advertising the *revoked* rkey — re-tagged
+/// with the current epoch, so nothing in the message path looks stale:
+/// its checkpoint votes certify the correct root, its epoch field passes
+/// the responder check, and it serves the manifest honestly. The lie is
+/// only caught where the paper puts the trust boundary: the responder's
+/// RNIC denies the one-sided READ against the invalidated registration
+/// (`stale_rkey_denied`), the fetcher sees the failed READ and rotates
+/// to the next attester. RNIC-fenced, not digest-detected.
+fn stale_epoch_offer_scenario(seed: u64) -> String {
+    let cfg = ReptorConfig {
+        checkpoint_interval: 4,
+        ..ReptorConfig::small()
+    };
+    let interval = cfg.checkpoint_interval;
+    let mut w = build_cfg(StackKind::Rubin, seed, cfg);
+    let laggard = w.replicas[2].clone();
+
+    // Healthy prefix; replica 3's agreement role stays honest so
+    // checkpoint certificates still form — it lies only as a state
+    // server, and only after the epoch roll arms `stale_offer`.
+    submit_sequentially(&mut w, 3, 0);
+    w.sim.run_until_idle();
+    w.replicas[3].set_byzantine(ByzantineMode::StaleEpochOffer);
+
+    // Partition the laggard, then let the live trio execute three more
+    // checkpoint intervals so its only way back is a state transfer.
+    let laggard_host = w.hosts[2];
+    let t_cut = w.sim.now() + Nanos::from_micros(10);
+    let mut cut = ChaosSchedule::new();
+    for &h in &w.hosts {
+        if h != laggard_host {
+            cut.push(
+                t_cut,
+                ChaosAction::Partition {
+                    a: laggard_host,
+                    b: h,
+                },
+            );
+        }
+    }
+    cut.install(&mut w.sim, &w.net);
+    w.sim.run_until(t_cut + Nanos::from_micros(1));
+    submit_sequentially(&mut w, 3 * interval, 3);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(100));
+
+    // The scheduler's fence step, applied directly for exact timing:
+    // every replica re-registers its stores under epoch 1 and the old
+    // memory regions are invalidated. Replica 3 squirrels away its
+    // revoked offer and will advertise it from now on.
+    for r in &w.replicas {
+        r.roll_recovery_epoch(&mut w.sim, 1);
+    }
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(50));
+
+    // Heal and drive new workload; the laggard's catch-up attestations
+    // (all epoch-1, replica 3's carrying the revoked rkey) steer it into
+    // a transfer whose first fetch target is replica 3.
+    let t_heal = w.sim.now() + Nanos::from_micros(10);
+    let mut heal = ChaosSchedule::new();
+    for &h in &w.hosts {
+        if h != laggard_host {
+            heal.push(
+                t_heal,
+                ChaosAction::Heal {
+                    a: laggard_host,
+                    b: h,
+                },
+            );
+        }
+    }
+    heal.install(&mut w.sim, &w.net);
+    w.sim.run_until(t_heal + Nanos::from_millis(150));
+    let total = 3 + 3 * interval;
+    submit_sequentially(&mut w, 3, total);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(400));
+
+    let stats = laggard.stats();
+    assert!(stats.state_transfers_started >= 1);
+    assert!(
+        stats.state_transfers_completed >= 1,
+        "laggard must complete the transfer from an honest responder"
+    );
+    assert!(
+        stats.state_transfer_retries >= 1,
+        "the READ against the revoked rkey must fail and rotate peers"
+    );
+    let snap = w.net.metrics().snapshot();
+    assert!(
+        snap.total("stale_rkey_denied") >= 1,
+        "the responder RNIC must deny the stale rkey"
+    );
+    // The fence fired below the protocol: no responder ever saw a
+    // stale-looking epoch field and no digest check was involved in
+    // catching the lie (a revoked rkey returns no bytes to check).
+    for r in &w.replicas {
+        assert_eq!(
+            r.stats().stale_epoch_rejected,
+            0,
+            "replica {}: the stale offer must not be detectable in the \
+             message path",
+            r.id()
+        );
+    }
+
+    assert_total_order(&w.replicas);
+    assert_eq!(laggard.last_executed(), w.replicas[0].last_executed());
+    let digests: Vec<_> = w
+        .replicas
+        .iter()
+        .map(|r| r.with_service(|s| s.state_digest()))
+        .collect();
+    for d in &digests[1..] {
+        assert_eq!(*d, digests[0], "state must converge despite the lie");
+    }
+    snap.to_json()
+}
+
+#[test]
+fn stale_epoch_rkey_responder_is_fenced_by_rnic_on_rubin_stack() {
+    let json = stale_epoch_offer_scenario(chaos_seed());
+    assert!(json.contains("stale_rkey_denied"));
+    assert!(json.contains("mr_rotations"));
 }

@@ -4,7 +4,9 @@
 use bft_crypto::{hmac_sha256, sha256, verify_hmac, Digest, KeyTable, Sha256};
 use chainstore::{Chain, Transaction};
 use proptest::prelude::*;
-use reptor::{KvOp, Message, PreparedProof, Request, SignedMessage};
+use reptor::{
+    Cluster, CounterService, KvOp, Message, PreparedProof, ReptorConfig, Request, SignedMessage,
+};
 use rubin::HybridEventQueue;
 use simnet::{Bandwidth, Nanos, Simulator};
 
@@ -139,17 +141,29 @@ fn arb_message() -> impl Strategy<Value = Message> {
             arb_digest(),
             any::<u32>(),
             any::<u32>(),
+            any::<u64>(),
             any::<u64>()
         )
-            .prop_map(|(seq, state_digest, replica, store_rkey, store_len)| {
-                Message::Checkpoint {
-                    seq,
-                    state_digest,
-                    replica,
-                    store_rkey,
-                    store_len,
+            .prop_map(
+                |(seq, state_digest, replica, store_rkey, store_len, store_epoch)| {
+                    Message::Checkpoint {
+                        seq,
+                        state_digest,
+                        replica,
+                        store_rkey,
+                        store_len,
+                        store_epoch,
+                    }
                 }
-            }),
+            ),
+        (any::<u64>(), any::<u32>(), any::<u32>(), any::<u64>()).prop_map(
+            |(seq, chunk, replica, epoch)| Message::StateRequest {
+                seq,
+                chunk,
+                replica,
+                epoch
+            }
+        ),
         (
             any::<u64>(),
             any::<u64>(),
@@ -406,6 +420,49 @@ proptest! {
             rev.observe(s);
         }
         prop_assert_eq!(rev.summary(), sum);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Proactive recovery: epoch fencing
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The message-path mirror of the RNIC rkey fence: a `StateRequest`
+    /// carrying *any* epoch other than the responder's current recovery
+    /// epoch is denied and counted (`stale_epoch_rejected`), while the
+    /// current epoch is never counted as stale — for arbitrary request
+    /// coordinates and arbitrary distances between the epochs.
+    #[test]
+    fn state_request_with_stale_epoch_is_denied_and_counted(
+        epoch in any::<u64>(),
+        current in 0u64..16,
+        seq in any::<u64>(),
+        chunk in any::<u32>(),
+    ) {
+        let mut c = Cluster::sim_transport(ReptorConfig::small(), 0, 1, || {
+            Box::new(CounterService::default())
+        });
+        let r = c.replicas[0].clone();
+        if current > 0 {
+            r.roll_recovery_epoch(&mut c.sim, current);
+        }
+        prop_assert_eq!(r.recovery_epoch(), current);
+
+        // The current epoch passes the fence (the request may then die
+        // for lack of a store, but never as a stale epoch).
+        r.inject_message(&mut c.sim, Message::StateRequest {
+            seq, chunk, replica: 1, epoch: current,
+        });
+        prop_assert_eq!(r.stats().stale_epoch_rejected, 0);
+
+        r.inject_message(&mut c.sim, Message::StateRequest {
+            seq, chunk, replica: 1, epoch,
+        });
+        let want = u64::from(epoch != current);
+        prop_assert_eq!(r.stats().stale_epoch_rejected, want);
     }
 }
 
