@@ -134,6 +134,45 @@ fn main() {
         sections.push(cop);
     }
 
+    // --- one-sided fast path: commit-latency gate ----------------------
+    println!("\n# one-sided fast path — PBFT commit latency over RUBIN (batch 10)");
+    let cmp = replicated::fast_path_comparison(total / 2, depth, 0xFA57);
+    println!("{:>14} {:>14} {:>12}", "path", "latency(us)", "req/s");
+    println!(
+        "{:>14} {:>14.1} {:>12.0}",
+        "message", cmp.message.latency_us, cmp.message.rps
+    );
+    println!(
+        "{:>14} {:>14.1} {:>12.0}",
+        "fast", cmp.fast.latency_us, cmp.fast.rps
+    );
+    let writes = cmp.snapshot.total("fast_path_writes");
+    let deliveries = cmp.snapshot.total("fast_path_deliveries");
+    let fallbacks = cmp.snapshot.total("fast_path_fallbacks");
+    let conflicts = cmp.snapshot.total("fast_path_slot_conflicts");
+    let denied = cmp.snapshot.total("fast_path_write_denied");
+    checks.push((
+        format!(
+            "fast path: commit latency ({:.1} us) strictly below message path ({:.1} us) at batch 10",
+            cmp.fast.latency_us, cmp.message.latency_us
+        ),
+        cmp.fast.latency_us < cmp.message.latency_us,
+    ));
+    checks.push((
+        format!("fast path: leader WRITEs carry the proposals (writes {writes}, deliveries {deliveries})"),
+        writes > 0 && deliveries > 0,
+    ));
+    checks.push((
+        format!("fast path: no RNIC denials in the common case (denied {denied})"),
+        denied == 0,
+    ));
+    sections.push(format!(
+        "\"fast_path\":{{\"message_latency_us\":{:.3},\"fast_latency_us\":{:.3},\"message_rps\":{:.3},\"fast_rps\":{:.3},\
+         \"fast_path_writes\":{writes},\"fast_path_deliveries\":{deliveries},\"fast_path_fallbacks\":{fallbacks},\
+         \"fast_path_slot_conflicts\":{conflicts},\"fast_path_write_denied\":{denied}}}",
+        cmp.message.latency_us, cmp.fast.latency_us, cmp.message.rps, cmp.fast.rps
+    ));
+
     // --- fig3/fig4 shape checks at reduced counts ----------------------
     if !skip_figs {
         println!("\n# fig3 shape checks ({msgs} msgs)");

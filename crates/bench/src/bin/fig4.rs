@@ -1,8 +1,11 @@
 //! Regenerates Figure 4 (selector comparison): echo through the Reptor
 //! comm stack with window 30 / batching 10, RUBIN selector vs. Java NIO
-//! selector, run locally on one machine.
+//! selector, run locally on one machine — plus the one-sided fast-path
+//! variant: 4-replica PBFT commit latency over RUBIN with the leader
+//! proposing by RDMA WRITE into follower slots vs. by pre-prepare
+//! messages, at the same batch size.
 
-use bench::fig4;
+use bench::{fig4, replicated};
 use simnet::render_table;
 
 fn main() {
@@ -28,4 +31,29 @@ fn main() {
     for (desc, ok) in fig4::shape_report(&lat, &thr) {
         println!("  [{}] {desc}", if ok { "PASS" } else { "FAIL" });
     }
+
+    println!("\n# One-sided fast path — PBFT commit latency over RUBIN (batch 10)");
+    let cmp = replicated::fast_path_comparison(msgs as u64 / 2, 8, 0xFA57);
+    println!(
+        "  message path: {:>8.1} us  {:>8.0} req/s",
+        cmp.message.latency_us, cmp.message.rps
+    );
+    println!(
+        "  fast path:    {:>8.1} us  {:>8.0} req/s",
+        cmp.fast.latency_us, cmp.fast.rps
+    );
+    let snap = &cmp.snapshot;
+    println!(
+        "  counters: writes={} deliveries={} fallbacks={} slot_conflicts={} denied={}",
+        snap.total("fast_path_writes"),
+        snap.total("fast_path_deliveries"),
+        snap.total("fast_path_fallbacks"),
+        snap.total("fast_path_slot_conflicts"),
+        snap.total("fast_path_write_denied"),
+    );
+    let ok = cmp.fast.latency_us < cmp.message.latency_us;
+    println!(
+        "  [{}] fast-path commit latency strictly below message path",
+        if ok { "PASS" } else { "FAIL" }
+    );
 }

@@ -156,6 +156,20 @@ pub fn bft_configured(
     bft_instrumented(stack, mix, total, depth, seed, cfg).0
 }
 
+/// As [`bft_configured`], additionally returning the run's full
+/// cross-layer [`simnet::MetricsSnapshot`] (used by the fast-path
+/// comparison and the report sidecar).
+pub fn bft_configured_instrumented(
+    stack: Stack,
+    mix: crate::workload::Mix,
+    total: u64,
+    depth: usize,
+    seed: u64,
+    cfg: ReptorConfig,
+) -> (EchoResult, simnet::MetricsSnapshot) {
+    bft_instrumented(stack, mix, total, depth, seed, cfg)
+}
+
 fn bft_instrumented(
     stack: Stack,
     mix: crate::workload::Mix,
@@ -448,6 +462,47 @@ pub fn recovery_epoch_drill_instrumented(seed: u64) -> simnet::MetricsSnapshot {
         );
     }
     net.metrics().snapshot()
+}
+
+/// Request payload used by the one-sided fast-path comparison (BFT
+/// requests are mostly small, §V).
+pub const FAST_PATH_PAYLOAD: usize = 1024;
+
+/// Fast-path vs. message-path PBFT operating points at the same batch
+/// size over the RUBIN stack.
+#[derive(Debug, Clone)]
+pub struct FastPathComparison {
+    /// Message-path PBFT (pre-prepare as a MAC-authenticated message).
+    pub message: EchoResult,
+    /// One-sided fast path (pre-prepare as an RDMA WRITE into the
+    /// follower's leader-granted slot region).
+    pub fast: EchoResult,
+    /// Cross-layer metrics snapshot of the fast-path run — carries the
+    /// `fast_path_*` counters the report sidecar and bench gate embed.
+    pub snapshot: simnet::MetricsSnapshot,
+}
+
+/// Measures PBFT commit latency over the RUBIN stack with the one-sided
+/// fast path off vs. on, everything else identical (same seed, same
+/// batch size, same payload mix). The fast path replaces the leader's
+/// pre-prepare send + per-follower MAC verification with a single RDMA
+/// WRITE whose RNIC WRITE permission *is* the authentication, so its
+/// common-case commit latency must sit strictly below the message path
+/// — the gated bench asserts exactly that.
+pub fn fast_path_comparison(total: u64, depth: usize, seed: u64) -> FastPathComparison {
+    let mix = crate::workload::Mix::Fixed(FAST_PATH_PAYLOAD);
+    let (message, _) =
+        bft_instrumented(Stack::Rubin, mix, total, depth, seed, ReptorConfig::small());
+    let fast_cfg = ReptorConfig {
+        fast_path: true,
+        ..ReptorConfig::small()
+    };
+    let (fast, snapshot) = bft_instrumented(Stack::Rubin, mix, total, depth, seed, fast_cfg);
+    FastPathComparison {
+        message,
+        fast,
+        snapshot,
+    }
 }
 
 /// The payload sweep for the replicated experiment (BFT messages are

@@ -1025,9 +1025,13 @@ impl QueuePair {
         let target = match target {
             Ok(mr) => mr,
             Err(e) => {
+                // A WRITE with a revoked (re-registered) rkey is the fast-path
+                // permission fence firing: a deposed or equivocating leader's
+                // in-flight proposal is denied in the RNIC, never in software.
                 if matches!(e, VerbsError::Deregistered) {
                     self.inner.borrow().bump("stale_rkey_denied", 1);
                 }
+                self.inner.borrow().bump("fast_path_write_denied", 1);
                 self.send_nak(sim, seq, WcStatus::RemoteAccessError);
                 return;
             }

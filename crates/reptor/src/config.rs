@@ -25,6 +25,12 @@ pub struct ReptorConfig {
     /// Backup timer before suspecting the primary and starting a view
     /// change.
     pub view_change_timeout: Nanos,
+    /// One-sided fast path: the leader proposes by RDMA WRITE into
+    /// per-view follower slot regions instead of sending PRE-PREPARE
+    /// messages. Requires a transport with a one-sided write primitive;
+    /// the message path remains the per-peer fallback. Off by default so
+    /// existing deployments and traces are bit-identical.
+    pub fast_path: bool,
     /// Cryptographic CPU cost model.
     pub crypto: CryptoCostModel,
 }
@@ -39,6 +45,7 @@ impl ReptorConfig {
             checkpoint_interval: 64,
             pillars: 3,
             view_change_timeout: Nanos::from_millis(40),
+            fast_path: false,
             crypto: CryptoCostModel::xeon_v2_java(),
         }
     }

@@ -68,7 +68,10 @@ pub use state::{CounterService, EchoService, KvOp, KvService, StateMachine};
 pub use state_transfer::{
     CheckpointPayload, CheckpointStore, Manifest, StateOffer, CHUNK_SIZE, MAX_STORE_BYTES,
 };
-pub use transport::{DeliveryFn, LaneDeliveryFn, NodeId, SimTransport, StateReadFn, Transport};
+pub use transport::{
+    DeliveryFn, LaneDeliveryFn, NodeId, SimTransport, SlotDoorbellFn, SlotRegion, SlotWriteFn,
+    StateReadFn, Transport,
+};
 
 #[cfg(test)]
 mod tests {

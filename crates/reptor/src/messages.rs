@@ -222,6 +222,22 @@ pub enum Message {
         /// Responding replica.
         replica: ReplicaId,
     },
+    /// A follower's fast-path WRITE-permission grant towards the primary of
+    /// `view`: the rkey of its pre-prepare slot region for that view. Sent
+    /// at view installation; the region is revoked (and the rkey fenced by
+    /// the RNIC) when the follower moves past `view`.
+    SlotGrant {
+        /// View the grant is valid for.
+        view: View,
+        /// Granting replica (the slot region's owner).
+        replica: ReplicaId,
+        /// Remote WRITE key of the slot region.
+        rkey: u32,
+        /// Size of one slot in bytes.
+        slot_size: u64,
+        /// Number of slots in the region (the agreement window).
+        slots: u64,
+    },
 }
 
 /// Sentinel chunk index requesting/carrying the checkpoint-store manifest
@@ -244,6 +260,7 @@ impl Message {
             Message::CatchUpReply { .. } => "CATCH-UP-REPLY",
             Message::StateRequest { .. } => "STATE-REQUEST",
             Message::StateChunk { .. } => "STATE-CHUNK",
+            Message::SlotGrant { .. } => "SLOT-GRANT",
         }
     }
 
@@ -411,6 +428,20 @@ impl Message {
                 w.bytes(data);
                 w.u32(*replica);
             }
+            Message::SlotGrant {
+                view,
+                replica,
+                rkey,
+                slot_size,
+                slots,
+            } => {
+                w.u8(12);
+                w.u64(*view);
+                w.u32(*replica);
+                w.u32(*rkey);
+                w.u64(*slot_size);
+                w.u64(*slots);
+            }
         }
         w.finish()
     }
@@ -557,6 +588,13 @@ impl Message {
                 chunk: r.u32()?,
                 data: r.bytes()?,
                 replica: r.u32()?,
+            },
+            12 => Message::SlotGrant {
+                view: r.u64()?,
+                replica: r.u32()?,
+                rkey: r.u32()?,
+                slot_size: r.u64()?,
+                slots: r.u64()?,
             },
             tag => {
                 return Err(CodecError::BadTag {
@@ -756,6 +794,13 @@ mod tests {
                 chunk: 3,
                 data: vec![5; 97],
                 replica: 1,
+            },
+            Message::SlotGrant {
+                view: 2,
+                replica: 3,
+                rkey: 91,
+                slot_size: 4096,
+                slots: 128,
             },
         ];
         for m in msgs {

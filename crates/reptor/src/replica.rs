@@ -34,7 +34,7 @@ use crate::state::StateMachine;
 use crate::state_transfer::{
     CheckpointPayload, CheckpointStore, ChunkVerdict, StateOffer, Transfer, CHUNK_SIZE,
 };
-use crate::transport::Transport;
+use crate::transport::{SlotRegion, Transport};
 
 /// Fault-injection modes for a replica (the Byzantine behaviours the
 /// protocol must tolerate, up to `f` of them).
@@ -69,6 +69,13 @@ pub enum ByzantineMode {
     /// is caught only by the responder RNIC refusing the revoked rkey
     /// (`stale_rkey_denied`); fetchers route around on the failed READ.
     StaleEpochOffer,
+    /// As primary, never proposes (provoking its own deposition); once it
+    /// learns of the new view it fires fast-path slot WRITEs with the
+    /// grants of its *revoked* leadership. The followers invalidated those
+    /// regions the moment they voted, so every late WRITE is denied in
+    /// their RNICs (`fast_path_write_denied`) — the stale proposals never
+    /// reach a slot.
+    LateSlotWriter,
 }
 
 /// Per-replica counters used by tests and benchmarks.
@@ -115,6 +122,28 @@ pub struct ReplicaStats {
     pub stale_epoch_rejected: u64,
     /// Recovery-epoch rolls applied (MR rotations).
     pub epoch_rolls: u64,
+    /// Fast-path slot WRITEs posted as leader.
+    pub fast_path_writes: u64,
+    /// Proposals (per peer) that fell back to a message-path PRE-PREPARE
+    /// while the fast path was on.
+    pub fast_path_fallbacks: u64,
+    /// Fast-path slot deliveries accepted from the doorbell (follower).
+    pub fast_path_deliveries: u64,
+}
+
+/// Fixed byte size of one fast-path pre-prepare slot. A batch whose
+/// encoded PRE-PREPARE exceeds this falls back to the message path for
+/// that proposal (the slot region layout is static per view).
+pub(crate) const FAST_PATH_SLOT_SIZE: u64 = 4096;
+
+/// A follower's WRITE grant as retained by the leader it names: the rkey
+/// of the follower's slot region plus the layout to index it with.
+#[derive(Debug, Clone, Copy)]
+struct SlotGrantInfo {
+    view: View,
+    rkey: u32,
+    slot_size: u64,
+    slots: u64,
 }
 
 struct ReplicaInner {
@@ -186,6 +215,20 @@ struct ReplicaInner {
     /// Request arrival instants, consumed when a request first appears in
     /// an accepted pre-prepare (feeds `phase.request_to_preprepare`).
     arrivals: HashMap<(ClientId, u64), Nanos>,
+    /// One-sided fast path: this replica's registered pre-prepare slot
+    /// region (the target of the granted leader's WRITEs), if any.
+    slot_region: Option<SlotRegion>,
+    /// The view whose leader currently holds the WRITE grant for
+    /// `slot_region` (`None` while revoked, e.g. during a view change).
+    slot_granted_to: Option<View>,
+    /// Leader side: WRITE grants received from followers.
+    slot_grants: HashMap<ReplicaId, SlotGrantInfo>,
+    /// Slot index → occupying sequence number: the slot-reuse fence. A
+    /// slot is recycled only once its occupant left the agreement window
+    /// through a stable checkpoint.
+    slot_seqs: HashMap<u64, SeqNum>,
+    /// Whether the lazy initial (view-0) slot grant has run.
+    fast_path_armed: bool,
 }
 
 /// A PBFT replica.
@@ -265,6 +308,11 @@ impl Replica {
                 metrics: net.metrics(),
                 metrics_prefix: format!("reptor.r{id}."),
                 arrivals: HashMap::new(),
+                slot_region: None,
+                slot_granted_to: None,
+                slot_grants: HashMap::new(),
+                slot_seqs: HashMap::new(),
+                fast_path_armed: false,
             })),
         };
         // Inbound demultiplexing: the transport peeks the sequence number
@@ -277,6 +325,13 @@ impl Replica {
                 r.on_raw(sim, lane, from, bytes);
             }),
         );
+        // Fast-path doorbell: a one-sided WRITE that landed in this
+        // replica's slot region surfaces here with the slot index as the
+        // immediate (no-op on transports without one-sided writes).
+        let r = replica.clone();
+        transport.set_slot_doorbell(Rc::new(move |sim, peer, imm, len| {
+            r.on_slot_doorbell(sim, peer, imm, len);
+        }));
         replica
     }
 
@@ -319,6 +374,22 @@ impl Replica {
     #[cfg(test)]
     pub(crate) fn in_watermarks(&self, seq: SeqNum) -> bool {
         self.inner.borrow().in_watermarks(seq)
+    }
+
+    /// Claims the fast-path slot for `seq` (test hook for the slot
+    /// reuse/GC rules — see [`ReplicaInner::slot_accept`]).
+    #[cfg(test)]
+    pub(crate) fn slot_accept_for_test(&self, seq: SeqNum) -> bool {
+        self.inner.borrow_mut().slot_accept(seq)
+    }
+
+    /// Simulates checkpoint GC at stable sequence `seq`: advances the low
+    /// watermark and retires fast-path slot occupants at or below it.
+    #[cfg(test)]
+    pub(crate) fn gc_slots_for_test(&self, seq: SeqNum) {
+        let mut inner = self.inner.borrow_mut();
+        inner.low_mark = seq;
+        inner.slot_seqs.retain(|_, s| *s > seq);
     }
 
     /// True if this replica is the current primary.
@@ -515,16 +586,25 @@ impl Replica {
                 .filter(|o| o.readable())
                 .collect();
             inner.stores.clear();
+            inner.slot_grants.clear();
+            inner.slot_seqs.clear();
+            inner.slot_granted_to = None;
+            inner.fast_path_armed = false;
+            let slot_region = inner.slot_region.take();
             inner.bump("restarts", 1);
             inner.metrics.trace(
                 sim.now(),
                 "reptor",
                 format!("{}restart", inner.metrics_prefix),
             );
-            (released, inner.transport.clone())
+            ((released, slot_region), inner.transport.clone())
         };
+        let (released, slot_region) = released;
         for offer in &released {
             transport.release_state_region(offer);
+        }
+        if let Some(region) = slot_region {
+            transport.release_write_region(&region);
         }
         self.request_catch_up(sim);
         self.arm_rejoin_probe(sim, 0);
@@ -573,6 +653,9 @@ impl Replica {
     }
 
     fn dispatch(&self, sim: &mut Simulator, msg: Message) {
+        // Construction has no simulator handle, so the initial (view-0)
+        // slot grant rides the first event this replica processes.
+        self.maybe_arm_fast_path(sim);
         match msg {
             Message::Request(req) => self.on_request(sim, req),
             Message::PrePrepare {
@@ -645,12 +728,20 @@ impl Replica {
                 data,
                 replica,
             } => self.handle_state_chunk(sim, seq, chunk, data, replica),
+            Message::SlotGrant {
+                view,
+                replica,
+                rkey,
+                slot_size,
+                slots,
+            } => self.handle_slot_grant(view, replica, rkey, slot_size, slots),
             Message::Reply { .. } => { /* replicas ignore replies */ }
         }
     }
 
     /// Client request entry point (also used directly by the harness).
     pub fn on_request(&self, sim: &mut Simulator, req: Request) {
+        self.maybe_arm_fast_path(sim);
         let resend = {
             let inner = self.inner.borrow_mut();
             if inner.byzantine == ByzantineMode::Crash {
@@ -785,7 +876,9 @@ impl Replica {
                     || inner.pending.is_empty()
                     || matches!(
                         inner.byzantine,
-                        ByzantineMode::SilentPrimary | ByzantineMode::Crash
+                        ByzantineMode::SilentPrimary
+                            | ByzantineMode::Crash
+                            | ByzantineMode::LateSlotWriter
                     )
                 {
                     None
@@ -843,6 +936,11 @@ impl Replica {
                 // Conflicting proposals: half the group sees the real batch,
                 // the other half sees it reversed (different order, different
                 // digest when len > 1; with len == 1 the payload is tweaked).
+                // With the fast path on, each half's version is WRITE-en
+                // into that half's slots — the RNIC permission check cannot
+                // see the equivocation (the leader legitimately holds every
+                // grant), so detection stays where PBFT puts it: conflicting
+                // prepares never reach a quorum and the view change fires.
                 let mut alt = batch.clone();
                 if alt.len() > 1 {
                     alt.reverse();
@@ -854,6 +952,7 @@ impl Replica {
                 let me = self.id();
                 let half: Vec<u32> = (0..n).filter(|&r| r != me && r % 2 == 0).collect();
                 let other: Vec<u32> = (0..n).filter(|&r| r != me && r % 2 == 1).collect();
+                let half = self.propose_via_slots(sim, view, seq, digest, &batch, &half);
                 self.send_msg(
                     sim,
                     Message::PrePrepare {
@@ -864,6 +963,7 @@ impl Replica {
                     },
                     &half,
                 );
+                let other = self.propose_via_slots(sim, view, seq, alt_digest, &alt, &other);
                 self.send_msg(
                     sim,
                     Message::PrePrepare {
@@ -879,7 +979,15 @@ impl Replica {
                 continue;
             }
 
-            self.broadcast_to_replicas(
+            let peers: Vec<u32> = {
+                let inner = self.inner.borrow();
+                (0..inner.cfg.n as u32).filter(|&r| r != inner.id).collect()
+            };
+            // Fast path: deposit the proposal one-sided into every granted
+            // follower slot; any peer without a usable grant gets the
+            // message-path PRE-PREPARE instead.
+            let uncovered = self.propose_via_slots(sim, view, seq, digest, &batch, &peers);
+            self.send_msg(
                 sim,
                 Message::PrePrepare {
                     view,
@@ -887,10 +995,350 @@ impl Replica {
                     digest,
                     batch: batch.clone(),
                 },
+                &uncovered,
             );
             // The primary's pre-prepare stands in for its prepare.
             self.accept_pre_prepare(sim, view, seq, digest, batch);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided fast path
+    // ------------------------------------------------------------------
+
+    /// Lazily runs the initial (view-0) slot grant: construction has no
+    /// simulator handle, so the grant rides the first event a follower
+    /// processes. Idempotent; no-op unless the fast path is configured.
+    fn maybe_arm_fast_path(&self, sim: &mut Simulator) {
+        let view = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.cfg.fast_path
+                || inner.fast_path_armed
+                || inner.byzantine == ByzantineMode::Crash
+            {
+                return;
+            }
+            inner.fast_path_armed = true;
+            inner.view
+        };
+        self.grant_slot_region(sim, view);
+    }
+
+    /// Registers (if needed) this follower's pre-prepare slot region and
+    /// grants its WRITE rkey to the leader of `view`. The region covers
+    /// one full agreement window — `2 · checkpoint_interval` slots of
+    /// [`FAST_PATH_SLOT_SIZE`] bytes, indexed by `seq % slots` — so no two
+    /// in-window instances ever share a slot.
+    fn grant_slot_region(&self, sim: &mut Simulator, view: View) {
+        let (transport, leader, slots) = {
+            let inner = self.inner.borrow();
+            if !inner.cfg.fast_path || inner.byzantine == ByzantineMode::Crash {
+                return;
+            }
+            let leader = inner.cfg.primary(view);
+            if leader == inner.id {
+                return; // the leader proposes into peers, not itself
+            }
+            (
+                inner.transport.clone(),
+                leader,
+                2 * inner.cfg.checkpoint_interval,
+            )
+        };
+        if self.inner.borrow().slot_region.is_none() {
+            let region =
+                transport.register_write_region(sim, (slots * FAST_PATH_SLOT_SIZE) as usize);
+            self.inner.borrow_mut().slot_region = region;
+        }
+        let msg = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(region) = inner.slot_region else {
+                return; // no one-sided write path on this transport
+            };
+            inner.slot_granted_to = Some(view);
+            inner.bump("fast_path_grants_sent", 1);
+            Message::SlotGrant {
+                view,
+                replica: inner.id,
+                rkey: region.rkey,
+                slot_size: FAST_PATH_SLOT_SIZE,
+                slots,
+            }
+        };
+        self.send_msg(sim, msg, &[leader]);
+    }
+
+    /// Revokes the granted leader's fast-path WRITE permission by
+    /// invalidating the slot region — the MR re-registration fence. From
+    /// this point any in-flight WRITE from a deposed or equivocating
+    /// leader is denied in this follower's RNIC (`fast_path_write_denied`),
+    /// never filtered in software. A fresh region is registered and
+    /// granted when the next view installs.
+    fn revoke_slot_region(&self) {
+        let (region, transport) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.slot_granted_to = None;
+            (inner.slot_region.take(), inner.transport.clone())
+        };
+        if let Some(region) = region {
+            transport.release_write_region(&region);
+            self.inner.borrow_mut().bump("fast_path_revocations", 1);
+        }
+    }
+
+    /// A follower's WRITE grant arriving at the leader it names. Grants
+    /// for views this replica will lead are retained even slightly ahead
+    /// of its own view installation (the follower may install first).
+    fn handle_slot_grant(
+        &self,
+        view: View,
+        replica: ReplicaId,
+        rkey: u32,
+        slot_size: u64,
+        slots: u64,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.cfg.fast_path
+            || replica >= inner.cfg.n as u32
+            || replica == inner.id
+            || inner.cfg.primary(view) != inner.id
+            || view < inner.view
+            || slots == 0
+            || slot_size == 0
+        {
+            return;
+        }
+        inner.slot_grants.insert(
+            replica,
+            SlotGrantInfo {
+                view,
+                rkey,
+                slot_size,
+                slots,
+            },
+        );
+        inner.bump("fast_path_grants_received", 1);
+    }
+
+    /// WRITEs the pre-prepare one-sided into each granted peer slot and
+    /// returns the peers still needing a message-path PRE-PREPARE: fast
+    /// path off, no current-view grant, batch too large for the slot, or
+    /// no one-sided write path to that peer.
+    fn propose_via_slots(
+        &self,
+        sim: &mut Simulator,
+        view: View,
+        seq: SeqNum,
+        digest: Digest,
+        batch: &[Request],
+        peers: &[u32],
+    ) -> Vec<u32> {
+        let (transport, grants) = {
+            let inner = self.inner.borrow();
+            if !inner.cfg.fast_path {
+                return peers.to_vec();
+            }
+            (inner.transport.clone(), inner.slot_grants.clone())
+        };
+        let msg = Message::PrePrepare {
+            view,
+            seq,
+            digest,
+            batch: batch.to_vec(),
+        };
+        // The slot record is the *unsigned* encoded PRE-PREPARE: the RNIC
+        // WRITE permission replaces the MAC (only the granted leader can
+        // reach the region), and the digest still binds the batch.
+        let bytes = msg.encode();
+        let mut uncovered = Vec::new();
+        let mut written = 0u64;
+        for &peer in peers {
+            let covered = grants.get(&peer).copied().is_some_and(|g| {
+                if g.view != view || g.slots == 0 || bytes.len() as u64 > g.slot_size {
+                    return false;
+                }
+                let slot = seq % g.slots;
+                let Ok(imm) = u32::try_from(slot) else {
+                    return false;
+                };
+                let replica = self.clone();
+                let fallback = msg.clone();
+                transport.write_slot(
+                    sim,
+                    peer,
+                    g.rkey,
+                    slot * g.slot_size,
+                    &bytes,
+                    imm,
+                    Box::new(move |sim, ok| {
+                        if !ok {
+                            replica.fast_path_write_failed(sim, peer, fallback);
+                        }
+                    }),
+                )
+            });
+            if covered {
+                written += 1;
+            } else {
+                uncovered.push(peer);
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        if written > 0 {
+            inner.stats.fast_path_writes += written;
+            inner.bump("fast_path_writes", written);
+        }
+        if !uncovered.is_empty() {
+            inner.stats.fast_path_fallbacks += uncovered.len() as u64;
+            inner.bump("fast_path_fallbacks", uncovered.len() as u64);
+        }
+        uncovered
+    }
+
+    /// A posted slot WRITE completed with an error: the peer's RNIC denied
+    /// it (a revocation race — the follower started a view change after
+    /// the WRITE was posted) or the channel broke. Drop the stale grant
+    /// and, if the proposal is still current, re-send it over the message
+    /// path so a revocation race never loses a proposal.
+    fn fast_path_write_failed(&self, sim: &mut Simulator, peer: u32, msg: Message) {
+        let resend = {
+            let mut inner = self.inner.borrow_mut();
+            inner.slot_grants.remove(&peer);
+            let current = match &msg {
+                Message::PrePrepare { view, .. } => {
+                    *view == inner.view
+                        && !inner.in_view_change
+                        && inner.cfg.primary(*view) == inner.id
+                }
+                _ => false,
+            };
+            if current {
+                inner.stats.fast_path_fallbacks += 1;
+                inner.bump("fast_path_fallbacks", 1);
+            }
+            current
+        };
+        if resend {
+            self.send_msg(sim, msg, &[peer]);
+        }
+    }
+
+    /// The doorbell handler: a one-sided WRITE landed in this replica's
+    /// slot region. Pull the record out of slot `slot`, decode it as a
+    /// PRE-PREPARE and funnel it into the ordinary acceptance path. There
+    /// is no MAC to verify — the RNIC WRITE permission authenticated the
+    /// proposer — but everything else (digest binding the batch, view,
+    /// watermarks) is checked exactly as on the message path.
+    fn on_slot_doorbell(&self, sim: &mut Simulator, from: u32, slot: u32, len: usize) {
+        let read = {
+            let inner = self.inner.borrow();
+            if !inner.cfg.fast_path || inner.byzantine == ByzantineMode::Crash {
+                return;
+            }
+            let Some(region) = inner.slot_region else {
+                return;
+            };
+            let slots = 2 * inner.cfg.checkpoint_interval;
+            if u64::from(slot) >= slots || len as u64 > FAST_PATH_SLOT_SIZE {
+                return;
+            }
+            (inner.transport.clone(), region)
+        };
+        let (transport, region) = read;
+        let Some(bytes) =
+            transport.read_write_region(&region, u64::from(slot) * FAST_PATH_SLOT_SIZE, len)
+        else {
+            return;
+        };
+        let Ok(Message::PrePrepare {
+            view,
+            seq,
+            digest,
+            batch,
+        }) = Message::decode(&bytes)
+        else {
+            self.inner.borrow_mut().stats.malformed_dropped += 1;
+            return;
+        };
+        let accept = {
+            let mut inner = self.inner.borrow_mut();
+            let slots = 2 * inner.cfg.checkpoint_interval;
+            // The depositor must be the leader the slot was granted to,
+            // and the record must sit in the slot its sequence number
+            // owns (a WRITE cannot relocate an instance).
+            if inner.cfg.primary(view) != from
+                || seq % slots != u64::from(slot)
+                || view != inner.view
+                || inner.in_view_change
+                || !inner.in_watermarks(seq)
+            {
+                false
+            } else if !inner.slot_accept(seq) {
+                inner.bump("fast_path_slot_conflicts", 1);
+                false
+            } else {
+                inner.stats.fast_path_deliveries += 1;
+                inner.bump("fast_path_deliveries", 1);
+                true
+            }
+        };
+        if accept {
+            self.handle_pre_prepare(sim, view, seq, digest, batch);
+        }
+    }
+
+    /// A deposed [`ByzantineMode::LateSlotWriter`] fires its retained —
+    /// and by now revoked — slot grants the moment it learns of the new
+    /// view. The followers invalidated their regions when they *voted*,
+    /// strictly before any NewView certificate could form, so every one
+    /// of these WRITEs is denied in the target RNIC.
+    fn maybe_fire_stale_slot_writes(&self, sim: &mut Simulator, new_view: View) {
+        let (transport, stale, seq) = {
+            let inner = self.inner.borrow();
+            if inner.byzantine != ByzantineMode::LateSlotWriter || !inner.cfg.fast_path {
+                return;
+            }
+            let mut stale: Vec<(u32, SlotGrantInfo)> = inner
+                .slot_grants
+                .iter()
+                .filter(|(_, g)| g.view < new_view)
+                .map(|(&p, &g)| (p, g))
+                .collect();
+            // HashMap order is not deterministic; the simulation is.
+            stale.sort_unstable_by_key(|(p, _)| *p);
+            (inner.transport.clone(), stale, inner.low_mark + 1)
+        };
+        if stale.is_empty() {
+            return;
+        }
+        let batch = vec![Request {
+            client: u32::MAX,
+            timestamp: 1,
+            payload: b"late".to_vec(),
+        }];
+        let digest = batch_digest(&batch);
+        for (peer, g) in stale {
+            let msg = Message::PrePrepare {
+                view: g.view,
+                seq,
+                digest,
+                batch: batch.clone(),
+            };
+            let slot = seq % g.slots.max(1);
+            let Ok(imm) = u32::try_from(slot) else {
+                continue;
+            };
+            transport.write_slot(
+                sim,
+                peer,
+                g.rkey,
+                slot * g.slot_size,
+                &msg.encode(),
+                imm,
+                Box::new(|_, _| {}),
+            );
+        }
+        self.inner.borrow_mut().slot_grants.clear();
     }
 
     // ------------------------------------------------------------------
@@ -1329,6 +1777,10 @@ impl Replica {
         inner.checkpoint_votes.retain(|&s, _| s > seq);
         inner.catch_up_votes.retain(|&s, _| s > seq);
         inner.own_checkpoints.retain(|&s, _| s >= seq);
+        // Fast-path slots whose occupants fell below the new low watermark
+        // are stably checkpointed and may be recycled; occupants still in
+        // the window keep their slot reserved (see `slot_accept`).
+        inner.slot_seqs.retain(|_, s| *s > seq);
         // Executed requests can no longer feed phase latencies; drop their
         // arrival stamps so the map stays bounded by the window.
         {
@@ -1745,6 +2197,7 @@ impl Replica {
             inner.checkpoint_votes.retain(|&s, _| s > target);
             inner.catch_up_votes.retain(|&s, _| s > target);
             inner.own_checkpoints.retain(|&s, _| s >= target);
+            inner.slot_seqs.retain(|&_, s| *s > target);
             if inner.pending_stable.is_some_and(|(s, _)| s <= target) {
                 inner.pending_stable = None;
             }
@@ -2093,6 +2546,10 @@ impl Replica {
                 replica: me,
             }
         };
+        // Revoke the (now suspect) leader's fast-path WRITE permission the
+        // moment the vote is cast — strictly before any NewView quorum can
+        // form — so a deposed leader's in-flight deposits are RNIC-denied.
+        self.revoke_slot_region();
         // Record the own vote.
         if let Message::ViewChange {
             new_view,
@@ -2130,6 +2587,7 @@ impl Replica {
         sim.schedule_in(
             backoff,
             Box::new(move |sim| {
+                let mut stood_down_in = None;
                 let next = {
                     let mut inner = replica.inner.borrow_mut();
                     if !inner.in_view_change || inner.byzantine == ByzantineMode::Crash {
@@ -2161,12 +2619,19 @@ impl Replica {
                                 "reptor",
                                 format!("{}view_change_abandoned", inner.metrics_prefix),
                             );
+                            stood_down_in = Some(inner.view);
                             None
                         } else {
                             Some(inner.voted_view + 1)
                         }
                     }
                 };
+                if let Some(view) = stood_down_in {
+                    // Standing down keeps the current leader in charge;
+                    // re-arm its revoked fast-path grant with a fresh
+                    // region so the one-sided path resumes.
+                    replica.grant_slot_region(sim, view);
+                }
                 if let Some(v) = next {
                     replica.start_view_change(sim, v);
                 }
@@ -2284,6 +2749,9 @@ impl Replica {
         pre_prepares: Vec<(SeqNum, Digest, Vec<Request>)>,
         as_primary: bool,
     ) {
+        // A LateSlotWriter learns of the new view here and fires its
+        // retained — revoked — grants before adopting the view.
+        self.maybe_fire_stale_slot_writes(sim, view);
         let prepares_to_send = {
             let mut inner = self.inner.borrow_mut();
             inner.view = view;
@@ -2296,6 +2764,9 @@ impl Replica {
                 format!("{}enter_view view={view}", inner.metrics_prefix),
             );
             inner.vc_votes.retain(|&v, _| v > view);
+            // A deposed leader's grants died with the old view; followers
+            // invalidated those regions when they voted.
+            inner.slot_grants.retain(|_, g| g.view >= view);
             let mut max_seq = inner.next_seq - 1;
             let mut to_send = Vec::new();
             for (seq, digest, batch) in pre_prepares {
@@ -2345,6 +2816,9 @@ impl Replica {
             );
             self.maybe_prepared(sim, seq);
         }
+        // Grant the new leader fast-path WRITE permission into a fresh
+        // slot region (the old region was invalidated with the vote).
+        self.grant_slot_region(sim, view);
         // Pending requests at the new primary flow again.
         self.try_propose(sim);
     }
@@ -2453,6 +2927,26 @@ impl ReplicaInner {
     /// once `next_seq > low_mark + 2L`.
     fn in_watermarks(&self, seq: SeqNum) -> bool {
         seq > self.low_mark && seq <= self.low_mark + 2 * self.cfg.checkpoint_interval
+    }
+
+    /// Claims fast-path slot `seq % slots` for `seq`. The slot count
+    /// equals the window size (`2L`), so two *in-window* instances never
+    /// collide — but a slot may still hold a previous occupant that is
+    /// below the high-water mark yet uncommitted (the window slid before
+    /// it stably checkpointed). Such a slot must not be recycled until
+    /// checkpoint GC retires the occupant, or a late doorbell for the old
+    /// sequence number would read the new record; the depositor falls
+    /// back to the message path instead. Re-claiming for the same `seq`
+    /// (a leader retransmit) is idempotent.
+    fn slot_accept(&mut self, seq: SeqNum) -> bool {
+        let slot = seq % (2 * self.cfg.checkpoint_interval);
+        if let Some(&prev) = self.slot_seqs.get(&slot) {
+            if prev != seq && prev > self.low_mark {
+                return false;
+            }
+        }
+        self.slot_seqs.insert(slot, seq);
+        true
     }
 
     /// Serializes the executed state at checkpoint `seq`: service snapshot
@@ -2575,6 +3069,25 @@ mod tests {
         assert!(r.in_watermarks(1), "first seq past the low mark");
         assert!(r.in_watermarks(16), "the high watermark is inclusive");
         assert!(!r.in_watermarks(17), "one past the high watermark");
+    }
+
+    #[test]
+    fn slot_not_recycled_while_occupant_in_window() {
+        let c = cluster(8, 42);
+        let r = &c.replicas[1];
+        // L = 8 → 16 slots; seq 3 and seq 19 share slot 3.
+        assert!(r.slot_accept_for_test(3), "fresh slot accepts");
+        assert!(r.slot_accept_for_test(3), "leader retransmit is idempotent");
+        assert!(
+            !r.slot_accept_for_test(19),
+            "slot must not be recycled while seq 3 is in the window but uncommitted"
+        );
+        // Checkpoint GC stabilises through seq 8: occupant 3 retires.
+        r.gc_slots_for_test(8);
+        assert!(
+            r.slot_accept_for_test(19),
+            "after the occupant is checkpointed the slot is reusable"
+        );
     }
 
     #[test]

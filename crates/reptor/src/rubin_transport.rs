@@ -26,7 +26,9 @@ use rubin::{
 use simnet::{Addr, CoreId, HostId, Nanos, Network, Simulator};
 
 use crate::state_transfer::StateOffer;
-use crate::transport::{DeliveryFn, NodeId, StateReadFn, Transport};
+use crate::transport::{
+    DeliveryFn, NodeId, SlotDoorbellFn, SlotRegion, SlotWriteFn, StateReadFn, Transport,
+};
 
 /// Base port for RUBIN transport server channels.
 const RUBIN_PORT_BASE: u32 = 1100;
@@ -86,6 +88,13 @@ struct RubinInner {
     /// Live checkpoint-store regions by rkey, held so `release` can
     /// invalidate them.
     state_regions: HashMap<u32, MemoryRegion>,
+    /// Live fast-path slot regions by rkey (remotely WRITE-able), held so
+    /// revocation can invalidate them and doorbell handlers can read the
+    /// deposited bytes back out.
+    slot_regions: HashMap<u32, MemoryRegion>,
+    /// Installed fast-path doorbell, rung when a peer WRITEs into one of
+    /// our slot regions.
+    slot_doorbell: Option<SlotDoorbellFn>,
     delivery: Option<DeliveryFn>,
     msgs_sent: u64,
     msgs_delivered: u64,
@@ -148,6 +157,8 @@ impl RubinTransport {
                         redial_attempts: HashMap::new(),
                         state_pd: None,
                         state_regions: HashMap::new(),
+                        slot_regions: HashMap::new(),
+                        slot_doorbell: None,
                         delivery: None,
                         msgs_sent: 0,
                         msgs_delivered: 0,
@@ -187,6 +198,7 @@ impl RubinTransport {
                     );
                     (channel, key)
                 };
+                t.install_doorbell(&channel);
                 let mut inner = t.inner.borrow_mut();
                 let slot = inner.chans.len();
                 inner.chans.push(PeerChan {
@@ -304,6 +316,7 @@ impl RubinTransport {
                     .selector
                     .register_channel(sim, &channel, Interest::OP_RECEIVE)
             };
+            self.install_doorbell(&channel);
             let mut inner = self.inner.borrow_mut();
             inner.chans.push(PeerChan {
                 channel,
@@ -526,6 +539,7 @@ impl RubinTransport {
                 Interest::OP_ACCEPT | Interest::OP_RECEIVE,
             )
         };
+        self.install_doorbell(&channel);
         let slot = {
             let mut inner = self.inner.borrow_mut();
             let slot = inner.chans.len();
@@ -609,6 +623,30 @@ impl RubinTransport {
             }
         }
         self.update_interest(sim, slot);
+    }
+
+    /// Installs the fast-path doorbell on a freshly created channel. The
+    /// per-channel closure resolves this transport's installed handler and
+    /// the channel's peer id at ring time, so it is safe to install before
+    /// either is known (accept-side channels learn their peer only after
+    /// the hello; the handler arrives with `set_slot_doorbell`).
+    fn install_doorbell(&self, channel: &RdmaChannel) {
+        let t = self.clone();
+        let qp_num = channel.qp().num();
+        channel.set_write_doorbell(Rc::new(move |sim, imm, len| {
+            let (peer, db) = {
+                let inner = t.inner.borrow();
+                let peer = inner
+                    .chans
+                    .iter()
+                    .find(|c| c.channel.qp().num() == qp_num)
+                    .and_then(|c| c.peer);
+                (peer, inner.slot_doorbell.clone())
+            };
+            if let (Some(peer), Some(db)) = (peer, db) {
+                db(sim, peer, imm, len);
+            }
+        }));
     }
 
     /// OP_SEND readiness is level-triggered (send buffers are almost
@@ -730,6 +768,67 @@ impl Transport for RubinTransport {
             c.channel.clone()
         };
         channel.post_read(sim, rkey, offset, len, done).is_ok()
+    }
+
+    fn register_write_region(&self, sim: &mut Simulator, len: usize) -> Option<SlotRegion> {
+        let _ = sim;
+        let mut inner = self.inner.borrow_mut();
+        if inner.state_pd.is_none() {
+            let pd = inner.device.alloc_pd();
+            inner.state_pd = Some(pd);
+        }
+        let pd = inner.state_pd.expect("just ensured");
+        let mr = inner.device.reg_mr(&pd, len.max(1), Access::REMOTE_WRITE);
+        let rkey = mr.rkey().0;
+        inner.slot_regions.insert(rkey, mr);
+        Some(SlotRegion {
+            rkey,
+            len: len as u64,
+        })
+    }
+
+    fn release_write_region(&self, region: &SlotRegion) {
+        // Invalidation is the PR 5 revocation fence: the rkey stays known
+        // to the RNIC but any in-flight WRITE against it is denied.
+        if let Some(mr) = self.inner.borrow_mut().slot_regions.remove(&region.rkey) {
+            mr.invalidate();
+        }
+    }
+
+    fn read_write_region(&self, region: &SlotRegion, offset: u64, len: usize) -> Option<Vec<u8>> {
+        let inner = self.inner.borrow();
+        let mr = inner.slot_regions.get(&region.rkey)?;
+        mr.read(offset as usize, len).ok()
+    }
+
+    fn write_slot(
+        &self,
+        sim: &mut Simulator,
+        peer: NodeId,
+        rkey: u32,
+        offset: u64,
+        data: &[u8],
+        imm: u32,
+        done: SlotWriteFn,
+    ) -> bool {
+        let channel = {
+            let inner = self.inner.borrow();
+            let Some(&slot) = inner.by_node.get(&peer) else {
+                return false;
+            };
+            let c = &inner.chans[slot];
+            if c.dead || !c.channel.is_established() {
+                return false;
+            }
+            c.channel.clone()
+        };
+        channel
+            .post_write(sim, rkey, offset, data, imm, done)
+            .is_ok()
+    }
+
+    fn set_slot_doorbell(&self, f: SlotDoorbellFn) {
+        self.inner.borrow_mut().slot_doorbell = Some(f);
     }
 
     fn set_lane_delivery(&self, lanes: usize, f: crate::transport::LaneDeliveryFn) {

@@ -28,6 +28,26 @@ pub type DeliveryFn = Rc<dyn Fn(&mut Simulator, NodeId, Vec<u8>)>;
 /// success, `None` if the read failed (bad rkey, flushed QP, dead link).
 pub type StateReadFn = Box<dyn FnOnce(&mut Simulator, Option<Vec<u8>>)>;
 
+/// Completion callback for a one-sided slot write: `true` once the WRITE
+/// was acknowledged by the peer's RNIC, `false` if it was denied (revoked
+/// permission) or the QP failed first.
+pub type SlotWriteFn = Box<dyn FnOnce(&mut Simulator, bool)>;
+
+/// Doorbell callback for inbound slot writes: `(sim, from, imm, len)`. The
+/// immediate identifies the slot that was written; the payload is read out
+/// of the registered slot region, not passed here.
+pub type SlotDoorbellFn = Rc<dyn Fn(&mut Simulator, NodeId, u32, usize)>;
+
+/// A WRITE-permission grant for a fast-path slot region: the rkey a remote
+/// leader needs to deposit pre-prepares one-sidedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRegion {
+    /// Remote WRITE key of the region (0 = not writable).
+    pub rkey: u32,
+    /// Region length in bytes.
+    pub len: u64,
+}
+
 /// Lane-demultiplexed delivery callback: `(sim, lane, from, bytes)`. The
 /// lane is the COP pipeline owning the frame's sequence number (lane 0 for
 /// traffic without one).
@@ -105,6 +125,54 @@ pub trait Transport {
     ) -> bool {
         let _ = (sim, peer, rkey, offset, len, done);
         false
+    }
+
+    /// Registers a remotely WRITE-able slot region of `len` bytes (the
+    /// fast-path pre-prepare slots) and returns its grant. Transports
+    /// without a one-sided write primitive return `None`; the leader then
+    /// falls back to message-path pre-prepares.
+    fn register_write_region(&self, sim: &mut Simulator, len: usize) -> Option<SlotRegion> {
+        let _ = (sim, len);
+        None
+    }
+
+    /// Releases (revokes) a region previously returned by
+    /// [`Transport::register_write_region`]; in-flight remote writes to it
+    /// are denied by the RNIC from this point on.
+    fn release_write_region(&self, region: &SlotRegion) {
+        let _ = region;
+    }
+
+    /// Reads `[offset, offset+len)` of the local slot region `region` (the
+    /// doorbell handler pulling a deposited pre-prepare out of its slot).
+    fn read_write_region(&self, region: &SlotRegion, offset: u64, len: usize) -> Option<Vec<u8>> {
+        let _ = (region, offset, len);
+        None
+    }
+
+    /// One-sided WRITE of `data` into `peer`'s slot region `rkey` at
+    /// `offset`, ringing the peer's doorbell with `imm`. Returns false if
+    /// this transport (or the link to `peer`) has no one-sided write path —
+    /// the caller falls back to a message-path pre-prepare.
+    #[allow(clippy::too_many_arguments)]
+    fn write_slot(
+        &self,
+        sim: &mut Simulator,
+        peer: NodeId,
+        rkey: u32,
+        offset: u64,
+        data: &[u8],
+        imm: u32,
+        done: SlotWriteFn,
+    ) -> bool {
+        let _ = (sim, peer, rkey, offset, data, imm, done);
+        false
+    }
+
+    /// Installs the handler invoked when a peer WRITEs into one of this
+    /// endpoint's registered slot regions.
+    fn set_slot_doorbell(&self, f: SlotDoorbellFn) {
+        let _ = f;
     }
 }
 

@@ -166,20 +166,42 @@ pub struct ChannelStats {
     pub reads_posted: u64,
     /// Bytes pulled by completed one-sided READs.
     pub read_bytes: u64,
+    /// One-sided RDMA WRITEs posted via [`RdmaChannel::post_write`].
+    pub writes_posted: u64,
+    /// Bytes pushed by posted one-sided WRITEs.
+    pub write_bytes: u64,
 }
 
 /// Completion callback for [`RdmaChannel::post_read`]: `Some(bytes)` on a
 /// successful read, `None` if the operation failed or was flushed.
 pub type ReadDoneFn = Box<dyn FnOnce(&mut Simulator, Option<Vec<u8>>)>;
 
+/// Completion callback for [`RdmaChannel::post_write`]: `true` once the
+/// WRITE is acknowledged, `false` if it was NAK'd (permission revoked) or
+/// flushed.
+pub type WriteDoneFn = Box<dyn FnOnce(&mut Simulator, bool)>;
+
+/// Local notification that a peer's WRITE_WITH_IMM landed in one of our
+/// registered regions: `(imm, byte_len)`. Installed with
+/// [`RdmaChannel::set_write_doorbell`].
+pub type WriteDoorbellFn = Rc<dyn Fn(&mut Simulator, u32, usize)>;
+
 /// One-sided READ work-request ids live in their own range so the in-order
 /// send-completion pop below can never confuse them with SEND wr_ids.
 const READ_WR_BASE: u64 = 1 << 48;
+
+/// One-sided WRITE work-request ids: a third disjoint range.
+const WRITE_WR_BASE: u64 = 1 << 49;
 
 struct PendingRead {
     sink: MemoryRegion,
     len: usize,
     done: ReadDoneFn,
+}
+
+struct PendingWrite {
+    src: MemoryRegion,
+    done: WriteDoneFn,
 }
 
 pub(crate) struct ChanInner {
@@ -194,7 +216,10 @@ pub(crate) struct ChanInner {
     inflight: VecDeque<(u64, Option<SlabIndex>)>,
     /// Outstanding one-sided READs by wr_id (disjoint id range).
     pending_reads: HashMap<u64, PendingRead>,
+    /// Outstanding one-sided WRITEs by wr_id (disjoint id range).
+    pending_writes: HashMap<u64, PendingWrite>,
     read_count: u64,
+    write_count: u64,
     send_count: u64,
     since_signal: usize,
     outstanding_sends: usize,
@@ -210,6 +235,9 @@ pub(crate) struct ChanInner {
     broken: Option<String>,
     conn_id: Option<u64>,
     reg: Option<(RdmaSelector, RubinKey)>,
+    /// Invoked for inbound WRITE_WITH_IMM completions instead of queueing
+    /// the (payload-free) receive slab as a message.
+    write_doorbell: Option<WriteDoorbellFn>,
     stats: ChannelStats,
 }
 
@@ -280,7 +308,9 @@ impl RdmaChannel {
                 recv_pool,
                 inflight: VecDeque::new(),
                 pending_reads: HashMap::new(),
+                pending_writes: HashMap::new(),
                 read_count: 0,
+                write_count: 0,
                 send_count: 0,
                 since_signal: 0,
                 outstanding_sends: 0,
@@ -293,6 +323,7 @@ impl RdmaChannel {
                 broken: None,
                 conn_id,
                 reg: None,
+                write_doorbell: None,
                 stats: ChannelStats::default(),
             })),
         };
@@ -614,6 +645,82 @@ impl RdmaChannel {
         Ok(())
     }
 
+    /// Posts a one-sided RDMA WRITE_WITH_IMM of `data` into the peer's
+    /// region `rkey` at `remote_offset`, raising a doorbell completion
+    /// (carrying `imm`) on the peer. The peer's CPU does no protocol work
+    /// for the transfer itself — its NIC validates the rkey, DMAs the
+    /// payload into place, and consumes one receive WR for the immediate.
+    /// `done` fires with `true` once the WRITE is acked, `false` if the
+    /// RNIC denied it (permission revoked) or the QP failed.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChannelError::NotConnected`] before establishment.
+    /// * [`ChannelError::Broken`] after a failure.
+    /// * [`ChannelError::Verbs`] on posting errors.
+    pub fn post_write(
+        &self,
+        sim: &mut Simulator,
+        rkey: u32,
+        remote_offset: u64,
+        data: &[u8],
+        imm: u32,
+        done: WriteDoneFn,
+    ) -> Result<(), ChannelError> {
+        let (qp, wr, wr_id) = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(why) = &inner.broken {
+                return Err(ChannelError::Broken(why.clone()));
+            }
+            if !inner.established {
+                return Err(ChannelError::NotConnected);
+            }
+            // Source registration models the zero-copy send path: the
+            // application buffer is registered (cache lookup), not copied.
+            let src = inner
+                .device
+                .reg_mr(&inner.pd, data.len().max(1), Access::NONE);
+            src.write(0, data).expect("fresh region fits payload");
+            {
+                let host_ref = inner.device.net().host(inner.device.host());
+                let mut h = host_ref.borrow_mut();
+                let runtime = Nanos::from_nanos(h.cpu().runtime_io_ns);
+                let work = runtime + Nanos::from_nanos(inner.cfg.reg_cache_ns);
+                h.exec(sim.now(), inner.core, work);
+            }
+            let wr_id = WRITE_WR_BASE + inner.write_count;
+            inner.write_count += 1;
+            inner.stats.writes_posted += 1;
+            inner.stats.write_bytes += data.len() as u64;
+            let wr = SendWr::write_with_imm(
+                WrId(wr_id),
+                Sge::new(src.clone(), 0, data.len()),
+                RKey(rkey),
+                remote_offset as usize,
+                imm,
+            )
+            .signaled();
+            inner
+                .pending_writes
+                .insert(wr_id, PendingWrite { src, done });
+            (inner.qp.clone(), wr, wr_id)
+        };
+        if let Err(e) = qp.post_send(sim, wr) {
+            self.inner.borrow_mut().pending_writes.remove(&wr_id);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Installs the handler invoked when a peer's WRITE_WITH_IMM lands in
+    /// one of our registered regions. With a doorbell installed the
+    /// consumed receive slab is recycled immediately (the payload lives in
+    /// the target region, not the slab) instead of surfacing as a bogus
+    /// inbound message.
+    pub fn set_write_doorbell(&self, doorbell: WriteDoorbellFn) {
+        self.inner.borrow_mut().write_doorbell = Some(doorbell);
+    }
+
     /// Non-blocking message receive.
     ///
     /// Copies the message out of the pre-posted registered buffer (the
@@ -786,9 +893,25 @@ impl RdmaChannel {
             inner.device.charge_poll(sim, inner.core, total);
         }
         let mut finished_reads: Vec<(ReadDoneFn, Option<Vec<u8>>)> = Vec::new();
+        let mut finished_writes: Vec<(WriteDoneFn, bool)> = Vec::new();
+        let mut doorbells: Vec<(WriteDoorbellFn, u32, usize)> = Vec::new();
         {
             let mut inner = self.inner.borrow_mut();
             for wc in send_wcs {
+                // One-sided WRITE completions also carry their own id range
+                // and resolve a pending-write callback outside the in-order
+                // SEND pop. A non-success status here is the RNIC denying a
+                // revoked permission (or a flush after one did).
+                if wc.opcode == WcOpcode::RdmaWrite {
+                    if let Some(pw) = inner.pending_writes.remove(&wc.wr_id.0) {
+                        pw.src.invalidate();
+                        finished_writes.push((pw.done, wc.status == WcStatus::Success));
+                    }
+                    if wc.status == WcStatus::WorkRequestFlushed {
+                        inner.eof = true;
+                    }
+                    continue;
+                }
                 // One-sided READ completions carry their own id range and
                 // resolve a pending-read callback; they never participate
                 // in the in-order SEND pop below.
@@ -833,9 +956,23 @@ impl RdmaChannel {
             }
             for wc in recv_wcs {
                 match wc.status {
-                    WcStatus::Success
-                        if matches!(wc.opcode, WcOpcode::Recv | WcOpcode::RecvRdmaWithImm) =>
-                    {
+                    WcStatus::Success if wc.opcode == WcOpcode::RecvRdmaWithImm => {
+                        // A peer's WRITE_WITH_IMM: the payload was DMA'd
+                        // into the registered target region, not this slab.
+                        // Recycle the slab and ring the doorbell; without a
+                        // doorbell installed, surface it as a message for
+                        // raw-channel users.
+                        match inner.write_doorbell.clone() {
+                            Some(db) => {
+                                inner.to_repost.push(wc.wr_id.0 as usize);
+                                doorbells.push((db, wc.imm.unwrap_or(0), wc.byte_len));
+                            }
+                            None => {
+                                inner.rx_ready.push_back((wc.wr_id.0 as usize, wc.byte_len));
+                            }
+                        }
+                    }
+                    WcStatus::Success if wc.opcode == WcOpcode::Recv => {
                         inner.rx_ready.push_back((wc.wr_id.0 as usize, wc.byte_len));
                     }
                     WcStatus::WorkRequestFlushed => {
@@ -851,6 +988,18 @@ impl RdmaChannel {
         // handler may immediately post follow-up reads or sends.
         for (done, data) in finished_reads {
             done(sim, data);
+        }
+        for (done, ok) in finished_writes {
+            done(sim, ok);
+        }
+        let rang = !doorbells.is_empty();
+        for (db, imm, len) in doorbells {
+            db(sim, imm, len);
+        }
+        if rang {
+            // Doorbell slabs were recycled without a read() call; flush the
+            // repost batch if it filled up.
+            self.return_slab(sim, None).ok();
         }
         self.refresh_readiness(sim);
     }

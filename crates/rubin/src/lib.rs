@@ -69,7 +69,10 @@ mod selector;
 mod server;
 
 pub use buffer::{BufferPool, PoolStats, SlabIndex};
-pub use channel::{BorrowedMsg, ChannelError, ChannelStats, RdmaChannel, ReadDoneFn, RecvOutcome};
+pub use channel::{
+    BorrowedMsg, ChannelError, ChannelStats, RdmaChannel, ReadDoneFn, RecvOutcome, WriteDoneFn,
+    WriteDoorbellFn,
+};
 pub use config::RubinConfig;
 pub use event::{HybridEventQueue, Interest, RubinEvent, RubinKey};
 pub use selector::{RdmaSelector, SelectedKey};

@@ -976,3 +976,161 @@ fn stale_epoch_rkey_responder_is_fenced_by_rnic_on_rubin_stack() {
     assert!(json.contains("stale_rkey_denied"));
     assert!(json.contains("mr_rotations"));
 }
+
+/// An equivocating leader on the one-sided fast path: it WRITEs one batch
+/// into half the followers' slots and a conflicting batch into the other
+/// half. The RNIC permission check cannot see this — the leader
+/// legitimately holds every grant — so detection must stay exactly where
+/// PBFT puts it: the conflicting digests never gather a prepare quorum,
+/// the backup timers fire, and the group view-changes to an honest
+/// leader who re-proposes and commits everything exactly once.
+fn equivocating_slot_writer_scenario(seed: u64) -> String {
+    let cfg = ReptorConfig {
+        fast_path: true,
+        checkpoint_interval: 4,
+        ..ReptorConfig::small()
+    };
+    let mut w = build_cfg(StackKind::Rubin, seed, cfg);
+    let client = w.client.clone();
+
+    // Healthy prefix: the followers' slot grants reach the leader, so
+    // the equivocation below rides the fast path, not the message path.
+    for _ in 0..3 {
+        client.submit(&mut w.sim, b"inc".to_vec());
+    }
+    run_to_completion(&mut w, 3);
+    w.sim.run_until_idle();
+    assert!(
+        w.replicas[0].stats().fast_path_writes > 0,
+        "grants must be armed before the equivocation starts"
+    );
+
+    w.replicas[0].set_byzantine(ByzantineMode::EquivocatingPrimary);
+    for _ in 0..5 {
+        client.submit(&mut w.sim, b"inc".to_vec());
+    }
+    run_to_completion(&mut w, 8);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(100));
+
+    for r in &w.replicas[1..] {
+        assert!(
+            r.view() >= 1,
+            "replica {} must have deposed the equivocator",
+            r.id()
+        );
+        assert_eq!(r.stats().executed_requests, 8, "replica {}", r.id());
+    }
+    assert_total_order(&w.replicas);
+    // Liveness: every request completed. Note the equivocator *may* get
+    // one of its two versions committed (its tweaked payloads ride the
+    // view-change proof merge — a known property of MAC-authenticated
+    // PBFT, where replicas cannot verify client intent, fast path or
+    // not); what matters is that all replicas execute the same version.
+    assert_eq!(client.completions().len(), 8, "every request completes");
+    let digests: Vec<_> = w
+        .replicas
+        .iter()
+        .map(|r| r.with_service(|s| s.state_digest()))
+        .collect();
+    for d in &digests[1..] {
+        assert_eq!(*d, digests[0], "one of the two versions, everywhere");
+    }
+
+    let snap = w.net.metrics().snapshot();
+    // The lie travelled one-sided and was caught at the digest/prepare
+    // layer, not by the RNIC: the equivocator held valid grants.
+    assert!(
+        snap.total("fast_path_deliveries") > 0,
+        "conflicting batches must have arrived through the slots"
+    );
+    snap.to_json()
+}
+
+#[test]
+fn equivocating_slot_writer_is_caught_at_prepare_and_deposed() {
+    equivocating_slot_writer_scenario(chaos_seed());
+}
+
+/// A deposed leader firing its retained slot grants *after* the view
+/// change: the followers invalidated their slot regions the moment they
+/// voted, so every late WRITE is denied in the target RNIC
+/// (`fast_path_write_denied`) — the revocation fence, not protocol code,
+/// stops the stale proposals. Meanwhile the new leader receives fresh
+/// grants and the fast path resumes under the new view.
+fn deposed_slot_writer_scenario(seed: u64) -> String {
+    let cfg = ReptorConfig {
+        fast_path: true,
+        checkpoint_interval: 4,
+        ..ReptorConfig::small()
+    };
+    let mut w = build_cfg(StackKind::Rubin, seed, cfg);
+    let client = w.client.clone();
+
+    // Healthy prefix under replica 0, so it holds live slot grants.
+    for _ in 0..3 {
+        client.submit(&mut w.sim, b"inc".to_vec());
+    }
+    run_to_completion(&mut w, 3);
+    w.sim.run_until_idle();
+    assert!(w.replicas[0].stats().fast_path_writes > 0);
+
+    // The leader goes silent but keeps its grants; once deposed it will
+    // fire them into the revoked regions.
+    w.replicas[0].set_byzantine(ByzantineMode::LateSlotWriter);
+    for _ in 0..5 {
+        client.submit(&mut w.sim, b"inc".to_vec());
+    }
+    run_to_completion(&mut w, 8);
+    // Let the deposed leader learn of the new view and fire its stale
+    // WRITEs, and the group settle.
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(100));
+
+    // New workload under the new leader: by now the followers' fresh
+    // grants (sent when they installed the view) have landed, so these
+    // proposals ride the fast path again.
+    for _ in 0..4 {
+        client.submit(&mut w.sim, b"inc".to_vec());
+    }
+    run_to_completion(&mut w, 12);
+    w.sim.run_until(w.sim.now() + Nanos::from_millis(50));
+
+    for r in &w.replicas[1..] {
+        assert!(r.view() >= 1, "replica {} must have view-changed", r.id());
+        assert_eq!(r.stats().executed_requests, 12, "replica {}", r.id());
+    }
+    assert_total_order(&w.replicas);
+    let last = client.completions().last().unwrap().result.clone();
+    assert_eq!(last, 12u64.to_le_bytes(), "no stale proposal may execute");
+
+    let snap = w.net.metrics().snapshot();
+    assert!(
+        snap.total("fast_path_write_denied") >= 1,
+        "the deposed leader's late WRITEs must be RNIC-denied"
+    );
+    assert!(
+        snap.total("fast_path_revocations") >= 3,
+        "every follower must have invalidated its region when it voted"
+    );
+    // The fast path resumes under the new leader with fresh grants.
+    let new_leader = w.replicas[1].stats();
+    assert!(
+        new_leader.fast_path_writes > 0,
+        "the new leader must propose one-sided under the new view"
+    );
+    snap.to_json()
+}
+
+#[test]
+fn deposed_slot_writer_late_writes_are_rnic_denied() {
+    deposed_slot_writer_scenario(chaos_seed());
+}
+
+/// The deposed-leader fence timeline — grants, silence, view change,
+/// revocation, denied late WRITEs — replays byte-identically from a
+/// fixed seed.
+#[test]
+fn fixed_seed_deposed_slot_writer_replays_byte_identically() {
+    let a = deposed_slot_writer_scenario(chaos_seed());
+    let b = deposed_slot_writer_scenario(chaos_seed());
+    assert_eq!(a, b, "same seed must give a byte-identical snapshot");
+}

@@ -202,6 +202,22 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 pre_prepares,
                 replica
             }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(view, replica, rkey, slot_size, slots)| {
+                Message::SlotGrant {
+                    view,
+                    replica,
+                    rkey,
+                    slot_size,
+                    slots,
+                }
+            }),
     ]
 }
 
@@ -463,6 +479,151 @@ proptest! {
         });
         let want = u64::from(epoch != current);
         prop_assert_eq!(r.stats().stale_epoch_rejected, want);
+    }
+}
+
+// ---------------------------------------------------------------------
+// One-sided fast path: slot-region revocation fence
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The fast-path revocation fence, under arbitrary interleavings of
+    /// view changes (region roll: invalidate + re-register, exactly what
+    /// a follower does when it votes) and leader WRITEs picking any
+    /// current-or-historical rkey: a WRITE under a revoked view's rkey is
+    /// *never* delivered (no doorbell, slot bytes untouched) and *always*
+    /// counted (`fast_path_write_denied`), while the current grant is
+    /// never denied.
+    #[test]
+    fn revoked_slot_rkey_never_delivers_and_is_always_counted(
+        ops in proptest::collection::vec(
+            proptest::option::of(any::<prop::sample::Index>()),
+            1..16,
+        ),
+    ) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        use rdma_verbs::RnicModel;
+        use reptor::{RubinTransport, SlotRegion, Transport};
+        use rubin::RubinConfig;
+        use simnet::{CoreId, HostId, TestBed};
+
+        const LEN: usize = 4096;
+        let (mut sim, net, hosts) = TestBed::cluster(1, 2);
+        let nodes: Vec<(u32, HostId, CoreId)> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (i as u32, h, CoreId(0)))
+            .collect();
+        let ts = RubinTransport::build_group(
+            &mut sim,
+            &net,
+            &nodes,
+            RnicModel::mt27520(),
+            RubinConfig::paper(),
+        );
+        let leader: Rc<dyn Transport> = Rc::new(ts[0].clone());
+        let follower: Rc<dyn Transport> = Rc::new(ts[1].clone());
+        sim.run_until_idle();
+
+        // Record every doorbell the follower hears.
+        let bells: Rc<RefCell<Vec<(u32, usize)>>> = Rc::new(RefCell::new(vec![]));
+        let b = bells.clone();
+        follower.set_slot_doorbell(Rc::new(move |_sim, _from, imm, len| {
+            b.borrow_mut().push((imm, len));
+        }));
+
+        // View 0's grant; `history[i]` is view i's (revoked for i < cur).
+        let mut history: Vec<SlotRegion> = vec![follower
+            .register_write_region(&mut sim, LEN)
+            .expect("rubin has a one-sided write path")];
+
+        for op in ops {
+            match op {
+                // A view change at the follower: invalidate the granted
+                // region (RNIC fence) and register a fresh one for the
+                // next leader.
+                None => {
+                    follower.release_write_region(history.last().unwrap());
+                    history.push(
+                        follower
+                            .register_write_region(&mut sim, LEN)
+                            .expect("re-registration after the roll"),
+                    );
+                }
+                // A leader WRITE under the rkey of view `idx` — possibly
+                // long revoked, possibly current.
+                Some(idx) => {
+                    let view = idx.index(history.len());
+                    let region = history[view];
+                    let stale = view != history.len() - 1;
+                    let denied_before = net.metrics().total("fast_path_write_denied");
+                    let bells_before = bells.borrow().len();
+                    let payload = format!("write-for-view-{view}").into_bytes();
+                    let expected = payload.clone();
+                    let acked: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
+                    let a = acked.clone();
+                    let posted = leader.write_slot(
+                        &mut sim,
+                        1,
+                        region.rkey,
+                        0,
+                        &payload,
+                        7,
+                        Box::new(move |_sim, ok| {
+                            *a.borrow_mut() = Some(ok);
+                        }),
+                    );
+                    prop_assert!(posted, "rubin must always take the WRITE");
+                    // Drain the WRITE, its completion (or NAK), and any
+                    // channel redial the denial provoked.
+                    sim.run_until_idle();
+                    let denied_after = net.metrics().total("fast_path_write_denied");
+                    let bells_after = bells.borrow().len();
+                    if stale {
+                        prop_assert!(
+                            denied_after > denied_before,
+                            "a revoked rkey must be counted at the RNIC"
+                        );
+                        prop_assert_eq!(
+                            bells_after, bells_before,
+                            "a revoked rkey must never ring the doorbell"
+                        );
+                        prop_assert_eq!(*acked.borrow(), Some(false));
+                        // The *current* region is untouched by the stale
+                        // WRITE.
+                        let cur = history.last().unwrap();
+                        let bytes = follower
+                            .read_write_region(cur, 0, expected.len())
+                            .expect("current region is readable");
+                        prop_assert_ne!(bytes, expected);
+                        // The NAK killed the queue pair — exactly what
+                        // pushes the real replica onto the message-path
+                        // fallback. Message traffic makes both ends
+                        // notice and the dialing side re-dial; let the
+                        // backoff run so later WRITEs find a live
+                        // channel again.
+                        leader.send(&mut sim, 1, b"ping".to_vec());
+                        follower.send(&mut sim, 0, b"pong".to_vec());
+                        sim.run_until(sim.now() + Nanos::from_millis(200));
+                    } else {
+                        prop_assert_eq!(
+                            denied_after, denied_before,
+                            "the current leader must never be denied"
+                        );
+                        prop_assert_eq!(bells_after, bells_before + 1);
+                        prop_assert_eq!(*acked.borrow(), Some(true));
+                        let bytes = follower
+                            .read_write_region(&region, 0, expected.len())
+                            .expect("granted region is readable");
+                        prop_assert_eq!(bytes, expected);
+                    }
+                }
+            }
+        }
     }
 }
 
