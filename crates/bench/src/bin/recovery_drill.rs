@@ -1,7 +1,13 @@
-//! Proactive-recovery epoch drill: one full rotation — epoch roll,
-//! memory-region rotation, four staggered replica refreshes — over the
-//! RUBIN stack under closed-loop client load, printing the recovery
-//! counters the report sidecar records for CI.
+//! Recovery drills over the RUBIN stack, printing the counters the
+//! report sidecar records for CI:
+//!
+//! * the proactive-recovery epoch drill — one full rotation: epoch roll,
+//!   memory-region rotation, four staggered replica refreshes under
+//!   closed-loop client load;
+//! * the durable cold-restart drill — the same partition + cold-restart
+//!   workload with and without the durable checkpoint store, gating that
+//!   WAL replay shrinks the peer fetch to less than half the full
+//!   checkpoint (exit code 1 otherwise).
 //!
 //! Usage: `cargo run --release -p bench --bin recovery_drill [seed]`
 
@@ -38,4 +44,29 @@ fn main() {
         "stale_rkey_denied (all QPs)",
         snap.total("stale_rkey_denied")
     );
+
+    let drill = replicated::durable_restart_drill_instrumented(seed);
+    let (full, delta, local) = (
+        drill.full_fetch_bytes(),
+        drill.delta_fetch_bytes(),
+        drill.local_bytes(),
+    );
+    println!("\n# Durable cold-restart drill (RUBIN stack, seed {seed})");
+    println!("{:<48} {full}", "full fetch bytes (no durable store)");
+    println!("{:<48} {delta}", "delta fetch bytes (WAL replay)");
+    println!("{:<48} {local}", "bytes satisfied locally");
+    println!(
+        "{:<48} {}",
+        "WAL frames replayed",
+        drill.durable.counter("reptor.r1.wal_frames_replayed")
+    );
+    if !drill.gate_passes() {
+        eprintln!(
+            "FAIL: delta fetch ({delta} B) must be < 50% of the full \
+             fetch ({full} B) — local WAL replay is not shrinking the \
+             cold-restart transfer"
+        );
+        std::process::exit(1);
+    }
+    println!("\ndelta-fetch gate: {delta} B < 50% of {full} B — ok");
 }

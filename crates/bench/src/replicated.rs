@@ -11,8 +11,9 @@ use std::rc::Rc;
 
 use rdma_verbs::RnicModel;
 use reptor::{
-    Client, EchoService, NioTransport, RecoveryConfig, RecoveryScheduler, Replica, ReptorConfig,
-    RubinTransport, SimTransport, Transport, DOMAIN_SECRET,
+    Client, DurabilityConfig, EchoService, KvOp, KvService, NioTransport, RecoveryConfig,
+    RecoveryScheduler, Replica, ReptorConfig, RubinTransport, SimTransport, Transport,
+    DOMAIN_SECRET,
 };
 use rubin::RubinConfig;
 use simnet::{throughput_ops_per_sec, CoreId, LatencyRecorder, Series, TestBed};
@@ -362,6 +363,168 @@ pub fn state_transfer_instrumented(seed: u64) -> simnet::MetricsSnapshot {
         "recovery drill must complete a state transfer"
     );
     net.metrics().snapshot()
+}
+
+/// Result of the durable cold-restart drill: the same crash/restart
+/// workload measured twice, once without a durable store (the rejoining
+/// replica fetches the full checkpoint from peers) and once with the WAL
+/// enabled (local replay shrinks the fetch to the changed chunks).
+#[derive(Debug, Clone)]
+pub struct DurableRestartDrill {
+    /// Metrics of the baseline run (no durability: full peer fetch).
+    pub baseline: simnet::MetricsSnapshot,
+    /// Metrics of the durable run (WAL replay + delta fetch).
+    pub durable: simnet::MetricsSnapshot,
+}
+
+impl DurableRestartDrill {
+    /// Peer bytes fetched by the cold-restarted replica without a durable
+    /// store — the full checkpoint payload.
+    pub fn full_fetch_bytes(&self) -> u64 {
+        self.baseline.counter("reptor.r1.state_transfer_bytes")
+    }
+
+    /// Peer bytes fetched with the durable store — only the chunks the
+    /// locally replayed state could not satisfy.
+    pub fn delta_fetch_bytes(&self) -> u64 {
+        self.durable.counter("reptor.r1.state_transfer_bytes")
+    }
+
+    /// Bytes satisfied from the locally recovered payload instead of the
+    /// network.
+    pub fn local_bytes(&self) -> u64 {
+        self.durable.counter("reptor.r1.state_transfer_bytes_local")
+    }
+
+    /// The CI gate: the delta fetch must cost less than half the full
+    /// fetch, or local recovery is not pulling its weight.
+    pub fn gate_passes(&self) -> bool {
+        self.delta_fetch_bytes() * 2 < self.full_fetch_bytes()
+    }
+}
+
+/// One cold-restart measurement: a backup is partitioned while the group
+/// overwrites a slice of a seeded KV store past its watermark window, then
+/// restarts cold and rebuilds via state transfer. With `durability` set,
+/// the restart first replays the local WAL and the transfer degrades to a
+/// delta fetch of the changed chunks.
+fn durable_restart_run(seed: u64, durability: Option<DurabilityConfig>) -> simnet::MetricsSnapshot {
+    let cfg = ReptorConfig {
+        checkpoint_interval: 4,
+        durability,
+        ..ReptorConfig::small()
+    };
+    let n = cfg.n;
+    let (mut sim, net, hosts) = TestBed::cluster(seed, n + 1);
+    let nodes: Vec<(u32, simnet::HostId, CoreId)> = hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (i as u32, h, CoreId(0)))
+        .collect();
+    let transports = RubinTransport::build_group(
+        &mut sim,
+        &net,
+        &nodes,
+        RnicModel::mt27520(),
+        RubinConfig::paper(),
+    );
+    sim.run_until_idle();
+    let transports: Vec<Rc<dyn Transport>> = transports
+        .into_iter()
+        .map(|t| Rc::new(t) as Rc<dyn Transport>)
+        .collect();
+
+    let replicas: Vec<Replica> = (0..n)
+        .map(|i| {
+            Replica::new(
+                i as u32,
+                cfg.clone(),
+                DOMAIN_SECRET,
+                transports[i].clone(),
+                &net,
+                hosts[i],
+                Box::new(KvService::default()),
+            )
+        })
+        .collect();
+    let client = Client::new(n as u32, cfg.clone(), DOMAIN_SECRET, transports[n].clone());
+
+    // One request per agreement instance, fixed-size values so the
+    // checkpoint payload layout is chunk-stable between the victim's
+    // replayed position and the target checkpoint.
+    let drive = |sim: &mut simnet::Simulator, payloads: &[Vec<u8>], done: u64| {
+        let mut guard = 0u64;
+        for (i, p) in payloads.iter().enumerate() {
+            client.submit(sim, p.clone());
+            while client.stats().completed < done + i as u64 + 1 {
+                assert!(sim.step(), "durable restart drill went idle");
+                guard += 1;
+                assert!(guard < 60_000_000, "durable restart drill stalled");
+            }
+        }
+    };
+    let put = |key: String, val: Vec<u8>| KvOp::Put(key.into_bytes(), val).encode();
+
+    // Seed 64 keys: seqs 1..=64, stable checkpoint at 64 everywhere.
+    let seeds: Vec<Vec<u8>> = (0..64)
+        .map(|i| put(format!("k{i:03}"), vec![i as u8; 32]))
+        .collect();
+    drive(&mut sim, &seeds, 0);
+    sim.run_until_idle();
+
+    // Cut the victim off, overwrite 8 of the 64 keys (two checkpoint
+    // intervals: seqs 65..=72, stable 72), and hold until retry
+    // exhaustion breaks the channels — the outage is real.
+    let victim = hosts[1];
+    net.with_faults(|f| {
+        for &h in &hosts {
+            if h != victim {
+                f.partition(h, victim);
+            }
+        }
+    });
+    let updates: Vec<Vec<u8>> = (0..8)
+        .map(|i| put(format!("k{i:03}"), vec![0xBB + i as u8; 32]))
+        .collect();
+    drive(&mut sim, &updates, 64);
+    sim.run_until(sim.now() + simnet::Nanos::from_millis(100));
+    net.with_faults(|f| {
+        for &h in &hosts {
+            if h != victim {
+                f.heal(h, victim);
+            }
+        }
+    });
+    sim.run_until(sim.now() + simnet::Nanos::from_millis(150));
+
+    // Cold restart: volatile state gone, the drive (if any) survives.
+    replicas[1].restart(&mut sim, Box::new(KvService::default()));
+    sim.run_until(sim.now() + simnet::Nanos::from_millis(400));
+    assert!(
+        replicas[1].stats().state_transfers_completed >= 1,
+        "cold-restarted replica must complete a state transfer"
+    );
+    net.metrics().snapshot()
+}
+
+/// Runs the durable cold-restart drill over the RUBIN stack: the same
+/// partition + cold-restart workload with and without the durable
+/// checkpoint store, so CI can gate the delta-fetch saving. The report
+/// sidecar embeds both snapshots (`durable_restart_drill` /
+/// `durable_restart_drill_baseline` keys).
+pub fn durable_restart_drill_instrumented(seed: u64) -> DurableRestartDrill {
+    let baseline = durable_restart_run(seed, None);
+    let durable = durable_restart_run(
+        seed,
+        Some(DurabilityConfig {
+            wal: true,
+            // Pure-WAL recovery: no snapshot compaction inside the drill
+            // window, so the replay covers the full seeded prefix.
+            snapshot_every: 1_000,
+            ..DurabilityConfig::default()
+        }),
+    );
+    DurableRestartDrill { baseline, durable }
 }
 
 /// Runs the proactive-recovery epoch drill over the RUBIN stack and

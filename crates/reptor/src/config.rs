@@ -1,7 +1,32 @@
 //! Replica-group configuration.
 
 use bft_crypto::CryptoCostModel;
-use simnet::Nanos;
+use simnet::{DiskSpec, Nanos};
+
+/// Configuration of the per-replica persistence layer (durable checkpoint
+/// snapshots plus a write-ahead log of executed batches on a simulated
+/// local drive). `None` in [`ReptorConfig::durability`] keeps replicas
+/// fully volatile — every restart rebuilds from peers, the pre-durability
+/// behavior, byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Append every executed batch to the CRC-framed WAL.
+    pub wal: bool,
+    /// Write a compacting snapshot every this many *stable* checkpoints.
+    pub snapshot_every: u64,
+    /// Cost model of the simulated local drive.
+    pub device: DiskSpec,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> DurabilityConfig {
+        DurabilityConfig {
+            wal: true,
+            snapshot_every: 4,
+            device: DiskSpec::nvme(),
+        }
+    }
+}
 
 /// Static configuration shared by every replica in the group.
 #[derive(Debug, Clone)]
@@ -33,6 +58,10 @@ pub struct ReptorConfig {
     pub fast_path: bool,
     /// Cryptographic CPU cost model.
     pub crypto: CryptoCostModel,
+    /// Local persistence layer. `None` (the default) keeps the replica
+    /// volatile; `Some` arms the WAL + snapshot store and the
+    /// crash-consistent cold path in `Replica::restart`.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ReptorConfig {
@@ -47,6 +76,7 @@ impl ReptorConfig {
             view_change_timeout: Nanos::from_millis(40),
             fast_path: false,
             crypto: CryptoCostModel::xeon_v2_java(),
+            durability: None,
         }
     }
 

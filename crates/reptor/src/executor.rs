@@ -60,6 +60,16 @@ impl Executor {
         self.last_executed = seq;
     }
 
+    /// Records one batch replayed from the durable WAL: the batch was
+    /// committed by agreement before it was logged, so replay re-enters it
+    /// into the executed history (safety witness included) without going
+    /// through a pipeline.
+    pub(crate) fn replay_record(&mut self, seq: SeqNum, digest: Digest) {
+        debug_assert_eq!(seq, self.next_seq(), "WAL replay must be contiguous");
+        self.last_executed = seq;
+        self.executed_log.push((seq, digest));
+    }
+
     /// Pops the next batch in total order, if its owning pipeline has
     /// committed it: marks the instance executed, advances the execution
     /// horizon and appends to the safety witness. Returns `None` while the

@@ -40,6 +40,7 @@ mod client;
 mod cluster;
 mod codec;
 mod config;
+mod durability;
 mod executor;
 mod messages;
 mod nio_transport;
@@ -54,7 +55,11 @@ mod transport;
 pub use client::{Client, ClientStats, Completion};
 pub use cluster::{Cluster, DOMAIN_SECRET};
 pub use codec::{CodecError, Reader, Writer};
-pub use config::ReptorConfig;
+pub use config::{DurabilityConfig, ReptorConfig};
+pub use durability::{
+    crc32, encode_frame, scan_frames, DurableStore, Recovered, WalFrame, WalScan, MAX_FRAME,
+    SLOT_BYTES, WAL_BASE,
+};
 pub use messages::{
     batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage,
     View, MANIFEST_CHUNK,

@@ -21,9 +21,10 @@ use std::fmt;
 use std::rc::Rc;
 
 use bft_crypto::{Digest, KeyTable};
-use simnet::{CoreAffinity, CoreId, HostId, Nanos, Network, Simulator};
+use simnet::{CoreAffinity, CoreId, HostId, Nanos, Network, SimDisk, Simulator};
 
 use crate::config::ReptorConfig;
+use crate::durability::{DurableStore, WalFrame};
 use crate::executor::Executor;
 use crate::messages::{
     batch_digest, ClientId, Message, PreparedProof, ReplicaId, Request, SeqNum, SignedMessage,
@@ -229,6 +230,17 @@ struct ReplicaInner {
     slot_seqs: HashMap<u64, SeqNum>,
     /// Whether the lazy initial (view-0) slot grant has run.
     fast_path_armed: bool,
+    /// Local persistence layer (WAL + snapshot slots on a simulated
+    /// drive). Deliberately NOT wiped by [`Replica::restart`] — it models
+    /// the durable medium the restart recovers from.
+    durable: Option<DurableStore>,
+    /// Consecutive rejoin probes fired since the last completed state
+    /// transfer — the backoff tier. Reset on restart and on transfer
+    /// completion so a second crash starts probing at the base period.
+    rejoin_attempts: u32,
+    /// Bumped on every restart; a probe chain armed under an older
+    /// generation aborts instead of competing with the new chain.
+    rejoin_generation: u64,
 }
 
 /// A PBFT replica.
@@ -271,6 +283,16 @@ impl Replica {
             .map(|lane| Pipeline::new(lane, affinity.lane_core(lane)))
             .collect();
         let lanes = pipelines.len();
+        let durable = cfg.durability.map(|d| {
+            let disk = SimDisk::new(format!("r{id}"), d.device, net.metrics());
+            DurableStore::new(
+                disk,
+                d.wal,
+                d.snapshot_every,
+                net.metrics(),
+                format!("reptor.r{id}."),
+            )
+        });
         let replica = Replica {
             inner: Rc::new(RefCell::new(ReplicaInner {
                 id,
@@ -313,6 +335,9 @@ impl Replica {
                 slot_grants: HashMap::new(),
                 slot_seqs: HashMap::new(),
                 fast_path_armed: false,
+                durable,
+                rejoin_attempts: 0,
+                rejoin_generation: 0,
             })),
         };
         // Inbound demultiplexing: the transport peeks the sequence number
@@ -368,6 +393,17 @@ impl Replica {
     /// Stable low watermark.
     pub fn low_mark(&self) -> SeqNum {
         self.inner.borrow().low_mark
+    }
+
+    /// The simulated drive backing this replica's durability layer, if
+    /// configured. Chaos scenarios arm write faults on it; the handle
+    /// stays valid across restarts (it models the physical medium).
+    pub fn durable_disk(&self) -> Option<SimDisk> {
+        self.inner
+            .borrow()
+            .durable
+            .as_ref()
+            .map(|d| d.disk().clone())
     }
 
     /// Whether `seq` falls inside the agreement window (test hook).
@@ -591,6 +627,8 @@ impl Replica {
             inner.slot_granted_to = None;
             inner.fast_path_armed = false;
             let slot_region = inner.slot_region.take();
+            inner.rejoin_attempts = 0;
+            inner.rejoin_generation += 1;
             inner.bump("restarts", 1);
             inner.metrics.trace(
                 sim.now(),
@@ -606,8 +644,117 @@ impl Replica {
         if let Some(region) = slot_region {
             transport.release_write_region(&region);
         }
+        // Crash-consistent cold path: rebuild as much as the local drive
+        // holds before asking peers for the rest.
+        self.durable_recover(sim);
         self.request_catch_up(sim);
-        self.arm_rejoin_probe(sim, 0);
+        self.arm_rejoin_probe(sim);
+    }
+
+    /// Replays local durable state after a cold restart: install the best
+    /// snapshot slot, replay the clean WAL prefix through the executor,
+    /// and re-seal a checkpoint if replay ended exactly on an interval
+    /// boundary. Whatever is still missing afterwards — torn tail, lost
+    /// snapshot, history past the crash point — is fetched from peers via
+    /// the ordinary state-transfer path, now shrunk to a delta.
+    fn durable_recover(&self, sim: &mut Simulator) {
+        if self.inner.borrow().durable.is_none() {
+            return;
+        }
+        let now = sim.now();
+        let rec = {
+            let mut inner = self.inner.borrow_mut();
+            let ReplicaInner { durable, .. } = &mut *inner;
+            durable.as_mut().expect("checked above").recover(now)
+        };
+        if let Some((seq, payload)) = rec.snapshot {
+            let installed = {
+                let mut inner = self.inner.borrow_mut();
+                match CheckpointPayload::decode(&payload) {
+                    Some(cp) if inner.service.restore(&cp.service_snapshot) => {
+                        inner.client_state = cp
+                            .clients
+                            .iter()
+                            .map(|(c, ts, reply)| (*c, (*ts, reply.clone())))
+                            .collect();
+                        inner.executor.fast_forward(seq);
+                        inner.low_mark = seq;
+                        inner.next_seq = seq + 1;
+                        inner.bump("durable_restores", 1);
+                        true
+                    }
+                    // A CRC-valid slot that does not decode or restore
+                    // means corruption below the CRC's reach; treat it
+                    // like a corrupt slot and lean on peers.
+                    _ => {
+                        inner.bump("snapshot_corrupt_fallback", 1);
+                        false
+                    }
+                }
+            };
+            if !installed {
+                // The snapshot is unusable, so the WAL (which starts past
+                // it) cannot be replayed either.
+                self.trace_recover(sim, 0);
+                return;
+            }
+        }
+        let mut replayed = 0u64;
+        {
+            let mut inner = self.inner.borrow_mut();
+            for frame in &rec.frames {
+                if frame.seq != inner.executor.last_executed + 1 {
+                    continue;
+                }
+                for req in &frame.requests {
+                    let stale = inner
+                        .client_state
+                        .get(&req.client)
+                        .is_some_and(|(ts, _)| *ts >= req.timestamp);
+                    if stale {
+                        continue;
+                    }
+                    let cost = inner.service.op_cost(req);
+                    inner.charge(sim, CoreId(0), cost);
+                    let result = inner.service.apply(req);
+                    inner
+                        .client_state
+                        .insert(req.client, (req.timestamp, result));
+                }
+                inner.executor.replay_record(frame.seq, frame.digest);
+                replayed += 1;
+            }
+            if replayed > 0 {
+                inner.next_seq = inner.executor.last_executed + 1;
+                inner.bump("wal_frames_replayed", replayed);
+            }
+        }
+        // Re-seal and attest the recovered position when it lands exactly
+        // on a checkpoint boundary (a snapshot always does; WAL replay
+        // only sometimes). The broadcast vote tells peers this replica is
+        // provisioned — on a full-cluster restart those votes re-certify
+        // the checkpoint with zero state fetched.
+        let seal = {
+            let inner = self.inner.borrow();
+            let le = inner.executor.last_executed;
+            (le > 0 && le.is_multiple_of(inner.cfg.checkpoint_interval)).then_some(le)
+        };
+        if let Some(seq) = seal {
+            self.make_checkpoint(sim, seq);
+        }
+        self.trace_recover(sim, replayed);
+    }
+
+    fn trace_recover(&self, sim: &mut Simulator, replayed: u64) {
+        let inner = self.inner.borrow();
+        inner.metrics.trace(
+            sim.now(),
+            "reptor",
+            format!(
+                "{}durable_recover le={} replayed={replayed}",
+                inner.metrics_prefix, inner.executor.last_executed
+            ),
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1582,6 +1729,29 @@ impl Replica {
             for (client, ts, result) in replies {
                 self.send_reply(sim, client, ts, result);
             }
+            // Durability: log the executed batch before it is reflected in
+            // any checkpoint, so a crash between checkpoints replays it.
+            {
+                let mut inner = self.inner.borrow_mut();
+                if inner.durable.is_some() {
+                    let digest = inner
+                        .executor
+                        .executed_log
+                        .last()
+                        .map_or(Digest::ZERO, |&(_, d)| d);
+                    let frame = WalFrame {
+                        seq,
+                        digest,
+                        requests: batch.clone(),
+                    };
+                    let now = sim.now();
+                    let ReplicaInner { durable, .. } = &mut *inner;
+                    durable
+                        .as_mut()
+                        .expect("checked above")
+                        .append_batch(now, &frame);
+                }
+            }
             // Checkpointing.
             let is_checkpoint = {
                 let inner = self.inner.borrow();
@@ -1801,6 +1971,25 @@ impl Replica {
                 inner.metrics_prefix
             ),
         );
+        // Durability: every `snapshot_every`-th stable checkpoint is
+        // persisted from its sealed store (the payload as it was at `seq`,
+        // not the service's current — possibly later — state) and the WAL
+        // compacts down to frames past it.
+        let due = inner
+            .durable
+            .as_mut()
+            .is_some_and(DurableStore::record_stable);
+        if due {
+            let payload = inner.stores.get(&seq).map(|(s, _)| s.bytes().to_vec());
+            if let Some(payload) = payload {
+                let now = sim.now();
+                let ReplicaInner { durable, .. } = &mut *inner;
+                durable
+                    .as_mut()
+                    .expect("checked above")
+                    .write_snapshot(now, seq, &payload);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1900,7 +2089,18 @@ impl Replica {
                 return;
             }
             let me = inner.id;
-            inner.transfer = Some(Transfer::new(target, root, peers, me));
+            let mut transfer = Transfer::new(target, root, peers, me);
+            // Durable delta fetch: offer the locally recovered state as a
+            // chunk candidate. Once the manifest arrives, every chunk it
+            // digest-certifies that we already hold is satisfied without
+            // touching the network.
+            if inner.durable.is_some() && inner.executor.last_executed > 0 {
+                let local = inner
+                    .build_checkpoint_payload(inner.executor.last_executed)
+                    .encode();
+                transfer.set_local_candidate(local);
+            }
+            inner.transfer = Some(transfer);
             inner.stats.state_transfers_started += 1;
             inner.bump("state_transfer_started", 1);
             inner.metrics.trace(
@@ -2119,6 +2319,7 @@ impl Replica {
             let mut inner = self.inner.borrow_mut();
             let mut accepted_bytes = 0u64;
             let mut retried = false;
+            let mut local = (0u64, 0u64);
             {
                 let Some(t) = inner.transfer.as_mut() else {
                     return;
@@ -2131,6 +2332,8 @@ impl Replica {
                         // Stale or forged manifest: route around.
                         t.next_peer();
                         retried = true;
+                    } else {
+                        local = t.prefill_from_local();
                     }
                 } else {
                     match t.accept_chunk(chunk, &data) {
@@ -2147,6 +2350,10 @@ impl Replica {
                 inner.bump("state_transfer_chunks", 1);
                 inner.bump("state_transfer_bytes", accepted_bytes);
             }
+            if local.0 > 0 {
+                inner.bump("state_transfer_chunks_local", local.0);
+                inner.bump("state_transfer_bytes_local", local.1);
+            }
             if retried {
                 inner.stats.state_transfer_retries += 1;
                 inner.bump("state_transfer_retries", 1);
@@ -2159,7 +2366,7 @@ impl Replica {
     /// rebuilds the client session table, fast-forwards the executor past
     /// the checkpoint and resumes normal operation above it.
     fn finish_transfer(&self, sim: &mut Simulator) {
-        let (target, payload) = {
+        let (target, payload, bytes) = {
             let mut inner = self.inner.borrow_mut();
             if !inner.transfer.as_ref().is_some_and(Transfer::is_complete) {
                 return;
@@ -2173,7 +2380,7 @@ impl Replica {
                 inner.bump("state_transfer_undecodable", 1);
                 return;
             };
-            (t.target, payload)
+            (t.target, payload, bytes)
         };
         {
             let mut inner = self.inner.borrow_mut();
@@ -2203,6 +2410,18 @@ impl Replica {
             }
             inner.stats.state_transfers_completed += 1;
             inner.bump("state_transfer_completed", 1);
+            // The replica is provisioned again: the next crash's rejoin
+            // probes must start back at the base backoff period.
+            inner.rejoin_attempts = 0;
+            // Persist the installed checkpoint: a later cold restart
+            // resumes from here instead of re-fetching everything.
+            let now = sim.now();
+            {
+                let ReplicaInner { durable, .. } = &mut *inner;
+                if let Some(d) = durable.as_mut() {
+                    d.write_snapshot(now, target, &bytes);
+                }
+            }
             inner.metrics.trace(
                 sim.now(),
                 "reptor",
@@ -2275,15 +2494,20 @@ impl Replica {
     /// transport reconnect policy (doubling, capped at `base << 5`): early
     /// probes converge fast when peers are live, late ones stop flooding an
     /// idle or partitioned group.
-    fn arm_rejoin_probe(&self, sim: &mut Simulator, attempts: u32) {
+    fn arm_rejoin_probe(&self, sim: &mut Simulator) {
         const MAX_PROBES: u32 = 32;
+        let (attempts, generation, le_at_arm, timeout) = {
+            let inner = self.inner.borrow();
+            (
+                inner.rejoin_attempts,
+                inner.rejoin_generation,
+                inner.executor.last_executed,
+                rejoin_probe_delay(inner.cfg.view_change_timeout, inner.rejoin_attempts),
+            )
+        };
         if attempts >= MAX_PROBES {
             return;
         }
-        let timeout = {
-            let base = self.inner.borrow().cfg.view_change_timeout;
-            rejoin_probe_delay(base, attempts)
-        };
         let replica = self.clone();
         sim.schedule_in(
             timeout,
@@ -2293,14 +2517,26 @@ impl Replica {
                     if inner.byzantine == ByzantineMode::Crash {
                         return;
                     }
-                    // Rejoined: executing again with no transfer in flight.
-                    if inner.executor.last_executed > 0 && inner.transfer.is_none() {
+                    // A later restart started its own probe chain; this
+                    // one is stale — die rather than compound the backoff.
+                    if inner.rejoin_generation != generation {
+                        return;
+                    }
+                    // Rejoined: the replica advanced past where it stood
+                    // when this probe was armed (by transfer or by live
+                    // execution) with no transfer in flight. A durable
+                    // recovery restarts *at* `le_at_arm`, so local replay
+                    // alone never satisfies this — the replica keeps
+                    // probing until peers confirm it is current or the
+                    // budget runs out.
+                    if inner.executor.last_executed > le_at_arm && inner.transfer.is_none() {
                         return;
                     }
                 }
+                replica.inner.borrow_mut().rejoin_attempts += 1;
                 replica.request_catch_up(sim);
                 replica.maybe_start_transfer(sim);
-                replica.arm_rejoin_probe(sim, attempts + 1);
+                replica.arm_rejoin_probe(sim);
             }),
         );
     }

@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 mod chaos;
+mod disk;
 mod event;
 mod fault;
 mod frame;
@@ -62,6 +63,7 @@ mod stats;
 mod time;
 
 pub use chaos::{ChaosAction, ChaosSchedule};
+pub use disk::{DiskFault, DiskSpec, SimDisk};
 pub use event::{EventFn, EventId};
 pub use fault::{FaultCoins, FaultPlane, FaultVerdict};
 pub use frame::{Addr, Frame, Payload};
