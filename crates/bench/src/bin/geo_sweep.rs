@@ -1,0 +1,153 @@
+//! Geo-distributed agreement sweep over the WAN latency matrices.
+//!
+//! Sweeps the replica count n ∈ {4, 7, 16} (plus n = 31 and the 5-region
+//! matrix with `--full`, run by the CI `scale` job in release mode) over
+//! [`simnet::LatencyMatrix`] topologies, driving each group with a small
+//! client workload on the `SimTransport` stack. For every point the sweep
+//! gates:
+//!
+//! * **agreement** — every client request completes and the safety
+//!   cross-check over the executed logs passes;
+//! * **determinism** — a second run from the same seed produces a
+//!   byte-identical metrics snapshot (WAN delays, client scheduling and
+//!   the sharded event core included).
+//!
+//! Reported commit latency is the mean client round-trip in microseconds —
+//! dominated by inter-region RTT, which is the point: the table in
+//! EXPERIMENTS.md shows how the geo spread, not the protocol, sets the
+//! floor. Writes `target/GEO_SWEEP.json` (`BENCH_JSON_PATH` overrides) and
+//! exits non-zero if any gate fails.
+//!
+//! Usage: `geo_sweep [requests] [--full]`.
+
+use reptor::{Cluster, CounterService, ReptorConfig};
+use simnet::LatencyMatrix;
+
+const SEED: u64 = 0x6E0;
+
+struct Point {
+    topology: &'static str,
+    n: usize,
+    regions: usize,
+    completed: u64,
+    latency_us: f64,
+    events: u64,
+    identical_replay: bool,
+}
+
+/// Runs one sweep point; returns the mean client latency, the snapshot
+/// JSON (for the replay check) and the executed-event count.
+fn run_point(n: usize, requests: u64, topology: &LatencyMatrix, seed: u64) -> (f64, String, u64) {
+    let cfg = ReptorConfig {
+        n,
+        ..ReptorConfig::small()
+    };
+    let mut c = Cluster::sim_transport_geo(cfg, 1, 1, seed, topology, || {
+        Box::new(CounterService::default())
+    });
+    let client = c.clients[0].clone();
+    let t0 = c.sim.now();
+    for _ in 0..requests {
+        client.submit(&mut c.sim, b"inc".to_vec());
+    }
+    assert!(
+        c.run_until_completed(requests, 200_000_000),
+        "geo agreement must complete (n={n})"
+    );
+    let elapsed = c.sim.now() - t0;
+    c.settle();
+    c.assert_safety();
+    let stats = c.clients[0].stats();
+    assert_eq!(stats.completed, requests, "every request must commit");
+    let latency_us = elapsed.as_nanos() as f64 / 1_000.0 / requests as f64;
+    (
+        latency_us,
+        c.metrics_snapshot().to_json(),
+        c.sim.executed_events(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let requests: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let lan = LatencyMatrix::lan();
+    let wan3 = LatencyMatrix::three_region_wan();
+    let wan5 = LatencyMatrix::five_region_wan();
+    let mut sweep: Vec<(&'static str, &LatencyMatrix, Vec<usize>)> =
+        vec![("lan", &lan, vec![4]), ("wan3", &wan3, vec![4, 7, 16])];
+    if full {
+        sweep[1].2.push(31);
+        sweep.push(("wan5", &wan5, vec![7, 16]));
+    }
+
+    println!(
+        "# geo_sweep — commit latency across WAN latency matrices ({requests} requests/point)"
+    );
+    println!(
+        "{:>6} {:>4} {:>8} {:>14} {:>12} {:>8}",
+        "topo", "n", "regions", "latency(us)", "events", "replay"
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+    for (name, topo, ns) in &sweep {
+        for &n in ns {
+            let (latency_us, snap_a, events) = run_point(n, requests, topo, SEED);
+            let (_, snap_b, _) = run_point(n, requests, topo, SEED);
+            let identical = snap_a == snap_b;
+            println!(
+                "{:>6} {:>4} {:>8} {:>14.1} {:>12} {:>8}",
+                name,
+                n,
+                topo.num_regions(),
+                latency_us,
+                events,
+                if identical { "ok" } else { "DRIFT" }
+            );
+            points.push(Point {
+                topology: name,
+                n,
+                regions: topo.num_regions(),
+                completed: requests,
+                latency_us,
+                events,
+                identical_replay: identical,
+            });
+        }
+    }
+
+    let mut body = String::from("{\"points\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"topology\":\"{}\",\"n\":{},\"regions\":{},\"completed\":{},\"latency_us\":{:.1},\
+             \"events\":{},\"identical_replay\":{}}}",
+            p.topology, p.n, p.regions, p.completed, p.latency_us, p.events, p.identical_replay
+        ));
+    }
+    let all_replay = points.iter().all(|p| p.identical_replay);
+    body.push_str(&format!(
+        "],\"checks\":{{\"geo: every point reached agreement\":true,\
+         \"geo: every point replays byte-identically\":{all_replay}}}}}"
+    ));
+    simnet::metrics::validate_json(&body).expect("bench JSON must be valid");
+    let path =
+        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "target/GEO_SWEEP.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).expect("bench JSON directory");
+    }
+    std::fs::write(&path, &body).expect("write bench JSON");
+    println!("\nwrote {path} ({} bytes)", body.len());
+
+    if !all_replay {
+        eprintln!("REGRESSION: a geo point did not replay byte-identically");
+        std::process::exit(1);
+    }
+    println!(
+        "\n# gate: {} points, agreement + byte-identical replay — PASS",
+        points.len()
+    );
+}

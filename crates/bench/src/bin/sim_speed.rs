@@ -1,0 +1,97 @@
+//! Event-core throughput micro-benchmark plus the CI simulator-speed gate.
+//!
+//! Runs the same deterministic scheduling workload (standing window,
+//! cross-host timers, a slice of cancellations) on both event-core
+//! generations in the same process:
+//!
+//! * the pre-PR global `BinaryHeap` + cancelled-id set (`Core::Legacy`),
+//! * the sharded slab queue with conservative lookahead (`Core::Sharded`),
+//!
+//! and gates on the *ratio* sharded/legacy, which is machine-independent —
+//! both cores pay the same CPU, allocator and cache conditions of the
+//! runner. The gate fails unless the sharded core is at least
+//! `SIM_SPEED_MIN_RATIO`× (default 1.5×) the legacy core.
+//!
+//! Usage: `sim_speed [events] [rounds]`. Writes `target/BENCH_PR8.json`
+//! (`BENCH_JSON_PATH` overrides) with both absolute readings and the
+//! ratio, so CI can track the simulator-throughput trajectory over time.
+//! The repo root carries a committed `BENCH_PR8.json` with the readings
+//! from the change that introduced the sharded core, for reference.
+
+use simnet::speed::{compare, SpeedWorkload};
+
+/// Gate threshold: sharded core must beat legacy by at least this factor.
+const DEFAULT_MIN_RATIO: f64 = 1.5;
+
+fn main() {
+    let arg = |n: usize| std::env::args().nth(n);
+    let events: u64 = arg(1).and_then(|s| s.parse().ok()).unwrap_or(600_000);
+    let rounds: usize = arg(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let min_ratio: f64 = std::env::var("SIM_SPEED_MIN_RATIO")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_MIN_RATIO);
+
+    let w = SpeedWorkload {
+        events,
+        ..SpeedWorkload::default()
+    };
+    println!(
+        "# sim_speed — event-core throughput, {} events, window {}, {} hosts, burst {}, cancel 1/{} ({rounds} rounds, best-of)",
+        w.events, w.window, w.hosts, w.burst, w.cancel_every
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "round", "legacy ev/s", "sharded ev/s", "ratio"
+    );
+
+    // Best-of-N per core: micro-bench noise (scheduler preemption, cache
+    // warm-up) only ever slows a round down, so the max is the cleanest
+    // reading for each core.
+    let mut best_legacy = 0.0f64;
+    let mut best_sharded = 0.0f64;
+    for round in 0..rounds {
+        let (legacy, sharded) = compare(w, 0xC0FFEE + round as u64);
+        println!(
+            "{:>8} {:>16.0} {:>16.0} {:>7.2}x",
+            round,
+            legacy,
+            sharded,
+            sharded / legacy
+        );
+        best_legacy = best_legacy.max(legacy);
+        best_sharded = best_sharded.max(sharded);
+    }
+    let ratio = best_sharded / best_legacy;
+    println!(
+        "{:>8} {:>16.0} {:>16.0} {:>7.2}x",
+        "best", best_legacy, best_sharded, ratio
+    );
+
+    let ok = ratio >= min_ratio;
+    let json = format!(
+        "{{\"workload\":{{\"events\":{},\"window\":{},\"cancel_every\":{},\"hosts\":{},\"burst\":{},\"rounds\":{rounds}}},\
+         \"events_per_sec_legacy\":{:.1},\"events_per_sec\":{:.1},\"ratio\":{:.4},\"min_ratio\":{:.2},\
+         \"checks\":{{\"sim speed: sharded core >= {:.2}x legacy core\":{}}}}}",
+        w.events, w.window, w.cancel_every, w.hosts, w.burst, best_legacy, best_sharded, ratio, min_ratio, min_ratio, ok
+    );
+    simnet::metrics::validate_json(&json).expect("bench JSON must be valid");
+    let path =
+        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "target/BENCH_PR8.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).expect("bench JSON directory");
+    }
+    std::fs::write(&path, &json).expect("write bench JSON");
+    println!("\nwrote {path} ({} bytes)", json.len());
+
+    println!(
+        "\n# gate: sharded/legacy = {ratio:.2}x (minimum {min_ratio:.2}x) — {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    if !ok {
+        eprintln!(
+            "REGRESSION: sharded event core only {ratio:.2}x legacy (need >= {min_ratio:.2}x)"
+        );
+        std::process::exit(1);
+    }
+}

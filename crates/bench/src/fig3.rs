@@ -446,6 +446,7 @@ fn channel_echo_run(
         latency_us: rec.mean().as_micros_f64(),
         rps: throughput_ops_per_sec(msgs as u64, tb.sim.now() - t0),
     };
+    tb.net.publish_sim_gauges(&tb.sim);
     (result, tb.net.metrics().snapshot())
 }
 

@@ -192,9 +192,18 @@ impl MemoryRegion {
         self.write(offset, data)
     }
 
-    /// NIC-side read used by packet processing (DMA fetch).
-    pub(crate) fn dma_read(&self, offset: usize, len: usize) -> VerbsResult<Vec<u8>> {
-        self.read(offset, len)
+    /// DMA fetch into a buffer recycled from `pool`, so the steady-state
+    /// send path allocates nothing per message.
+    pub(crate) fn dma_read_pooled(
+        &self,
+        offset: usize,
+        len: usize,
+        pool: &simnet::BytePool,
+    ) -> VerbsResult<Vec<u8>> {
+        self.check_range(offset, len)?;
+        let mut out = pool.take(len);
+        out.extend_from_slice(&self.inner.buf.borrow()[offset..offset + len]);
+        Ok(out)
     }
 }
 

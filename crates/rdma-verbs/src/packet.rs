@@ -3,7 +3,7 @@
 //! These are internal to the crate: applications never see packets, only
 //! work completions and CM events, exactly as with real verbs.
 
-use simnet::Addr;
+use simnet::{Addr, BytePool};
 
 use crate::types::{QpNum, WcStatus};
 
@@ -101,6 +101,56 @@ impl RdmaPacket {
             RdmaPacket::ConnAccept { private, .. } => 64 + private.len(),
             RdmaPacket::ConnReject { reason, .. } => 64 + reason.len(),
             RdmaPacket::Disconnect { .. } => 32,
+        }
+    }
+
+    /// Clones the packet with its payload buffer drawn from `pool` — the
+    /// retransmission copy the sender parks per unacked data packet.
+    pub(crate) fn clone_with_pool(&self, pool: &BytePool) -> RdmaPacket {
+        let pooled = |data: &[u8]| {
+            let mut c = pool.take(data.len());
+            c.extend_from_slice(data);
+            c
+        };
+        match self {
+            RdmaPacket::Send {
+                src_qp,
+                data,
+                imm,
+                seq,
+            } => RdmaPacket::Send {
+                src_qp: *src_qp,
+                data: pooled(data),
+                imm: *imm,
+                seq: *seq,
+            },
+            RdmaPacket::WriteReq {
+                src_qp,
+                rkey,
+                offset,
+                data,
+                imm,
+                seq,
+            } => RdmaPacket::WriteReq {
+                src_qp: *src_qp,
+                rkey: *rkey,
+                offset: *offset,
+                data: pooled(data),
+                imm: *imm,
+                seq: *seq,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Takes the payload buffer out of a data packet so the caller can
+    /// recycle it (`None` for control packets).
+    pub(crate) fn into_data(self) -> Option<Vec<u8>> {
+        match self {
+            RdmaPacket::Send { data, .. }
+            | RdmaPacket::WriteReq { data, .. }
+            | RdmaPacket::ReadResp { data, .. } => Some(data),
+            _ => None,
         }
     }
 }

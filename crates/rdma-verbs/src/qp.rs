@@ -496,6 +496,7 @@ impl QueuePair {
     /// NIC-side: fetch payload and emit the packet for one WR.
     fn nic_transmit(&self, sim: &mut Simulator, wr: SendWr) {
         let model = self.device.model().clone();
+        let pool = self.device.net().buffer_pool();
         let (remote, seq, packet) = {
             let mut inner = self.inner.borrow_mut();
             if inner.state == QpState::Error {
@@ -517,25 +518,27 @@ impl QueuePair {
             inner.next_seq += 1;
 
             let packet = match &wr.op {
-                SendOp::Send { imm } => match wr.sge.mr.dma_read(wr.sge.offset, wr.sge.len) {
-                    Ok(data) => RdmaPacket::Send {
-                        src_qp: inner.num,
-                        data,
-                        imm: *imm,
-                        seq,
-                    },
-                    Err(_) => {
-                        let num = inner.num;
-                        drop(inner);
-                        self.complete_error(sim, wr.wr_id, opcode_of(&wr.op), num);
-                        return;
+                SendOp::Send { imm } => {
+                    match wr.sge.mr.dma_read_pooled(wr.sge.offset, wr.sge.len, &pool) {
+                        Ok(data) => RdmaPacket::Send {
+                            src_qp: inner.num,
+                            data,
+                            imm: *imm,
+                            seq,
+                        },
+                        Err(_) => {
+                            let num = inner.num;
+                            drop(inner);
+                            self.complete_error(sim, wr.wr_id, opcode_of(&wr.op), num);
+                            return;
+                        }
                     }
-                },
+                }
                 SendOp::Write {
                     rkey,
                     remote_offset,
                     imm,
-                } => match wr.sge.mr.dma_read(wr.sge.offset, wr.sge.len) {
+                } => match wr.sge.mr.dma_read_pooled(wr.sge.offset, wr.sge.len, &pool) {
                     Ok(data) => RdmaPacket::WriteReq {
                         src_qp: inner.num,
                         rkey: rkey.0,
@@ -570,7 +573,7 @@ impl QueuePair {
                     opcode: opcode_of(&wr.op),
                     byte_len: wr.sge.len,
                     read_sink: matches!(wr.op, SendOp::Read { .. }).then(|| wr.sge.clone()),
-                    packet: packet.clone(),
+                    packet: packet.clone_with_pool(&pool),
                     retries_left: model.retry_cnt,
                     retry_timer: None,
                 },
@@ -888,7 +891,9 @@ impl QueuePair {
             }
         };
         match action {
-            Action::Drop => {}
+            Action::Drop => {
+                self.device.net().buffer_pool().put(data);
+            }
             Action::Place(rwr) => {
                 let dma = model.dma_cost(data.len());
                 let cqe_at = sim.now() + dma + Nanos::from_nanos(model.cqe_ns);
@@ -900,6 +905,7 @@ impl QueuePair {
                         let (num, remote, local) = {
                             let mut inner = qp.inner.borrow_mut();
                             let _ = rwr.sge.mr.dma_write(rwr.sge.offset, &data);
+                            qp.device.net().buffer_pool().put(data);
                             inner.stats.bytes_received += len as u64;
                             inner.bump("recvs_completed", 1);
                             qp.device
@@ -944,6 +950,7 @@ impl QueuePair {
                     inner.recv_cq.push(wc);
                     (inner.local_addr, inner.remote)
                 };
+                self.device.net().buffer_pool().put(data);
                 if let Some((raddr, _)) = remote {
                     let nak = RdmaPacket::Nak {
                         seq,
@@ -1013,6 +1020,8 @@ impl QueuePair {
         {
             let inner = self.inner.borrow();
             if !inner.state.can_receive() {
+                drop(inner);
+                self.device.net().buffer_pool().put(data);
                 return;
             }
         }
@@ -1032,6 +1041,7 @@ impl QueuePair {
                     self.inner.borrow().bump("stale_rkey_denied", 1);
                 }
                 self.inner.borrow().bump("fast_path_write_denied", 1);
+                self.device.net().buffer_pool().put(data);
                 self.send_nak(sim, seq, WcStatus::RemoteAccessError);
                 return;
             }
@@ -1072,7 +1082,9 @@ impl QueuePair {
             done_at,
             Box::new(move |sim| {
                 let len = data.len();
-                if target.dma_write(offset, &data).is_err() {
+                let write_ok = target.dma_write(offset, &data).is_ok();
+                qp.device.net().buffer_pool().put(data);
+                if !write_ok {
                     qp.send_nak(sim, seq, WcStatus::RemoteAccessError);
                     return;
                 }
@@ -1144,7 +1156,8 @@ impl QueuePair {
         sim.schedule_at(
             sim.now() + dma,
             Box::new(move |sim| {
-                let data = match target.dma_read(offset, len) {
+                let pool = qp.device.net().buffer_pool();
+                let data = match target.dma_read_pooled(offset, len, &pool) {
                     Ok(d) => d,
                     Err(_) => {
                         qp.send_nak(sim, seq, WcStatus::RemoteAccessError);
@@ -1186,16 +1199,18 @@ impl QueuePair {
         sim.schedule_at(
             sim.now() + dma + Nanos::from_nanos(model.cqe_ns),
             Box::new(move |sim| {
+                let len = data.len();
                 let ok = sink.mr.dma_write(sink.offset, &data).is_ok();
+                qp.device.net().buffer_pool().put(data);
                 {
                     let mut inner = qp.inner.borrow_mut();
-                    inner.stats.bytes_sent += data.len() as u64;
+                    inner.stats.bytes_sent += len as u64;
                     inner.bump("sends_completed", 1);
                     qp.device
                         .net()
                         .host(inner.local_addr.host)
                         .borrow()
-                        .count_dma(data.len());
+                        .count_dma(len);
                     if p.signaled || !ok {
                         inner.bump("signaled_completions", 1);
                         let wc = Wc {
@@ -1206,7 +1221,7 @@ impl QueuePair {
                                 WcStatus::LocalProtectionError
                             },
                             opcode: WcOpcode::RdmaRead,
-                            byte_len: data.len(),
+                            byte_len: len,
                             qp: inner.num,
                             imm: None,
                         };
@@ -1244,7 +1259,14 @@ impl QueuePair {
                     inner.stats.completions_suppressed += 1;
                     inner.bump("unsignaled_completions", 1);
                 }
-                p.retry_timer
+                let timer = p.retry_timer;
+                drop(inner);
+                // Recycle the parked retransmission copy now that the
+                // message is acknowledged.
+                if let Some(buf) = p.packet.into_data() {
+                    self.device.net().buffer_pool().put(buf);
+                }
+                timer
             } else {
                 None
             }
@@ -1269,7 +1291,12 @@ impl QueuePair {
                     imm: None,
                 };
                 inner.send_cq.push(wc);
-                p.retry_timer
+                let timer = p.retry_timer;
+                drop(inner);
+                if let Some(buf) = p.packet.into_data() {
+                    self.device.net().buffer_pool().put(buf);
+                }
+                timer
             } else {
                 None
             }

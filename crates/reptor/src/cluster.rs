@@ -3,7 +3,7 @@
 
 use std::rc::Rc;
 
-use simnet::{Network, Simulator, TestBed};
+use simnet::{CpuModel, HostId, LatencyMatrix, Network, Simulator, TestBed};
 
 use crate::client::Client;
 use crate::config::ReptorConfig;
@@ -89,6 +89,86 @@ impl Cluster {
         }
     }
 
+    /// Builds a geo-distributed cluster: replicas are spread round-robin
+    /// across the topology's regions (one host each), and `num_clients`
+    /// clients share `num_client_hosts` hosts — the shape needed to drive
+    /// thousand-client scenarios without a thousand hosts. The view-change
+    /// timeout is raised to the topology's [`LatencyMatrix::suggested_timeout`]
+    /// if the configured one is too aggressive for the WAN RTTs.
+    pub fn sim_transport_geo(
+        mut cfg: ReptorConfig,
+        num_clients: usize,
+        num_client_hosts: usize,
+        seed: u64,
+        topology: &LatencyMatrix,
+        mut service: impl FnMut() -> Box<dyn StateMachine>,
+    ) -> Cluster {
+        cfg.view_change_timeout = cfg.view_change_timeout.max(topology.suggested_timeout());
+        cfg.validate();
+        let num_client_hosts = num_client_hosts.clamp(1, num_clients.max(1));
+        let sim = Simulator::new(seed);
+        let net = Network::new();
+        let assignment = topology.round_robin(cfg.n + num_client_hosts);
+        let replica_hosts: Vec<HostId> = (0..cfg.n)
+            .map(|i| {
+                let region = topology.region_name(assignment[i]);
+                net.add_host(format!("replica-{i}-{region}"), 4, CpuModel::xeon_v2())
+            })
+            .collect();
+        let client_hosts: Vec<HostId> = (0..num_client_hosts)
+            .map(|i| {
+                let region = topology.region_name(assignment[cfg.n + i]);
+                net.add_host(format!("clients-{i}-{region}"), 4, CpuModel::xeon_v2())
+            })
+            .collect();
+        let all_hosts: Vec<HostId> = replica_hosts
+            .iter()
+            .chain(client_hosts.iter())
+            .copied()
+            .collect();
+        topology.wire(&net, &all_hosts, &assignment);
+
+        let nodes: Vec<(u32, HostId)> = (0..cfg.n)
+            .map(|i| (i as u32, replica_hosts[i]))
+            .chain(
+                (0..num_clients).map(|i| ((cfg.n + i) as u32, client_hosts[i % num_client_hosts])),
+            )
+            .collect();
+        let transports = SimTransport::build_group(&net, &nodes);
+
+        let replicas: Vec<Replica> = (0..cfg.n)
+            .map(|i| {
+                Replica::new(
+                    i as u32,
+                    cfg.clone(),
+                    DOMAIN_SECRET,
+                    Rc::new(transports[i].clone()) as Rc<dyn Transport>,
+                    &net,
+                    replica_hosts[i],
+                    service(),
+                )
+            })
+            .collect();
+        let clients: Vec<Client> = (0..num_clients)
+            .map(|i| {
+                let id = (cfg.n + i) as u32;
+                Client::new(
+                    id,
+                    cfg.clone(),
+                    DOMAIN_SECRET,
+                    Rc::new(transports[cfg.n + i].clone()) as Rc<dyn Transport>,
+                )
+            })
+            .collect();
+        Cluster {
+            sim,
+            net,
+            replicas,
+            clients,
+            cfg,
+        }
+    }
+
     /// The cluster-wide metrics registry (shared by every layer on the
     /// fabric: hosts, transports, and replicas).
     pub fn metrics(&self) -> simnet::Metrics {
@@ -96,8 +176,11 @@ impl Cluster {
     }
 
     /// A deterministic snapshot of every counter, gauge, histogram and
-    /// trace event accumulated so far.
+    /// trace event accumulated so far. Refreshes the `sim.events_*` and
+    /// `pool.*` gauges from the event core and buffer pool first, so the
+    /// snapshot always carries current simulator-health readings.
     pub fn metrics_snapshot(&self) -> simnet::MetricsSnapshot {
+        self.net.publish_sim_gauges(&self.sim);
         self.net.metrics().snapshot()
     }
 

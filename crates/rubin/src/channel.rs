@@ -387,8 +387,10 @@ impl RdmaChannel {
             let limit = inner.device.model().max_post_batch;
             (inner.qp.clone(), wrs, limit)
         };
-        for chunk in wrs.chunks(batch_limit) {
-            qp.post_recv_batch(sim, chunk.to_vec())?;
+        let mut iter = wrs.into_iter().peekable();
+        while iter.peek().is_some() {
+            let batch: Vec<RecvWr> = iter.by_ref().take(batch_limit).collect();
+            qp.post_recv_batch(sim, batch)?;
         }
         Ok(())
     }
@@ -780,8 +782,10 @@ impl RdmaChannel {
             (data, repost)
         };
         if let Some((qp, wrs, limit)) = repost {
-            for chunk in wrs.chunks(limit) {
-                qp.post_recv_batch(sim, chunk.to_vec())?;
+            let mut iter = wrs.into_iter().peekable();
+            while iter.peek().is_some() {
+                let batch: Vec<RecvWr> = iter.by_ref().take(limit).collect();
+                qp.post_recv_batch(sim, batch)?;
             }
         }
         self.refresh_readiness(sim);
@@ -821,8 +825,10 @@ impl RdmaChannel {
             }
         };
         if let Some((qp, wrs, limit)) = repost {
-            for chunk in wrs.chunks(limit) {
-                qp.post_recv_batch(sim, chunk.to_vec())?;
+            let mut iter = wrs.into_iter().peekable();
+            while iter.peek().is_some() {
+                let batch: Vec<RecvWr> = iter.by_ref().take(limit).collect();
+                qp.post_recv_batch(sim, batch)?;
             }
         }
         self.refresh_readiness(sim);

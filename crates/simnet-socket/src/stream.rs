@@ -481,11 +481,17 @@ impl TcpStream {
                     break;
                 }
                 let n = window.min(inner.model.mss);
-                let bytes: Vec<u8> = inner.send_buf.drain(..n).collect();
+                // Segment buffers recycle through the network's pool: one
+                // for the wire, one for the unacked retransmission copy.
+                let pool = inner.net.buffer_pool();
+                let mut bytes = pool.take(n);
+                bytes.extend(inner.send_buf.drain(..n));
                 inner.bytes_pushed += n as u64;
                 let seq = inner.snd_next;
                 inner.snd_next += 1;
-                inner.unacked.push_back((seq, bytes.clone()));
+                let mut unacked_copy = pool.take(n);
+                unacked_copy.extend_from_slice(&bytes);
+                inner.unacked.push_back((seq, unacked_copy));
                 inner.stats.segments_tx += 1;
                 let work = Nanos::from_nanos(inner.model.segment_tx_ns);
                 let host = inner.host;
@@ -573,7 +579,13 @@ impl TcpStream {
                     .net
                     .metrics()
                     .incr(&format!("tcp.{}.retransmits", inner.local));
-                let (seq, bytes) = inner.unacked.front().cloned().expect("checked non-empty");
+                let pool = inner.net.buffer_pool();
+                let (seq, bytes) = {
+                    let (seq, front) = inner.unacked.front().expect("checked non-empty");
+                    let mut copy = pool.take(front.len());
+                    copy.extend_from_slice(front);
+                    (*seq, copy)
+                };
                 Act::Resend(
                     inner.net.clone(),
                     inner.local,
@@ -732,14 +744,17 @@ impl TcpStream {
                     Box::new(move |sim| {
                         let (net, local, remote, ack_bytes, upto) = {
                             let mut inner = s.inner.borrow_mut();
+                            let pool = inner.net.buffer_pool();
                             if seq == inner.rcv_next {
                                 inner.recv_buf.extend(bytes.iter());
+                                pool.put(bytes);
                                 inner.rcv_next += 1;
                                 while let Some(parked) = {
                                     let next = inner.rcv_next;
                                     inner.rcv_ooo.remove(&next)
                                 } {
                                     inner.recv_buf.extend(parked.iter());
+                                    pool.put(parked);
                                     inner.rcv_next += 1;
                                 }
                             } else if seq > inner.rcv_next {
@@ -749,11 +764,13 @@ impl TcpStream {
                                     e.insert(bytes);
                                 } else {
                                     inner.stats.dup_segments += 1;
+                                    pool.put(bytes);
                                 }
                             } else {
                                 // Already delivered: the cumulative ack
                                 // below repairs the sender's view.
                                 inner.stats.dup_segments += 1;
+                                pool.put(bytes);
                             }
                             (
                                 inner.net.clone(),
@@ -776,9 +793,12 @@ impl TcpStream {
             TcpSegment::Ack { upto } => {
                 let (timer, rearm) = {
                     let mut inner = self.inner.borrow_mut();
+                    let pool = inner.net.buffer_pool();
                     let before = inner.unacked.len();
                     while inner.unacked.front().is_some_and(|(s, _)| *s < upto) {
-                        inner.unacked.pop_front();
+                        if let Some((_, buf)) = inner.unacked.pop_front() {
+                            pool.put(buf);
+                        }
                     }
                     if inner.unacked.len() == before {
                         // No progress (stale or duplicate ack): leave the

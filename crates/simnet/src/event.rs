@@ -4,108 +4,862 @@
 //! deterministic: ties on the timestamp are broken by the monotonically
 //! increasing sequence number assigned at scheduling time, so two runs of the
 //! same program always execute events in the same order.
+//!
+//! # Sharded queue with conservative lookahead
+//!
+//! The queue is the simulator's hottest data structure: every frame delivery,
+//! CPU completion and protocol timer passes through it, and big geo-cluster
+//! runs keep hundreds of thousands of events pending. The implementation is
+//! built for that load:
+//!
+//! * **Arena-allocated events.** Actions live in a slab ([`Slot`] arena with
+//!   a free list); the heaps order 16-byte plain-old-data [`Entry`] values
+//!   (`(time, id)`), so a sift moves two words instead of a fat closure
+//!   pointer, and the slot index is packed into the id's low bits — no side
+//!   map is needed to find an event from its handle.
+//! * **Per-host shards.** Events carry a shard hint (the destination host of
+//!   a frame delivery, propagated to everything an event schedules in turn),
+//!   and each shard keeps its own small heap — small enough to stay
+//!   cache-resident where one global heap of the same events spills. The
+//!   shard heads are merged through a tiny *head index* (a lazily
+//!   invalidated min-heap holding each shard's current head), so a pop
+//!   costs `O(log shards)` on the index plus `O(log n/shards)` on one
+//!   shard instead of `O(log n)` on a cache-cold global heap.
+//! * **Conservative lookahead fence.** After a merge, the winning shard may
+//!   keep popping without re-consulting the index for as long as its head
+//!   stays at or below the runner-up key observed at merge time. Events
+//!   cluster per host, so bursty stretches take the fenced fast path. The
+//!   merge always yields the global `(time, id)` minimum, so the execution
+//!   order is bit-identical to a single global queue.
+//! * **O(1) cancellation without tombstone growth.** Cancelling frees the
+//!   slot immediately (the action drops, the arena slot recycles); the dead
+//!   heap entry is drained lazily the next time it surfaces, and a tombstone
+//!   counter triggers a compaction sweep when dead entries outnumber live
+//!   ones, so cancel-heavy runs (per-segment ACK timers) stay bounded.
+//!
+//! The `shadow-event-queue` feature runs the pre-sharding [`legacy`] queue in
+//! lock-step and asserts every pop agrees — the transition-safety harness
+//! proving the refactor preserves the total order.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 
 use crate::sim::Simulator;
 use crate::time::Nanos;
 
-/// An event action: a one-shot closure run at its scheduled time.
-pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
-
-/// Handle identifying a scheduled event, usable with
-/// [`Simulator::cancel`](crate::Simulator::cancel).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(pub(crate) u64);
-
-pub(crate) struct ScheduledEvent {
-    pub at: Nanos,
-    pub id: EventId,
-    pub action: EventFn,
+/// A 4-ary min-heap of small `Copy` items.
+///
+/// The event core's heaps hold 16-byte plain-old-data entries, so a node's
+/// four children share one 64-byte cache line: a sift-down touches half the
+/// levels of a binary heap and one line per level, which is most of the
+/// sharded core's speed advantage over the `std::collections::BinaryHeap`
+/// generation it replaced.
+#[derive(Debug)]
+struct MinHeap4<T: Copy + Ord> {
+    v: Vec<T>,
 }
 
-impl PartialEq for ScheduledEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.id == other.id
+impl<T: Copy + Ord> Default for MinHeap4<T> {
+    fn default() -> Self {
+        MinHeap4::new()
     }
 }
 
-impl Eq for ScheduledEvent {}
+impl<T: Copy + Ord> MinHeap4<T> {
+    fn new() -> MinHeap4<T> {
+        MinHeap4 { v: Vec::new() }
+    }
 
-impl PartialOrd for ScheduledEvent {
+    /// Heapifies a vec in O(n).
+    fn from_vec(v: Vec<T>) -> MinHeap4<T> {
+        let mut h = MinHeap4 { v };
+        if h.v.len() > 1 {
+            for i in (0..=(h.v.len() - 2) / 4).rev() {
+                h.sift_down(i);
+            }
+        }
+        h
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        self.v
+    }
+
+    fn clear(&mut self) {
+        self.v.clear();
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&T> {
+        self.v.first()
+    }
+
+    #[inline]
+    fn push(&mut self, item: T) {
+        self.v.push(item);
+        let mut i = self.v.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) >> 2;
+            if self.v[parent] <= self.v[i] {
+                break;
+            }
+            self.v.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<T> {
+        let n = self.v.len();
+        if n == 0 {
+            return None;
+        }
+        self.v.swap(0, n - 1);
+        let out = self.v.pop();
+        if self.v.len() > 1 {
+            self.sift_down(0);
+        }
+        out
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.v.len();
+        loop {
+            let first = (i << 2) + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + 4).min(n);
+            let mut min = first;
+            for c in first + 1..last {
+                if self.v[c] < self.v[min] {
+                    min = c;
+                }
+            }
+            if self.v[i] <= self.v[min] {
+                break;
+            }
+            self.v.swap(i, min);
+            i = min;
+        }
+    }
+}
+
+/// An event action: a one-shot closure run at its scheduled time.
+pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+/// Bits of an [`EventId`] holding the arena slot index.
+const SLOT_BITS: u32 = 24;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+
+/// Handle identifying a scheduled event, usable with
+/// [`Simulator::cancel`](crate::Simulator::cancel).
+///
+/// The id packs the scheduling sequence number (high bits — the
+/// deterministic tie-breaker) with the arena slot (low bits — O(1)
+/// cancellation), so ids still compare in scheduling order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+/// A heap entry: plain old data, 16 bytes, cheap to sift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    at: Nanos,
+    id: u64,
+}
+
+impl Entry {
+    fn key(&self) -> (Nanos, u64) {
+        (self.at, self.id)
+    }
+}
+
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for ScheduledEvent {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        // Ties broken by scheduling order (lower id first).
-        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+        // Natural (min-first) order: earliest time, ties broken by
+        // scheduling order (lower id first).
+        self.at.cmp(&other.at).then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// One arena slot: the stored action plus the id it belongs to, so stale
+/// heap entries pointing at a recycled slot are recognised as dead.
+struct Slot {
+    id: u64,
+    action: Option<EventFn>,
+}
+
+/// Counters describing the queue's lifetime behaviour, surfaced as the
+/// `sim.events_*` gauges in metrics snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+    /// Dead heap entries drained lazily on pop/peek.
+    pub tombstones_purged: u64,
+    /// Compaction sweeps rebuilding the shard heaps.
+    pub compactions: u64,
+    /// Live (pending, non-cancelled) events right now.
+    pub pending: usize,
+    /// Dead entries currently sitting in the heaps.
+    pub tombstones: usize,
+    /// Maximum simultaneously pending live events.
+    pub high_water: usize,
+    /// Pops served by the fenced fast path (no index traffic).
+    pub run_hits: u64,
+    /// Pops that needed a full head-index merge.
+    pub merges: u64,
+    /// Stale head-index entries discarded during merges.
+    pub index_stale: u64,
+}
+
+/// Fenced fast-path state: while `shard`'s head stays at or below `fence`
+/// (the runner-up key from the last index merge, `None` = no other entry
+/// was indexed), it may pop without consulting the index.
+#[derive(Clone, Copy)]
+struct RunCache {
+    shard: usize,
+    fence: Option<(Nanos, u64)>,
+}
+
+/// A head-index entry: one shard's head at the time it was indexed. Stale
+/// entries (the head has since been popped or displaced) are discarded
+/// lazily when they surface at the index top.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct IndexEntry {
+    e: Entry,
+    shard: u32,
+}
+
+impl PartialOrd for IndexEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Order purely by the entry key; the shard tag is payload.
+        self.e.cmp(&other.e)
     }
 }
 
 /// Deterministic priority queue of scheduled events with O(1) cancellation.
+///
+/// Invariant: every non-empty shard's *current* head has an entry in
+/// `index` (possibly alongside stale duplicates). Pops keep it by
+/// re-indexing a shard's new head immediately after popping the old one.
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
-    cancelled: HashSet<EventId>,
-    next_id: u64,
+    shards: Vec<MinHeap4<Entry>>,
+    index: MinHeap4<IndexEntry>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    next_seq: u64,
+    live: usize,
+    tombstones: usize,
+    scheduled: u64,
+    cancelled: u64,
+    tombstones_purged: u64,
+    compactions: u64,
+    high_water: usize,
+    run_hits: u64,
+    merges: u64,
+    index_stale: u64,
+    cache: Option<RunCache>,
+    #[cfg(feature = "shadow-event-queue")]
+    shadow: legacy::LegacyEventQueue,
 }
 
 impl EventQueue {
     pub fn new() -> EventQueue {
+        EventQueue::with_shards(DEFAULT_SHARDS)
+    }
+
+    pub fn with_shards(shards: usize) -> EventQueue {
+        let shards = shards.max(1);
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            shards: (0..shards).map(|_| MinHeap4::new()).collect(),
+            index: MinHeap4::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            live: 0,
+            tombstones: 0,
+            scheduled: 0,
+            cancelled: 0,
+            tombstones_purged: 0,
+            compactions: 0,
+            high_water: 0,
+            run_hits: 0,
+            merges: 0,
+            index_stale: 0,
+            cache: None,
+            #[cfg(feature = "shadow-event-queue")]
+            shadow: legacy::LegacyEventQueue::new(),
         }
     }
 
-    pub fn push(&mut self, at: Nanos, action: EventFn) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.heap.push(ScheduledEvent { at, id, action });
-        id
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn is_live(&self, entry: Entry) -> bool {
+        let slot = &self.slots[(entry.id & SLOT_MASK) as usize];
+        slot.id == entry.id && slot.action.is_some()
+    }
+
+    pub fn push(&mut self, at: Nanos, shard_hint: u32, action: EventFn) -> EventId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u64;
+                assert!(s <= SLOT_MASK, "too many pending events ({s})");
+                self.slots.push(Slot {
+                    id: 0,
+                    action: None,
+                });
+                s as u32
+            }
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        debug_assert!(seq < (1 << (64 - SLOT_BITS)), "event sequence overflow");
+        let id = (seq << SLOT_BITS) | slot as u64;
+        self.slots[slot as usize] = Slot {
+            id,
+            action: Some(action),
+        };
+        let shard = (shard_hint as usize) % self.shards.len();
+        // A push into another shard below the fence can change the merge
+        // winner; retire the fast path and re-merge on the next pop.
+        if let Some(c) = self.cache {
+            if c.shard != shard && c.fence.is_none_or(|f| (at, id) < f) {
+                self.retire_cache();
+            }
+        }
+        let entry = Entry { at, id };
+        // Index the entry iff it becomes its shard's head; otherwise the
+        // current head's index entry already covers the shard. The cached
+        // shard is exempt while its run is active — `retire_cache`
+        // re-indexes its head on run exit — so same-shard cascade pushes
+        // generate no index traffic at all.
+        let new_head = self.shards[shard]
+            .peek()
+            .is_none_or(|head| entry.key() < head.key());
+        self.shards[shard].push(entry);
+        if new_head && !matches!(self.cache, Some(c) if c.shard == shard) {
+            self.index.push(IndexEntry {
+                e: entry,
+                shard: shard as u32,
+            });
+        }
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        self.scheduled += 1;
+        #[cfg(feature = "shadow-event-queue")]
+        self.shadow.push(at, Box::new(|_| {}));
+        EventId(id)
     }
 
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        let idx = (id.0 & SLOT_MASK) as usize;
+        if idx >= self.slots.len() {
+            return;
+        }
+        let slot = &mut self.slots[idx];
+        if slot.id != id.0 || slot.action.is_none() {
+            return; // already ran or already cancelled
+        }
+        slot.action = None;
+        self.free.push(idx as u32);
+        self.live -= 1;
+        self.tombstones += 1;
+        self.cancelled += 1;
+        #[cfg(feature = "shadow-event-queue")]
+        self.shadow.cancel(id.0 >> SLOT_BITS);
+        self.maybe_compact();
     }
 
-    /// Pops the next live (non-cancelled) event, discarding cancelled ones.
-    pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.id) {
-                continue;
-            }
-            return Some(ev);
+    /// Rebuilds every shard heap without its dead entries once tombstones
+    /// outnumber live events, bounding memory on cancel-heavy runs. The
+    /// head index is rebuilt from the surviving shard heads.
+    fn maybe_compact(&mut self) {
+        if self.tombstones <= 64 || self.tombstones <= self.live {
+            return;
         }
+        for shard in &mut self.shards {
+            let entries: Vec<Entry> = std::mem::take(shard)
+                .into_vec()
+                .into_iter()
+                .filter(|e| {
+                    let slot = &self.slots[(e.id & SLOT_MASK) as usize];
+                    slot.id == e.id && slot.action.is_some()
+                })
+                .collect();
+            *shard = MinHeap4::from_vec(entries);
+        }
+        self.index.clear();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if let Some(&head) = shard.peek() {
+                self.index.push(IndexEntry {
+                    e: head,
+                    shard: s as u32,
+                });
+            }
+        }
+        self.tombstones_purged += self.tombstones as u64;
+        self.tombstones = 0;
+        self.compactions += 1;
+        self.cache = None;
+    }
+
+    /// Ends a fast-path run: re-indexes the cached shard's current head
+    /// (the one entry the lazy invariant exempts while the run is active)
+    /// and clears the cache.
+    #[cold]
+    fn retire_cache(&mut self) {
+        if let Some(c) = self.cache.take() {
+            if let Some(&head) = self.shards[c.shard].peek() {
+                self.index.push(IndexEntry {
+                    e: head,
+                    shard: c.shard as u32,
+                });
+            }
+        }
+    }
+
+    /// Takes `entry`'s action out of the arena if it is still live; purges
+    /// the tombstone counter otherwise.
+    #[inline]
+    fn claim(&mut self, entry: Entry) -> Option<EventFn> {
+        let idx = (entry.id & SLOT_MASK) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.id == entry.id {
+            if let Some(action) = slot.action.take() {
+                self.free.push(idx as u32);
+                self.live -= 1;
+                return Some(action);
+            }
+        }
+        self.tombstones -= 1;
+        self.tombstones_purged += 1;
         None
     }
 
-    /// Timestamp of the next live event, if any.
-    pub fn peek_time(&mut self) -> Option<Nanos> {
+    /// Full merge via the head index: pops the globally minimal live event,
+    /// discarding dead entries and stale index entries along the way, and
+    /// opens a new fenced run for the winning shard.
+    fn merge_pop(&mut self) -> Option<(u32, Nanos, EventFn)> {
+        self.merges += 1;
         loop {
-            match self.heap.peek() {
-                None => return None,
-                Some(ev) if self.cancelled.contains(&ev.id) => {
-                    let ev = self.heap.pop().expect("peeked event exists");
-                    self.cancelled.remove(&ev.id);
-                }
-                Some(ev) => return Some(ev.at),
+            let top = *self.index.peek()?;
+            let shard = top.shard as usize;
+            if self.shards[shard].peek() != Some(&top.e) {
+                // Stale: that head was popped or displaced since indexing.
+                self.index.pop();
+                self.index_stale += 1;
+                continue;
+            }
+            self.index.pop();
+            self.shards[shard].pop();
+            if let Some(action) = self.claim(top.e) {
+                // Open a run: the shard's next head stays un-indexed while
+                // the fence (runner-up key; possibly a stale entry, which
+                // is conservative — a too-low fence only re-merges early)
+                // lets the fast path keep popping it.
+                let fence = self.index.peek().map(|i| i.e.key());
+                self.cache = Some(RunCache { shard, fence });
+                return Some((shard as u32, top.e.at, action));
+            }
+            // Dead head: no run opened, so restore the shard's index cover.
+            if let Some(&next) = self.shards[shard].peek() {
+                self.index.push(IndexEntry {
+                    e: next,
+                    shard: top.shard,
+                });
             }
         }
     }
 
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    /// Pops the next live (non-cancelled) event with its shard.
+    pub fn pop(&mut self) -> Option<(u32, Nanos, EventFn)> {
+        let popped = self.pop_inner();
+        #[cfg(feature = "shadow-event-queue")]
+        match &popped {
+            Some((_, at, _)) => {
+                let (s_at, _s_seq) = self
+                    .shadow
+                    .pop()
+                    .expect("shadow queue agrees the queue is non-empty");
+                assert_eq!(
+                    s_at, *at,
+                    "sharded queue diverged from the legacy total order"
+                );
+            }
+            None => assert!(
+                self.shadow.pop().is_none(),
+                "shadow queue still has live events"
+            ),
+        }
+        popped
+    }
+
+    fn pop_inner(&mut self) -> Option<(u32, Nanos, EventFn)> {
+        if self.live == 0 {
+            self.retire_cache();
+            return None;
+        }
+        // Fenced fast path: the last winner keeps popping while its head
+        // stays at or below the runner-up key from the last merge — no
+        // index traffic at all during the run.
+        if let Some(c) = self.cache {
+            while let Some(&head) = self.shards[c.shard].peek() {
+                if c.fence.is_some_and(|f| head.key() > f) {
+                    break;
+                }
+                self.shards[c.shard].pop();
+                if let Some(action) = self.claim(head) {
+                    self.run_hits += 1;
+                    return Some((c.shard as u32, head.at, action));
+                }
+            }
+            self.retire_cache();
+        }
+        self.merge_pop()
+    }
+
+    /// Timestamp of the next live event, if any. Purges dead heads and
+    /// stale index entries encountered on the way.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        if self.live == 0 {
+            return None;
+        }
+        // Fast path mirror of `pop_inner`: the cached shard's head is the
+        // global minimum while it stays at or below the fence.
+        if let Some(c) = self.cache {
+            while let Some(&head) = self.shards[c.shard].peek() {
+                if c.fence.is_some_and(|f| head.key() > f) {
+                    break;
+                }
+                if self.is_live(head) {
+                    return Some(head.at);
+                }
+                self.shards[c.shard].pop();
+                self.tombstones -= 1;
+                self.tombstones_purged += 1;
+            }
+            self.retire_cache();
+        }
+        loop {
+            let top = *self.index.peek()?;
+            let shard = top.shard as usize;
+            if self.shards[shard].peek() != Some(&top.e) {
+                self.index.pop();
+                continue;
+            }
+            if self.is_live(top.e) {
+                // Open a run so the following `pop` takes the fast path.
+                self.index.pop();
+                let fence = self.index.peek().map(|i| i.e.key());
+                self.cache = Some(RunCache { shard, fence });
+                return Some(top.e.at);
+            }
+            self.index.pop();
+            self.shards[shard].pop();
+            self.tombstones -= 1;
+            self.tombstones_purged += 1;
+            if let Some(&next) = self.shards[shard].peek() {
+                self.index.push(IndexEntry {
+                    e: next,
+                    shard: top.shard,
+                });
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
     }
 
     pub fn len(&self) -> usize {
-        // Upper bound: may include cancelled events not yet discarded.
-        self.heap.len()
+        self.live
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.scheduled,
+            cancelled: self.cancelled,
+            tombstones_purged: self.tombstones_purged,
+            compactions: self.compactions,
+            pending: self.live,
+            tombstones: self.tombstones,
+            high_water: self.high_water,
+            run_hits: self.run_hits,
+            merges: self.merges,
+            index_stale: self.index_stale,
+        }
+    }
+}
+
+/// Default shard count: enough that a 31-replica cluster spreads ~2 hosts
+/// per shard while the merge scan stays a cache-line-friendly sweep.
+pub(crate) const DEFAULT_SHARDS: usize = 16;
+
+pub(crate) mod legacy {
+    //! The pre-sharding event queue: one global `BinaryHeap` of boxed
+    //! events plus a cancelled-id `HashSet` checked on every pop. Kept as
+    //! the lock-step oracle for the `shadow-event-queue` feature and as the
+    //! measured baseline of the `sim_speed` bench.
+
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    use super::EventFn;
+    use crate::time::Nanos;
+
+    pub(crate) struct ScheduledEvent {
+        pub at: Nanos,
+        pub id: u64,
+        #[allow(dead_code)]
+        pub action: EventFn,
+    }
+
+    impl PartialEq for ScheduledEvent {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.id == other.id
+        }
+    }
+
+    impl Eq for ScheduledEvent {}
+
+    impl PartialOrd for ScheduledEvent {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for ScheduledEvent {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+        }
+    }
+
+    pub(crate) struct LegacyEventQueue {
+        heap: BinaryHeap<ScheduledEvent>,
+        cancelled: HashSet<u64>,
+        next_id: u64,
+    }
+
+    impl LegacyEventQueue {
+        pub fn new() -> LegacyEventQueue {
+            LegacyEventQueue {
+                heap: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                next_id: 0,
+            }
+        }
+
+        pub fn push(&mut self, at: Nanos, action: EventFn) -> u64 {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.heap.push(ScheduledEvent { at, id, action });
+            id
+        }
+
+        pub fn cancel(&mut self, id: u64) {
+            self.cancelled.insert(id);
+        }
+
+        pub fn pop(&mut self) -> Option<(Nanos, u64)> {
+            while let Some(ev) = self.heap.pop() {
+                if self.cancelled.remove(&ev.id) {
+                    continue;
+                }
+                return Some((ev.at, ev.id));
+            }
+            None
+        }
+
+        #[allow(dead_code)]
+        pub fn peek_time(&mut self) -> Option<Nanos> {
+            loop {
+                match self.heap.peek() {
+                    None => return None,
+                    Some(ev) if self.cancelled.contains(&ev.id) => {
+                        let ev = self.heap.pop().expect("peeked event exists");
+                        self.cancelled.remove(&ev.id);
+                    }
+                    Some(ev) => return Some(ev.at),
+                }
+            }
+        }
+    }
+}
+
+pub mod speed {
+    //! The event-core micro-benchmark behind `bench --bin sim_speed`.
+    //!
+    //! Both queue generations run the *same* deterministic workload — a
+    //! standing window of pending events spread across simulated hosts,
+    //! with a slice of timers cancelled before they fire, the shape the RC
+    //! transports and geo runs actually produce — and report events/sec.
+
+    use super::{legacy::LegacyEventQueue, EventQueue};
+    use crate::time::Nanos;
+
+    /// Workload knobs for [`events_per_sec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SpeedWorkload {
+        /// Total events scheduled.
+        pub events: u64,
+        /// Standing pending-event window.
+        pub window: usize,
+        /// Every k-th event is cancelled before firing (0 = none).
+        pub cancel_every: u64,
+        /// Simulated host count driving the shard hints.
+        pub hosts: u32,
+        /// Maximum events per same-host burst: when a host wakes up it
+        /// schedules a cascade of follow-ups (handler completions, DMA
+        /// doorbells, acks) clustered a few nanoseconds apart — the shape
+        /// the RC transports actually produce.
+        pub burst: u64,
+    }
+
+    impl Default for SpeedWorkload {
+        fn default() -> SpeedWorkload {
+            // The scale-out regime the PR targets: a thousand-client WAN
+            // run holds a ~100k-event standing window dominated by
+            // retransmission guards, nearly all cancelled by their acks.
+            SpeedWorkload {
+                events: 600_000,
+                window: 100_000,
+                cancel_every: 2,
+                hosts: 32,
+                burst: 8,
+            }
+        }
+    }
+
+    /// Which event-core generation to measure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Core {
+        /// The pre-sharding global heap + cancelled-id `HashSet`.
+        Legacy,
+        /// The sharded slab queue with conservative lookahead.
+        Sharded,
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    /// Runs the workload on the chosen core and returns `(events_per_sec,
+    /// executed)`. Deterministic in its decisions; only the wall-clock
+    /// denominator varies by machine.
+    pub fn events_per_sec(core: Core, w: SpeedWorkload, seed: u64) -> (f64, u64) {
+        enum Q {
+            Legacy(LegacyEventQueue),
+            Sharded(EventQueue),
+        }
+        let mut q = match core {
+            Core::Legacy => Q::Legacy(LegacyEventQueue::new()),
+            Core::Sharded => Q::Sharded(EventQueue::with_shards(16)),
+        };
+        let mut rng = seed | 1;
+        let mut now = Nanos::ZERO;
+        let mut pending: usize = 0;
+        let mut executed: u64 = 0;
+        let mut last_id: Option<u64> = None;
+        let start = std::time::Instant::now();
+        let mut scheduled: u64 = 0;
+        while scheduled < w.events {
+            // A host wakes up and schedules a burst of follow-up events.
+            // Three in four bursts are local cascades (handler work, DMA
+            // completions, acks a few nanoseconds out); the rest are long
+            // retransmission-guard timers — the population the cancels hit.
+            let host = (lcg(&mut rng) % w.hosts as u64) as u32;
+            let burst_len = 1 + lcg(&mut rng) % w.burst.max(1);
+            let base = if lcg(&mut rng).is_multiple_of(4) {
+                now + Nanos::from_nanos(10_000 + lcg(&mut rng) % 100_000)
+            } else {
+                now + Nanos::from_nanos(20 + lcg(&mut rng) % 200)
+            };
+            for j in 0..burst_len {
+                if scheduled >= w.events {
+                    break;
+                }
+                let at = base + Nanos::from_nanos(5 * j);
+                let id = match &mut q {
+                    Q::Legacy(q) => q.push(at, Box::new(|_| {})),
+                    Q::Sharded(q) => q.push(at, host, Box::new(|_| {})).0,
+                };
+                scheduled += 1;
+                pending += 1;
+                if w.cancel_every > 0 && scheduled.is_multiple_of(w.cancel_every) {
+                    // Cancel the previously scheduled event (an ACK
+                    // arriving before its retransmission timer fires).
+                    if let Some(prev) = last_id.take() {
+                        match &mut q {
+                            Q::Legacy(q) => q.cancel(prev),
+                            Q::Sharded(q) => q.cancel(super::EventId(prev)),
+                        }
+                        pending -= 1;
+                    }
+                }
+                last_id = Some(id);
+                while pending > w.window {
+                    let popped = match &mut q {
+                        Q::Legacy(q) => q.pop().map(|(at, _)| at),
+                        Q::Sharded(q) => q.pop().map(|(_, at, _)| at),
+                    };
+                    if let Some(at) = popped {
+                        now = at;
+                        executed += 1;
+                    }
+                    pending -= 1;
+                }
+            }
+        }
+        loop {
+            let popped = match &mut q {
+                Q::Legacy(q) => q.pop(),
+                Q::Sharded(q) => q.pop().map(|(_, at, _)| (at, 0)),
+            };
+            if popped.is_none() {
+                break;
+            }
+            executed += 1;
+        }
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        if std::env::var("SIM_SPEED_DEBUG").is_ok() {
+            if let Q::Sharded(q) = &q {
+                eprintln!("  sharded stats: {:?}", q.stats());
+            }
+        }
+        (executed as f64 / elapsed, executed)
+    }
+
+    /// Runs both cores on the same workload and asserts they execute the
+    /// same number of events; returns `(legacy_eps, sharded_eps)`.
+    pub fn compare(w: SpeedWorkload, seed: u64) -> (f64, f64) {
+        let (legacy_eps, legacy_n) = events_per_sec(Core::Legacy, w, seed);
+        let (sharded_eps, sharded_n) = events_per_sec(Core::Sharded, w, seed);
+        assert_eq!(
+            legacy_n, sharded_n,
+            "both cores must execute the same workload"
+        );
+        (legacy_eps, sharded_eps)
     }
 }
 
@@ -120,43 +874,160 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(Nanos::from_nanos(30), noop());
-        q.push(Nanos::from_nanos(10), noop());
-        q.push(Nanos::from_nanos(20), noop());
-        assert_eq!(q.pop().unwrap().at.as_nanos(), 10);
-        assert_eq!(q.pop().unwrap().at.as_nanos(), 20);
-        assert_eq!(q.pop().unwrap().at.as_nanos(), 30);
+        q.push(Nanos::from_nanos(30), 0, noop());
+        q.push(Nanos::from_nanos(10), 1, noop());
+        q.push(Nanos::from_nanos(20), 2, noop());
+        assert_eq!(q.pop().unwrap().1.as_nanos(), 10);
+        assert_eq!(q.pop().unwrap().1.as_nanos(), 20);
+        assert_eq!(q.pop().unwrap().1.as_nanos(), 30);
         assert!(q.pop().is_none());
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
+    fn ties_break_by_insertion_order_across_shards() {
         let mut q = EventQueue::new();
-        let a = q.push(Nanos::from_nanos(5), noop());
-        let b = q.push(Nanos::from_nanos(5), noop());
-        assert_eq!(q.pop().unwrap().id, a);
-        assert_eq!(q.pop().unwrap().id, b);
+        let a = q.push(Nanos::from_nanos(5), 3, noop());
+        let b = q.push(Nanos::from_nanos(5), 9, noop());
+        let first = q.pop().unwrap();
+        let second = q.pop().unwrap();
+        // Entries live in different shards; insertion order still wins.
+        assert!(a < b);
+        assert_eq!(first.1, Nanos::from_nanos(5));
+        assert_eq!(second.1, Nanos::from_nanos(5));
     }
 
     #[test]
-    fn cancelled_events_are_skipped() {
+    fn cancelled_events_are_skipped_and_counted() {
         let mut q = EventQueue::new();
-        let a = q.push(Nanos::from_nanos(1), noop());
-        let b = q.push(Nanos::from_nanos(2), noop());
+        let a = q.push(Nanos::from_nanos(1), 0, noop());
+        q.push(Nanos::from_nanos(2), 0, noop());
         q.cancel(a);
-        assert_eq!(q.pop().unwrap().id, b);
+        assert_eq!(q.pop().unwrap().1.as_nanos(), 2);
+        assert!(q.pop().is_none());
+        let s = q.stats();
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.tombstones_purged, 1);
+        assert_eq!(s.tombstones, 0);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_a_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos::from_nanos(1), 0, noop());
+        let _ = q.pop().unwrap();
+        q.cancel(a);
+        // The slot was recycled; cancelling the stale handle must not
+        // damage a new event reusing it.
+        let b = q.push(Nanos::from_nanos(9), 0, noop());
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.cancel(b);
         assert!(q.pop().is_none());
     }
 
     #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
-        let a = q.push(Nanos::from_nanos(1), noop());
-        q.push(Nanos::from_nanos(7), noop());
+        let a = q.push(Nanos::from_nanos(1), 0, noop());
+        q.push(Nanos::from_nanos(7), 0, noop());
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(Nanos::from_nanos(7)));
         assert!(!q.is_empty());
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slots_recycle_under_churn() {
+        let mut q = EventQueue::new();
+        for round in 0..1_000u64 {
+            let id = q.push(Nanos::from_nanos(round), (round % 7) as u32, noop());
+            if round % 2 == 0 {
+                q.cancel(id);
+            } else {
+                let _ = q.pop().unwrap();
+            }
+        }
+        // The arena never grew past the tiny working set.
+        assert!(q.slots.len() <= 4, "arena grew to {}", q.slots.len());
+        assert!(q.is_empty() || q.len() <= 1);
+    }
+
+    #[test]
+    fn compaction_bounds_tombstones() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..1_000)
+            .map(|i| q.push(Nanos::from_nanos(1_000 + i), (i % 16) as u32, noop()))
+            .collect();
+        // One survivor; cancel everything else without popping.
+        for id in &ids[1..] {
+            q.cancel(*id);
+        }
+        let s = q.stats();
+        assert!(s.compactions >= 1, "mass-cancel must trigger compaction");
+        assert!(
+            s.tombstones <= s.pending.max(64),
+            "tombstones must stay bounded by live events: {s:?}"
+        );
+        assert_eq!(q.pop().unwrap().1.as_nanos(), 1_000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn matches_legacy_order_under_random_churn() {
+        use legacy::LegacyEventQueue;
+        let mut new_q = EventQueue::with_shards(5);
+        let mut old_q = LegacyEventQueue::new();
+        let mut state = 0x5EEDu64;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut live_new: Vec<EventId> = Vec::new();
+        let mut live_old: Vec<u64> = Vec::new();
+        for _ in 0..5_000 {
+            match lcg() % 4 {
+                0 | 1 => {
+                    let at = Nanos::from_nanos(lcg() % 512);
+                    let shard = (lcg() % 5) as u32;
+                    live_new.push(new_q.push(at, shard, noop()));
+                    live_old.push(old_q.push(at, noop()));
+                }
+                2 if !live_new.is_empty() => {
+                    let i = (lcg() as usize) % live_new.len();
+                    new_q.cancel(live_new.swap_remove(i));
+                    old_q.cancel(live_old.swap_remove(i));
+                }
+                _ => {
+                    let a = new_q.pop().map(|(_, at, _)| at);
+                    let b = old_q.pop().map(|(at, _)| at);
+                    assert_eq!(a, b, "pop order diverged");
+                    assert_eq!(new_q.peek_time(), old_q.peek_time());
+                }
+            }
+        }
+        loop {
+            let a = new_q.pop().map(|(_, at, _)| at);
+            let b = old_q.pop().map(|(at, _)| at);
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn speed_harness_cores_agree() {
+        let w = speed::SpeedWorkload {
+            events: 5_000,
+            window: 500,
+            cancel_every: 3,
+            hosts: 8,
+            burst: 8,
+        };
+        let (l, s) = speed::compare(w, 7);
+        assert!(l > 0.0 && s > 0.0);
     }
 }

@@ -57,25 +57,29 @@ mod frame;
 mod host;
 pub mod metrics;
 mod net;
+mod pool;
 mod sched;
 mod sim;
 mod stats;
 mod time;
+mod topo;
 
 pub use chaos::{ChaosAction, ChaosSchedule};
 pub use disk::{DiskFault, DiskSpec, SimDisk};
-pub use event::{EventFn, EventId};
+pub use event::{speed, EventFn, EventId, QueueStats};
 pub use fault::{FaultCoins, FaultPlane, FaultVerdict};
 pub use frame::{Addr, Frame, Payload};
 pub use host::{CoreId, CpuModel, Host, HostId, HostRef};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot, TraceEvent};
 pub use net::{FrameHandler, LinkId, LinkSpec, NetStats, Network};
+pub use pool::{BytePool, PoolStats};
 pub use sched::CoreAffinity;
 pub use sim::Simulator;
 pub use stats::{
     render_table, throughput_ops_per_sec, LatencyRecorder, LatencySummary, Series, SeriesPoint,
 };
 pub use time::{Bandwidth, Nanos};
+pub use topo::LatencyMatrix;
 
 /// A ready-made two-host world mirroring the paper's testbed: two 4-core
 /// hosts, one 10 Gbps full-duplex link.
@@ -120,6 +124,28 @@ impl TestBed {
             .collect();
         net.connect_full_mesh(LinkSpec::ten_gbe());
         (sim, net, hosts)
+    }
+
+    /// Builds an `n`-host full-mesh cluster whose links come from a
+    /// [`LatencyMatrix`]: hosts are assigned to regions round-robin and
+    /// every pair is connected with the (possibly asymmetric) specs of
+    /// their regions. Returns the per-host region assignment alongside.
+    pub fn geo_cluster(
+        seed: u64,
+        n: usize,
+        topology: &LatencyMatrix,
+    ) -> (Simulator, Network, Vec<HostId>, Vec<usize>) {
+        let sim = Simulator::new(seed);
+        let net = Network::new();
+        let assignment = topology.round_robin(n);
+        let hosts: Vec<HostId> = (0..n)
+            .map(|i| {
+                let region = topology.region_name(assignment[i]);
+                net.add_host(format!("replica-{i}-{region}"), 4, CpuModel::xeon_v2())
+            })
+            .collect();
+        topology.wire(&net, &hosts, &assignment);
+        (sim, net, hosts, assignment)
     }
 }
 

@@ -17,6 +17,7 @@ use crate::fault::{FaultCoins, FaultPlane, FaultVerdict};
 use crate::frame::{Addr, Frame};
 use crate::host::{CpuModel, Host, HostId, HostRef};
 use crate::metrics::Metrics;
+use crate::pool::BytePool;
 use crate::sim::Simulator;
 use crate::time::{Bandwidth, Nanos};
 
@@ -71,7 +72,10 @@ impl Default for LinkSpec {
 
 #[derive(Debug)]
 struct Link {
-    spec: LinkSpec,
+    /// Per-direction specs, keyed by source end (0 = ends.0 → ends.1).
+    /// Symmetric links store the same spec twice; geo links built from a
+    /// [`crate::LatencyMatrix`] may differ per direction.
+    spec: [LinkSpec; 2],
     ends: (HostId, HostId),
     /// Wire-busy horizon for each direction, keyed by source end (0 = ends.0).
     busy_until: [Nanos; 2],
@@ -110,6 +114,7 @@ struct NetInner {
     stats: NetStats,
     next_ephemeral_port: u32,
     metrics: Metrics,
+    pool: BytePool,
 }
 
 /// Shared handle to the simulated network.
@@ -172,6 +177,7 @@ impl Network {
                 stats: NetStats::default(),
                 next_ephemeral_port: 49_152,
                 metrics: Metrics::new(),
+                pool: BytePool::new("net"),
             })),
         }
     }
@@ -212,6 +218,24 @@ impl Network {
     ///
     /// Panics if the hosts are already connected or if `a == b`.
     pub fn connect(&self, a: HostId, b: HostId, spec: LinkSpec) -> LinkId {
+        self.connect_asymmetric(a, b, spec.clone(), spec)
+    }
+
+    /// Connects two hosts with a link whose two directions have different
+    /// specs (`spec_ab` for `a → b`, `spec_ba` for `b → a`) — the shape of
+    /// real inter-region WAN paths, whose routes (and thus latency and
+    /// capacity) differ per direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hosts are already connected or if `a == b`.
+    pub fn connect_asymmetric(
+        &self,
+        a: HostId,
+        b: HostId,
+        spec_ab: LinkSpec,
+        spec_ba: LinkSpec,
+    ) -> LinkId {
         assert_ne!(a, b, "cannot link a host to itself (loopback is implicit)");
         let mut inner = self.inner.borrow_mut();
         assert!(
@@ -220,7 +244,7 @@ impl Network {
         );
         let idx = inner.links.len();
         inner.links.push(Link {
-            spec,
+            spec: [spec_ab, spec_ba],
             ends: (a, b),
             busy_until: [Nanos::ZERO; 2],
             bytes_carried: 0,
@@ -228,6 +252,16 @@ impl Network {
         inner.adjacency.insert((a, b), idx);
         inner.adjacency.insert((b, a), idx);
         LinkId(idx as u32)
+    }
+
+    /// The spec governing frames sent from `src` to `dst`, if the pair is
+    /// connected.
+    pub fn link_spec_between(&self, src: HostId, dst: HostId) -> Option<LinkSpec> {
+        let inner = self.inner.borrow();
+        let idx = *inner.adjacency.get(&(src, dst))?;
+        let link = &inner.links[idx];
+        let dir = usize::from(src != link.ends.0);
+        Some(link.spec[dir].clone())
     }
 
     /// Connects every pair of hosts with identically specified links
@@ -371,16 +405,24 @@ impl Network {
                     });
                 let link = &mut inner.links[idx];
                 let dir = usize::from(frame.src.host != link.ends.0);
-                let wire = link.spec.wire_size(frame.wire_bytes);
-                let ser = link.spec.bandwidth.transmit_time(wire);
+                let spec = &link.spec[dir];
+                let wire = spec.wire_size(frame.wire_bytes);
+                let ser = spec.bandwidth.transmit_time(wire);
                 let start = now.max(link.busy_until[dir]);
                 link.busy_until[dir] = start + ser;
                 link.bytes_carried += wire as u64;
-                deliver_at = link.busy_until[dir] + link.spec.propagation + extra_delay;
+                deliver_at = link.busy_until[dir] + spec.propagation + extra_delay;
             }
         }
         let net = self.clone();
-        sim.schedule_at(deliver_at, Box::new(move |sim| net.deliver(sim, frame)));
+        // Deliveries shard by destination host: the handler runs (and mostly
+        // reschedules) on that host, keeping event-queue traffic local.
+        let shard = frame.dst.host.0;
+        sim.schedule_at_on(
+            shard,
+            deliver_at,
+            Box::new(move |sim| net.deliver(sim, frame)),
+        );
     }
 
     fn deliver(&self, sim: &mut Simulator, frame: Frame) {
@@ -426,6 +468,33 @@ impl Network {
     /// Applies a function to the fault plane (partitions, loss, delay).
     pub fn with_faults<R>(&self, f: impl FnOnce(&mut FaultPlane) -> R) -> R {
         f(&mut self.inner.borrow_mut().faults)
+    }
+
+    /// The shared byte-buffer pool transports recycle per-message buffers
+    /// through. Clones share one freelist.
+    pub fn buffer_pool(&self) -> BytePool {
+        self.inner.borrow().pool.clone()
+    }
+
+    /// Publishes the simulator's `sim.events_*` queue gauges and this
+    /// network's `pool.*` occupancy gauges into the shared metrics
+    /// registry, so snapshots capture event-core and allocation health.
+    pub fn publish_sim_gauges(&self, sim: &Simulator) {
+        let m = self.metrics();
+        let q = sim.queue_stats();
+        m.set_gauge("sim.events_scheduled", q.scheduled as i64);
+        m.set_gauge("sim.events_executed", sim.executed_events() as i64);
+        m.set_gauge("sim.events_cancelled", q.cancelled as i64);
+        m.set_gauge("sim.events_tombstones_purged", q.tombstones_purged as i64);
+        m.set_gauge("sim.events_tombstones_live", q.tombstones as i64);
+        m.set_gauge("sim.events_compactions", q.compactions as i64);
+        m.set_gauge("sim.events_pending", q.pending as i64);
+        m.set_gauge("sim.events_high_water", q.high_water as i64);
+        m.set_gauge("sim.events_shards", sim.queue_shards() as i64);
+        m.set_gauge("sim.events_run_hits", q.run_hits as i64);
+        m.set_gauge("sim.events_merges", q.merges as i64);
+        m.set_gauge("sim.events_index_stale", q.index_stale as i64);
+        self.inner.borrow().pool.publish(&m);
     }
 
     /// Charges `work` of CPU time on `core` of `host`, returning completion

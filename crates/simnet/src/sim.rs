@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::event::{EventFn, EventId, EventQueue};
+use crate::event::{EventFn, EventId, EventQueue, QueueStats};
 use crate::time::Nanos;
 
 /// A deterministic, single-threaded discrete-event simulator.
@@ -36,6 +36,10 @@ pub struct Simulator {
     queue: EventQueue,
     rng: StdRng,
     executed: u64,
+    /// Shard affinity of the event currently executing. Events scheduled
+    /// without an explicit hint inherit it, so work stays clustered on the
+    /// host that caused it (see the sharding notes in [`crate::event`]).
+    current_shard: u32,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -56,6 +60,7 @@ impl Simulator {
             queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(seed),
             executed: 0,
+            current_shard: 0,
         }
     }
 
@@ -80,19 +85,30 @@ impl Simulator {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: Nanos, action: EventFn) -> EventId {
+        self.schedule_at_on(self.current_shard, at, action)
+    }
+
+    /// Schedules `action` at absolute time `at` with an explicit shard hint
+    /// (typically the destination host id of a frame delivery). The hint
+    /// only affects queue locality, never execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at_on(&mut self, shard_hint: u32, at: Nanos, action: EventFn) -> EventId {
         assert!(
             at >= self.now,
             "cannot schedule into the past: now={} at={}",
             self.now,
             at
         );
-        self.queue.push(at, action)
+        self.queue.push(at, shard_hint, action)
     }
 
     /// Schedules `action` to run `delay` after the current time.
     pub fn schedule_in(&mut self, delay: Nanos, action: EventFn) -> EventId {
         let at = self.now + delay;
-        self.queue.push(at, action)
+        self.queue.push(at, self.current_shard, action)
     }
 
     /// Schedules `action` to run every `period`, starting one period from
@@ -126,11 +142,12 @@ impl Simulator {
     /// Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
+            Some((shard, at, action)) => {
+                debug_assert!(at >= self.now);
+                self.now = at;
                 self.executed += 1;
-                (ev.action)(self);
+                self.current_shard = shard;
+                action(self);
                 true
             }
             None => false,
@@ -173,6 +190,17 @@ impl Simulator {
     /// Timestamp of the next pending event.
     pub fn next_event_time(&mut self) -> Option<Nanos> {
         self.queue.peek_time()
+    }
+
+    /// Lifetime counters of the event queue (scheduled / cancelled /
+    /// tombstones / compactions), surfaced as `sim.events_*` gauges.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Number of event-queue shards.
+    pub fn queue_shards(&self) -> usize {
+        self.queue.num_shards()
     }
 }
 

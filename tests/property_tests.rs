@@ -746,3 +746,92 @@ proptest! {
         prop_assert_eq!(out, keys);
     }
 }
+
+// ---------------------------------------------------------------------
+// Geo topology
+// ---------------------------------------------------------------------
+
+fn geo_wan_cluster(seed: u64) -> Cluster {
+    let topo = simnet::LatencyMatrix::three_region_wan();
+    Cluster::sim_transport_geo(ReptorConfig::small(), 1, 1, seed, &topo, || {
+        Box::new(CounterService::default())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Coordinate-derived matrices respect the triangle inequality for
+    /// every region triple, for arbitrary coordinates and scales — the
+    /// min-plus closure must absorb any rounding artifacts.
+    #[test]
+    fn coordinate_matrices_respect_triangle(
+        raw in proptest::collection::vec((0u64..2_000, 0u64..2_000), 2..7),
+        scale in 1u64..50_000,
+    ) {
+        let named: Vec<(String, f64, f64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (format!("r{i}"), x as f64 / 10.0, y as f64 / 10.0))
+            .collect();
+        let regions: Vec<(&str, f64, f64)> =
+            named.iter().map(|(n, x, y)| (n.as_str(), *x, *y)).collect();
+        let m = simnet::LatencyMatrix::from_coordinates(
+            &regions,
+            scale as f64,
+            Nanos::from_micros(1),
+            Bandwidth::gbps(2),
+        );
+        let n = m.num_regions();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    prop_assert!(
+                        m.one_way(i, j) <= m.one_way(i, k) + m.one_way(k, j),
+                        "triangle violated: {}->{} via {}", i, j, k
+                    );
+                }
+            }
+        }
+        // Sanity on the derived protocol floor.
+        prop_assert!(m.suggested_timeout() >= Nanos::from_millis(10));
+        prop_assert!(
+            m.suggested_timeout().as_nanos() >= m.max_one_way().as_nanos() * 8
+        );
+    }
+
+    /// Chaos faults compose with WAN links: arbitrary loss on a random
+    /// inter-region pair never breaks agreement (retransmission absorbs
+    /// it), and the whole faulty timeline replays byte-identically from
+    /// the same seed.
+    #[test]
+    fn wan_chaos_replays_byte_identically(
+        seed in 1u64..1_000_000,
+        src in 0u32..4,
+        dst in 0u32..4,
+        loss_pct in 1u64..30,
+    ) {
+        let run = |seed: u64| {
+            let mut c = geo_wan_cluster(seed);
+            c.net.with_faults(|f| {
+                f.set_loss(
+                    simnet::HostId(src),
+                    simnet::HostId(dst % 4),
+                    loss_pct as f64 / 100.0,
+                );
+            });
+            let client = c.clients[0].clone();
+            for _ in 0..2 {
+                client.submit(&mut c.sim, b"inc".to_vec());
+            }
+            prop_assert!(
+                c.run_until_completed(2, 50_000_000),
+                "lossy WAN run must still commit"
+            );
+            c.assert_safety();
+            c.settle();
+            Ok(c.metrics_snapshot().to_json())
+        };
+        prop_assert_eq!(run(seed)?, run(seed)?);
+    }
+}
