@@ -1,0 +1,105 @@
+//! KV read-throughput gate: one-sided agreement-free reads vs. the
+//! message path, plus the machine-readable `BENCH_KV.json` sidecar CI
+//! joins into the counter-drift gate.
+//!
+//! Gates (exit non-zero on regression):
+//!
+//! * at the 95/5 mix, one-sided read throughput is ≥ 5× the message
+//!   path's on the same RDMA stack and seed;
+//! * both runs' recorded histories linearize (zero violations);
+//! * the lease path actually engaged (one-sided reads > 0) and stayed
+//!   inert when disabled.
+//!
+//! Usage: `kv_throughput [clients] [ops_per_client]`. `BENCH_JSON_PATH`
+//! overrides the output path (default `target/BENCH_KV.json`).
+
+use bench::kv;
+
+fn json_point(p: &kv::KvPoint) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"reads\":{},\"read_rps\":{:.3},\"read_latency_us\":{:.3},\
+         \"onesided\":{},\"fallback\":{},\"denied\":{},\"lin_ok\":{}}}",
+        p.label, p.reads, p.read_rps, p.read_latency_us, p.onesided, p.fallback, p.denied, p.lin_ok
+    )
+}
+
+fn main() {
+    let arg = |n: usize| std::env::args().nth(n);
+    let clients: usize = arg(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ops: u64 = arg(2).and_then(|s| s.parse().ok()).unwrap_or(80);
+
+    println!("# KV reads — YCSB B (95/5), {clients} clients x {ops} ops, RDMA stack");
+    let (one, msg) = kv::read_path_comparison(clients, ops, 0x6E7);
+    println!(
+        "{:>14} {:>10} {:>12} {:>14} {:>10} {:>10} {:>8}",
+        "path", "reads", "read/s", "latency(us)", "onesided", "fallback", "lin"
+    );
+    for p in [&one, &msg] {
+        println!(
+            "{:>14} {:>10} {:>12.0} {:>14.1} {:>10} {:>10} {:>8}",
+            p.label,
+            p.reads,
+            p.read_rps,
+            p.read_latency_us,
+            p.onesided,
+            p.fallback,
+            if p.lin_ok { "ok" } else { "VIOLATION" }
+        );
+    }
+    let speedup = one.read_rps / msg.read_rps;
+    println!("\nspeedup: {speedup:.2}x");
+
+    let checks: Vec<(String, bool)> = vec![
+        (
+            format!(
+                "one-sided read throughput ({:.0}/s) >= 5x message path ({:.0}/s)",
+                one.read_rps, msg.read_rps
+            ),
+            one.read_rps >= 5.0 * msg.read_rps,
+        ),
+        ("one-sided run history linearizes".into(), one.lin_ok),
+        ("message-path run history linearizes".into(), msg.lin_ok),
+        (
+            format!("lease path engaged ({} one-sided reads)", one.onesided),
+            one.onesided > 0,
+        ),
+        ("lease path inert when disabled".into(), msg.onesided == 0),
+    ];
+
+    let mut checks_json = String::from("{");
+    for (i, (desc, ok)) in checks.iter().enumerate() {
+        if i > 0 {
+            checks_json.push(',');
+        }
+        checks_json.push_str(&format!("\"{}\":{}", desc.replace('"', "'"), ok));
+    }
+    checks_json.push('}');
+    let json = format!(
+        "{{\"onesided\":{},\"message\":{},\"speedup\":{:.3},\"checks\":{}}}",
+        json_point(&one),
+        json_point(&msg),
+        speedup,
+        checks_json
+    );
+    simnet::metrics::validate_json(&json).expect("bench JSON must be valid");
+    let path =
+        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "target/BENCH_KV.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).expect("bench JSON directory");
+    }
+    std::fs::write(&path, &json).expect("write bench JSON");
+    println!("wrote {path} ({} bytes)", json.len());
+
+    let failed: Vec<&(String, bool)> = checks.iter().filter(|(_, ok)| !ok).collect();
+    println!(
+        "\n# gate: {}/{} checks passed",
+        checks.len() - failed.len(),
+        checks.len()
+    );
+    if !failed.is_empty() {
+        for (desc, _) in failed {
+            eprintln!("REGRESSION: {desc}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`replicated`] — the fully replicated system the paper defers to
 //!   future work (§VII): 4-replica PBFT over both comm stacks.
 //! * [`ablation`] — each §IV optimization toggled individually.
+//! * [`kv`] — the agreement-free read path: one-sided RDMA READs
+//!   against the replicated KV store vs. the ordered message path,
+//!   both linearizability-checked.
 //!
 //! Binaries `fig3`, `fig4`, `replicated` and `ablation` print the series
 //! as aligned tables; Criterion benches wrap representative points.
@@ -18,6 +21,7 @@
 pub mod ablation;
 pub mod fig3;
 pub mod fig4;
+pub mod kv;
 pub mod replicated;
 pub mod workload;
 

@@ -1,0 +1,384 @@
+//! The KV client: agreement-free one-sided reads with message-path
+//! fallback.
+//!
+//! Writes (`Put`/`Del`) always go through agreement via the wrapped
+//! [`reptor::Client`]. Reads first try the one-sided path: the client
+//! one-sided-READs the key's cell from `2f + 1` replicas' leased regions
+//! in parallel and accepts the answer only if **every** cell is valid
+//! (committed stamps, no torn/poisoned cell, no RNIC denial); the result
+//! is the max-stamp cell's verdict. Any blemish — denial of a revoked
+//! rkey, a torn stamp caught mid-update, a poisoned bucket — routes the
+//! read through the ordinary agreement path (`kv_read_fallback`), so the
+//! fast path can only ever *lose performance*, never correctness.
+//!
+//! ## Why the quorum read is linearizable
+//!
+//! A completed write was applied at `f + 1` replicas whose replies
+//! crossed the network, which takes longer than the torn window — so by
+//! read time those replicas' cells are *committed* at (at least) the
+//! write's stamp. Any valid `2f + 1` read quorum intersects those
+//! `f + 1` appliers (`(2f+1) + (f+1) > n`), so the max-stamp cell is at
+//! least as new as every completed write; and stamps are monotone in
+//! apply order, so picking the max never travels back in time.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use reptor::{Client, KvOp, Message, ReptorConfig, Transport};
+use simnet::{Metrics, Simulator};
+
+use crate::lin::{KvEvent, KvHistOp};
+use crate::region::{
+    bucket_of, cell_offset, decode_cell, judge, KeyVerdict, CELL_SIZE, HEADER_SIZE,
+};
+
+/// Shared aggregator for one quorum read: per-replica outcomes
+/// (`None` = denied / failed to issue) collected by the READ callbacks.
+type ReadResults = Rc<RefCell<Vec<(u32, Option<Vec<u8>>)>>>;
+
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    rkey: u32,
+    capacity: usize,
+}
+
+struct KvClientInner {
+    id: u32,
+    n: usize,
+    f: usize,
+    transport: Rc<dyn Transport>,
+    metrics: Metrics,
+    prefix: String,
+    /// Known read leases, by replica. `BTreeMap` so quorum choice
+    /// iterates deterministically.
+    leases: BTreeMap<u32, Lease>,
+    /// Denial counts, by replica: quorum choice prefers least-denied, so
+    /// one stale-lease liar gets rotated out after its first denial.
+    denied: BTreeMap<u32, u64>,
+    /// Message-path operations in flight, by request timestamp, with
+    /// their original invocation instants.
+    pending: HashMap<u64, (KvHistOp, u64)>,
+    /// Completed one-sided reads.
+    onesided: Vec<KvEvent>,
+    /// One-sided reads whose quorum responses are still in flight.
+    inflight_reads: u64,
+    /// Whether a lease query round has been sent at all.
+    queried: bool,
+}
+
+/// A KV client over one replicated cluster.
+#[derive(Clone)]
+pub struct KvClient {
+    client: Client,
+    inner: Rc<RefCell<KvClientInner>>,
+}
+
+impl std::fmt::Debug for KvClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("KvClient")
+            .field("id", &inner.id)
+            .field("leases", &inner.leases.len())
+            .field("inflight_reads", &inner.inflight_reads)
+            .finish()
+    }
+}
+
+fn capacity_from_len(len: u64) -> Option<usize> {
+    let body = (len as usize).checked_sub(HEADER_SIZE)?;
+    if body == 0 || body % CELL_SIZE != 0 {
+        return None;
+    }
+    Some(body / CELL_SIZE)
+}
+
+impl KvClient {
+    /// Wraps a [`reptor::Client`] (already wired to `transport`) with the
+    /// one-sided read path. Installs the client's auxiliary handler to
+    /// capture lease grants.
+    pub fn new(
+        client: Client,
+        cfg: &ReptorConfig,
+        transport: Rc<dyn Transport>,
+        metrics: Metrics,
+    ) -> KvClient {
+        let id = client.id();
+        let inner = Rc::new(RefCell::new(KvClientInner {
+            id,
+            n: cfg.n,
+            f: cfg.f(),
+            transport,
+            metrics,
+            prefix: format!("kv.c{id}."),
+            leases: BTreeMap::new(),
+            denied: BTreeMap::new(),
+            pending: HashMap::new(),
+            onesided: Vec::new(),
+            inflight_reads: 0,
+            queried: false,
+        }));
+        let handler_inner = inner.clone();
+        client.set_aux_handler(Rc::new(move |_sim, msg| {
+            if let Message::LeaseGrant {
+                replica, rkey, len, ..
+            } = msg
+            {
+                let mut i = handler_inner.borrow_mut();
+                match (rkey, capacity_from_len(len)) {
+                    (0, _) | (_, None) => {
+                        i.leases.remove(&replica);
+                    }
+                    (rkey, Some(capacity)) => {
+                        i.leases.insert(replica, Lease { rkey, capacity });
+                    }
+                }
+            }
+        }));
+        KvClient { client, inner }
+    }
+
+    /// The wrapped agreement-path client.
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// This client's node id.
+    pub fn id(&self) -> u32 {
+        self.inner.borrow().id
+    }
+
+    /// True while any operation (message-path or one-sided) is in flight.
+    pub fn busy(&self) -> bool {
+        self.client.pending_count() > 0 || self.inner.borrow().inflight_reads > 0
+    }
+
+    /// Completed operations so far (both paths).
+    pub fn completed_ops(&self) -> u64 {
+        self.inner.borrow().onesided.len() as u64 + self.client.stats().completed
+    }
+
+    fn bump(&self, metric: &str) {
+        let inner = self.inner.borrow();
+        inner.metrics.incr(&format!("{}{}", inner.prefix, metric));
+    }
+
+    /// Sends a lease query to every replica (cheap; answers arrive as
+    /// LEASE-GRANTs through the auxiliary handler).
+    pub fn query_leases(&self, sim: &mut Simulator) {
+        let (id, n) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.queried = true;
+            (inner.id, inner.n)
+        };
+        self.bump("kv_lease_queries");
+        for r in 0..n as u32 {
+            self.client
+                .send_to_replica(sim, r, &Message::LeaseQuery { client: id });
+        }
+    }
+
+    /// Submits a write (`Put`).
+    pub fn put(&self, sim: &mut Simulator, key: Vec<u8>, val: Vec<u8>) {
+        let invoke = sim.now().as_nanos();
+        let payload = KvOp::Put(key.clone(), val.clone()).encode();
+        let ts = self.client.submit(sim, payload);
+        self.inner
+            .borrow_mut()
+            .pending
+            .insert(ts, (KvHistOp::Put { key, val }, invoke));
+    }
+
+    /// Submits a delete (`Del`).
+    pub fn del(&self, sim: &mut Simulator, key: Vec<u8>) {
+        let invoke = sim.now().as_nanos();
+        let payload = KvOp::Del(key.clone()).encode();
+        let ts = self.client.submit(sim, payload);
+        self.inner
+            .borrow_mut()
+            .pending
+            .insert(ts, (KvHistOp::Del { key }, invoke));
+    }
+
+    /// Issues a read: one-sided if a `2f + 1` lease quorum is available,
+    /// message-path otherwise.
+    pub fn get(&self, sim: &mut Simulator, key: Vec<u8>) {
+        let invoke = sim.now().as_nanos();
+        let quorum: Vec<(u32, Lease)> = {
+            let inner = self.inner.borrow();
+            let need = 2 * inner.f + 1;
+            if inner.leases.len() < need {
+                Vec::new()
+            } else {
+                // Least-denied replicas first; ties by id. One denial is
+                // enough to rotate a stale-lease liar out of the quorum.
+                let mut order: Vec<(u64, u32, Lease)> = inner
+                    .leases
+                    .iter()
+                    .map(|(&r, &l)| (inner.denied.get(&r).copied().unwrap_or(0), r, l))
+                    .collect();
+                order.sort_by_key(|&(d, r, _)| (d, r));
+                order.truncate(need);
+                order.into_iter().map(|(_, r, l)| (r, l)).collect()
+            }
+        };
+        if quorum.is_empty() {
+            let queried = self.inner.borrow().queried;
+            if !queried {
+                self.query_leases(sim);
+            }
+            self.fallback_get(sim, key, invoke);
+            return;
+        }
+        self.inner.borrow_mut().inflight_reads += 1;
+        let want = quorum.len();
+        let results: ReadResults = Rc::new(RefCell::new(Vec::with_capacity(want)));
+        let transport = self.inner.borrow().transport.clone();
+        for (replica, lease) in quorum {
+            let off = cell_offset(bucket_of(&key, lease.capacity)) as u64;
+            let kv = self.clone();
+            let res = results.clone();
+            let key2 = key.clone();
+            let issued = transport.read_state(
+                sim,
+                replica,
+                lease.rkey,
+                off,
+                CELL_SIZE,
+                Box::new(move |sim, bytes| {
+                    res.borrow_mut().push((replica, bytes));
+                    if res.borrow().len() == want {
+                        let all = std::mem::take(&mut *res.borrow_mut());
+                        kv.finish_read(sim, key2, invoke, all);
+                    }
+                }),
+            );
+            if !issued {
+                // No one-sided path to this replica right now (channel
+                // re-dialing after a NAK, or transport without READs).
+                results.borrow_mut().push((replica, None));
+                if results.borrow().len() == want {
+                    let all = std::mem::take(&mut *results.borrow_mut());
+                    self.finish_read(sim, key.clone(), invoke, all);
+                }
+            }
+        }
+    }
+
+    /// Aggregates one quorum read. All `2f + 1` cells must be valid;
+    /// otherwise the read falls back to agreement.
+    fn finish_read(
+        &self,
+        sim: &mut Simulator,
+        key: Vec<u8>,
+        invoke: u64,
+        results: Vec<(u32, Option<Vec<u8>>)>,
+    ) {
+        self.inner.borrow_mut().inflight_reads -= 1;
+        let denied: Vec<u32> = results
+            .iter()
+            .filter(|(_, b)| b.is_none())
+            .map(|(r, _)| *r)
+            .collect();
+        if !denied.is_empty() {
+            {
+                let mut inner = self.inner.borrow_mut();
+                for r in &denied {
+                    *inner.denied.entry(*r).or_insert(0) += 1;
+                    inner.leases.remove(r);
+                }
+            }
+            self.bump("kv_read_denied");
+            // Re-learn the lease landscape (the denier may have rolled to
+            // a fresh rkey legitimately) and serve this read safely.
+            self.query_leases(sim);
+            self.fallback_get(sim, key, invoke);
+            return;
+        }
+        let mut best: Option<(u64, Vec<u8>)> = None;
+        for (_, bytes) in &results {
+            let cell = decode_cell(bytes.as_ref().expect("denials handled above"));
+            match judge(&cell, &key) {
+                KeyVerdict::Fallback => {
+                    // Torn or poisoned cell: the only safe answer is the
+                    // agreement path.
+                    self.bump("kv_read_torn");
+                    self.fallback_get(sim, key, invoke);
+                    return;
+                }
+                KeyVerdict::Absent(stamp) => {
+                    if best.as_ref().is_none_or(|(s, _)| stamp > *s) {
+                        best = Some((stamp, Vec::new()));
+                    }
+                }
+                KeyVerdict::Value(stamp, val) => {
+                    if best.as_ref().is_none_or(|(s, _)| stamp > *s) {
+                        best = Some((stamp, val));
+                    }
+                }
+            }
+        }
+        let (_, result) = best.expect("quorum is non-empty");
+        let response = sim.now().as_nanos();
+        let mut inner = self.inner.borrow_mut();
+        let client = inner.id;
+        inner.onesided.push(KvEvent {
+            client,
+            invoke,
+            response: Some(response),
+            op: KvHistOp::Get { key, result },
+        });
+        drop(inner);
+        self.bump("kv_read_onesided");
+    }
+
+    /// Serves a read through agreement, preserving the original
+    /// invocation instant (the op began when `get` was called, and the
+    /// checker must see the full interval).
+    fn fallback_get(&self, sim: &mut Simulator, key: Vec<u8>, invoke: u64) {
+        self.bump("kv_read_fallback");
+        let payload = KvOp::Get(key.clone()).encode();
+        let ts = self.client.submit(sim, payload);
+        self.inner.borrow_mut().pending.insert(
+            ts,
+            (
+                KvHistOp::Get {
+                    key,
+                    result: Vec::new(),
+                },
+                invoke,
+            ),
+        );
+    }
+
+    /// Assembles this client's full operation history: one-sided reads
+    /// plus message-path completions, with real invoke/response instants.
+    /// Operations still in flight appear with `response: None`.
+    pub fn history(&self) -> Vec<KvEvent> {
+        let inner = self.inner.borrow();
+        let mut events = inner.onesided.clone();
+        let completions: HashMap<u64, (u64, Vec<u8>)> = self
+            .client
+            .completions()
+            .into_iter()
+            .map(|c| (c.timestamp, (c.completed_at.as_nanos(), c.result)))
+            .collect();
+        for (ts, (op, invoke)) in &inner.pending {
+            let mut op = op.clone();
+            let response = completions.get(ts).map(|(at, result)| {
+                if let KvHistOp::Get { result: r, .. } = &mut op {
+                    *r = result.clone();
+                }
+                *at
+            });
+            events.push(KvEvent {
+                client: inner.id,
+                invoke: *invoke,
+                response,
+                op,
+            });
+        }
+        events.sort_by_key(|e| (e.invoke, e.response));
+        events
+    }
+}

@@ -1,0 +1,272 @@
+//! A deterministic test harness: a replicated KV group plus a fleet of
+//! [`KvClient`]s under a YCSB-style closed-loop driver.
+//!
+//! Mirrors the bench crate's replicated-system builder (same stacks, same
+//! host/transport models) but with [`KvStoreService`] replicas, leases
+//! armed, and clients that record full operation histories for the
+//! linearizability checker.
+
+use std::rc::Rc;
+
+use rdma_verbs::RnicModel;
+use reptor::{
+    Client, NioTransport, Replica, ReptorConfig, RubinTransport, SimTransport, Transport,
+    DOMAIN_SECRET,
+};
+use rubin::RubinConfig;
+use simnet::{CoreId, HostId, Network, Simulator, TestBed};
+use simnet_socket::TcpModel;
+
+use crate::client::KvClient;
+use crate::lin::{check_linearizable, KvEvent, KvHistOp};
+use crate::service::KvStoreService;
+use crate::workload::{ClientWorkload, YcsbSpec};
+
+/// Which comm stack the group runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stack {
+    /// Direct fabric delivery; no one-sided read path (message-path
+    /// reads only — the fallback baseline).
+    Direct,
+    /// Java-NIO-style TCP stack; also message-path only.
+    Nio,
+    /// RUBIN RDMA stack: one-sided reads available.
+    Rubin,
+}
+
+impl Stack {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stack::Direct => "Direct",
+            Stack::Nio => "TCP (NIO)",
+            Stack::Rubin => "RDMA (Rubin)",
+        }
+    }
+}
+
+/// The default replica-group configuration for KV runs: the standard
+/// 4-replica small() group with read leases armed.
+pub fn kv_config() -> ReptorConfig {
+    ReptorConfig {
+        read_leases: true,
+        ..ReptorConfig::small()
+    }
+}
+
+/// A replicated KV group with history-recording clients.
+pub struct KvHarness {
+    /// The discrete-event simulator.
+    pub sim: Simulator,
+    /// The simulated network.
+    pub net: Network,
+    /// The replica group.
+    pub replicas: Vec<Replica>,
+    /// The KV clients (node ids `n ..`).
+    pub clients: Vec<KvClient>,
+}
+
+impl KvHarness {
+    /// Builds a group of `cfg.n` replicas and `num_clients` KV clients on
+    /// `stack`, each replica running a [`KvStoreService`] with `capacity`
+    /// region cells.
+    pub fn build(
+        stack: Stack,
+        seed: u64,
+        num_clients: usize,
+        cfg: ReptorConfig,
+        capacity: usize,
+    ) -> KvHarness {
+        let n = cfg.n;
+        let (mut sim, net, hosts) = TestBed::cluster(seed, n + num_clients);
+        let nodes: Vec<(u32, HostId, CoreId)> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (i as u32, h, CoreId(0)))
+            .collect();
+
+        let transports: Vec<Rc<dyn Transport>> = match stack {
+            Stack::Direct => {
+                let pairs: Vec<(u32, HostId)> = nodes.iter().map(|&(n, h, _)| (n, h)).collect();
+                SimTransport::build_group(&net, &pairs)
+                    .into_iter()
+                    .map(|t| Rc::new(t) as Rc<dyn Transport>)
+                    .collect()
+            }
+            Stack::Nio => {
+                let ts = NioTransport::build_group(&mut sim, &net, &nodes, TcpModel::linux_xeon());
+                sim.run_until_idle();
+                ts.into_iter()
+                    .map(|t| Rc::new(t) as Rc<dyn Transport>)
+                    .collect()
+            }
+            Stack::Rubin => {
+                let ts = RubinTransport::build_group(
+                    &mut sim,
+                    &net,
+                    &nodes,
+                    RnicModel::mt27520(),
+                    RubinConfig::paper(),
+                );
+                sim.run_until_idle();
+                ts.into_iter()
+                    .map(|t| Rc::new(t) as Rc<dyn Transport>)
+                    .collect()
+            }
+        };
+
+        let replicas: Vec<Replica> = (0..n)
+            .map(|i| {
+                Replica::new(
+                    i as u32,
+                    cfg.clone(),
+                    DOMAIN_SECRET,
+                    transports[i].clone(),
+                    &net,
+                    hosts[i],
+                    Box::new(KvStoreService::new(capacity)),
+                )
+            })
+            .collect();
+
+        let clients: Vec<KvClient> = (0..num_clients)
+            .map(|i| {
+                let id = (n + i) as u32;
+                let client = Client::new(id, cfg.clone(), DOMAIN_SECRET, transports[n + i].clone());
+                KvClient::new(client, &cfg, transports[n + i].clone(), net.metrics())
+            })
+            .collect();
+
+        KvHarness {
+            sim,
+            net,
+            replicas,
+            clients,
+        }
+    }
+
+    /// The run's full cross-layer metrics snapshot.
+    pub fn metrics_snapshot(&self) -> simnet::MetricsSnapshot {
+        self.net.publish_sim_gauges(&self.sim);
+        self.net.metrics().snapshot()
+    }
+
+    /// Drives every client through `ops_per_client` operations of `spec`
+    /// in a closed loop (one op in flight per client), then drains.
+    /// Returns false if the run exceeds `max_events` simulator events or
+    /// the simulator goes idle with operations still outstanding.
+    pub fn run_ycsb(
+        &mut self,
+        spec: &YcsbSpec,
+        run_seed: u64,
+        ops_per_client: u64,
+        max_events: u64,
+    ) -> bool {
+        let mut wls: Vec<ClientWorkload> = self
+            .clients
+            .iter()
+            .map(|c| ClientWorkload::new(c.id(), spec.clone(), run_seed))
+            .collect();
+        for c in &self.clients {
+            c.query_leases(&mut self.sim);
+        }
+        let mut events = 0u64;
+        loop {
+            let mut all_issued = true;
+            for (i, c) in self.clients.iter().enumerate() {
+                if wls[i].issued() >= ops_per_client {
+                    continue;
+                }
+                all_issued = false;
+                if c.busy() {
+                    continue;
+                }
+                match wls[i].next_op() {
+                    KvHistOp::Get { key, .. } => c.get(&mut self.sim, key),
+                    KvHistOp::Put { key, val } => c.put(&mut self.sim, key, val),
+                    KvHistOp::Del { key } => c.del(&mut self.sim, key),
+                }
+            }
+            if all_issued && self.clients.iter().all(|c| !c.busy()) {
+                return true;
+            }
+            let mut stepped = false;
+            for _ in 0..256 {
+                if !self.sim.step() {
+                    break;
+                }
+                stepped = true;
+                events += 1;
+                // Re-sweep as soon as any client with work left goes
+                // idle — a one-sided read completes in a handful of
+                // events, and letting the queue drain past it would jump
+                // the clock to the next (stale) retransmission timer —
+                // and stop stepping the moment the whole run is done,
+                // for the same reason: the trailing timers would inflate
+                // the run's measured duration.
+                let ready = self
+                    .clients
+                    .iter()
+                    .enumerate()
+                    .any(|(i, c)| wls[i].issued() < ops_per_client && !c.busy());
+                let done = self.clients.iter().all(|c| !c.busy());
+                if ready || done {
+                    break;
+                }
+            }
+            if !stepped {
+                // Idle with work outstanding: the run is wedged.
+                return false;
+            }
+            if events >= max_events {
+                return false;
+            }
+        }
+    }
+
+    /// The merged operation history across all clients.
+    pub fn history(&self) -> Vec<KvEvent> {
+        let mut h: Vec<KvEvent> = self.clients.iter().flat_map(|c| c.history()).collect();
+        h.sort_by_key(|e| (e.invoke, e.response, e.client));
+        h
+    }
+
+    /// Checks the recorded history for linearizability.
+    pub fn check_history(&self) -> Result<(), String> {
+        check_linearizable(&self.history())
+    }
+
+    /// Sum of a per-node counter across the whole run (suffix-matched,
+    /// i.e. both replica- and client-side counters).
+    pub fn total(&self, metric: &str) -> u64 {
+        self.net.metrics().total(metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_stack_ycsb_is_linearizable() {
+        let mut h = KvHarness::build(Stack::Direct, 7, 3, kv_config(), 64);
+        assert!(h.run_ycsb(&YcsbSpec::a(16), 7, 20, 4_000_000));
+        h.check_history().expect("linearizable");
+        // No one-sided path on the direct stack: every read fell back.
+        assert!(h.total("kv_read_fallback") > 0);
+        assert_eq!(h.total("kv_read_onesided"), 0);
+    }
+
+    #[test]
+    fn rubin_stack_serves_onesided_reads() {
+        let mut h = KvHarness::build(Stack::Rubin, 11, 2, kv_config(), 64);
+        assert!(h.run_ycsb(&YcsbSpec::b(8), 11, 30, 8_000_000));
+        h.check_history().expect("linearizable");
+        assert!(
+            h.total("kv_read_onesided") > 0,
+            "one-sided reads never engaged: fallback={} onesided={}",
+            h.total("kv_read_fallback"),
+            h.total("kv_read_onesided"),
+        );
+    }
+}

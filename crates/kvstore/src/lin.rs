@@ -1,0 +1,297 @@
+//! A Wing–Gong-style linearizability checker for KV histories.
+//!
+//! The deterministic simulation gives every operation exact real-time
+//! invoke/response instants, so the harness can record a per-client
+//! history and check it exhaustively: per key, the store is an
+//! independent register (initial value: absent, modelled as the empty
+//! byte string; `Del` writes absent), and a history is linearizable iff
+//! some permutation of the operations (a) respects real-time order —
+//! an op that responded before another was invoked linearizes first —
+//! and (b) every read returns the latest linearized write.
+//!
+//! The search is the classic Wing–Gong exhaustive DFS with the
+//! "minimal response" pruning rule and memoization on
+//! `(taken-set, register value)`; bounded-concurrency sim histories keep
+//! it tractable (the state space is exponential only in per-key
+//! *concurrency*, not history length).
+
+use std::collections::{BTreeMap, HashSet};
+
+/// One recorded operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvHistOp {
+    /// A read returning `result` (empty = key absent).
+    Get {
+        /// Key read.
+        key: Vec<u8>,
+        /// Observed value; empty means absent.
+        result: Vec<u8>,
+    },
+    /// A write of `val`.
+    Put {
+        /// Key written.
+        key: Vec<u8>,
+        /// Value written.
+        val: Vec<u8>,
+    },
+    /// A delete (modelled as a write of the empty value).
+    Del {
+        /// Key deleted.
+        key: Vec<u8>,
+    },
+}
+
+impl KvHistOp {
+    fn key(&self) -> &[u8] {
+        match self {
+            KvHistOp::Get { key, .. } | KvHistOp::Put { key, .. } | KvHistOp::Del { key } => key,
+        }
+    }
+}
+
+/// One history event: an operation with its real-time interval.
+#[derive(Debug, Clone)]
+pub struct KvEvent {
+    /// Issuing client.
+    pub client: u32,
+    /// Invocation instant (ns).
+    pub invoke: u64,
+    /// Response instant (ns); `None` if the operation never completed
+    /// (its effect may or may not have taken place).
+    pub response: Option<u64>,
+    /// The operation.
+    pub op: KvHistOp,
+}
+
+/// Per-key op after projection: read expecting `expect`, or write of `val`.
+#[derive(Debug, Clone)]
+enum RegOp {
+    Read { expect: usize },
+    Write { val: usize },
+}
+
+struct RegEvent {
+    invoke: u64,
+    response: u64, // u64::MAX when never completed
+    completed: bool,
+    op: RegOp,
+}
+
+/// Checks a history for linearizability. Returns `Err` with a diagnostic
+/// naming the first key whose sub-history admits no valid linearization.
+///
+/// # Panics
+///
+/// Panics if any single key accumulates more than 128 operations (the
+/// memoization mask is a `u128`); size lin-checked runs below that.
+pub fn check_linearizable(history: &[KvEvent]) -> Result<(), String> {
+    let mut per_key: BTreeMap<Vec<u8>, Vec<&KvEvent>> = BTreeMap::new();
+    for e in history {
+        per_key.entry(e.op.key().to_vec()).or_default().push(e);
+    }
+    for (key, events) in per_key {
+        check_key(&key, &events)?;
+    }
+    Ok(())
+}
+
+fn check_key(key: &[u8], events: &[&KvEvent]) -> Result<(), String> {
+    assert!(
+        events.len() <= 128,
+        "key {:?} has {} ops; the checker caps per-key histories at 128",
+        String::from_utf8_lossy(key),
+        events.len()
+    );
+    // Intern values: 0 is the initial (absent / empty) value.
+    let mut values: Vec<Vec<u8>> = vec![Vec::new()];
+    let intern = |v: &[u8], values: &mut Vec<Vec<u8>>| -> usize {
+        match values.iter().position(|x| x == v) {
+            Some(i) => i,
+            None => {
+                values.push(v.to_vec());
+                values.len() - 1
+            }
+        }
+    };
+    let regs: Vec<RegEvent> = events
+        .iter()
+        .map(|e| {
+            let op = match &e.op {
+                KvHistOp::Get { result, .. } => RegOp::Read {
+                    expect: intern(result, &mut values),
+                },
+                KvHistOp::Put { val, .. } => RegOp::Write {
+                    val: intern(val, &mut values),
+                },
+                KvHistOp::Del { .. } => RegOp::Write { val: 0 },
+            };
+            RegEvent {
+                invoke: e.invoke,
+                response: e.response.unwrap_or(u64::MAX),
+                completed: e.response.is_some(),
+                op,
+            }
+        })
+        .collect();
+    let completed_mask: u128 = regs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.completed)
+        .fold(0u128, |m, (i, _)| m | (1u128 << i));
+    // Iterative DFS over (taken-mask, register value) with a failed-state
+    // memo. Acceptance: every *completed* op linearized (incomplete ops
+    // may be dropped — their effect never became visible).
+    let mut failed: HashSet<(u128, usize)> = HashSet::new();
+    let mut stack: Vec<(u128, usize)> = vec![(0, 0)];
+    while let Some((taken, val)) = stack.pop() {
+        if taken & completed_mask == completed_mask {
+            return Ok(());
+        }
+        if !failed.insert((taken, val)) {
+            continue;
+        }
+        // Minimal-response pruning: the next linearized op must have been
+        // invoked before every untaken op's response.
+        let min_resp = regs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| taken & (1 << i) == 0)
+            .map(|(_, r)| r.response)
+            .min()
+            .unwrap_or(u64::MAX);
+        for (i, r) in regs.iter().enumerate() {
+            if taken & (1 << i) != 0 || r.invoke > min_resp {
+                continue;
+            }
+            let next_val = match r.op {
+                RegOp::Read { expect } => {
+                    if expect != val {
+                        continue; // read of a value the register doesn't hold
+                    }
+                    val
+                }
+                RegOp::Write { val: w } => w,
+            };
+            let next = (taken | (1 << i), next_val);
+            if !failed.contains(&next) {
+                stack.push(next);
+            }
+        }
+    }
+    Err(format!(
+        "history for key {:?} is not linearizable ({} ops, {} completed)",
+        String::from_utf8_lossy(key),
+        regs.len(),
+        completed_mask.count_ones(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(client: u32, invoke: u64, response: u64, op: KvHistOp) -> KvEvent {
+        KvEvent {
+            client,
+            invoke,
+            response: Some(response),
+            op,
+        }
+    }
+
+    fn put(k: &str, v: &str) -> KvHistOp {
+        KvHistOp::Put {
+            key: k.into(),
+            val: v.into(),
+        }
+    }
+
+    fn get(k: &str, r: &str) -> KvHistOp {
+        KvHistOp::Get {
+            key: k.into(),
+            result: r.into(),
+        }
+    }
+
+    #[test]
+    fn sequential_history_passes() {
+        let h = vec![
+            ev(1, 0, 10, put("k", "a")),
+            ev(1, 20, 30, get("k", "a")),
+            ev(1, 40, 50, KvHistOp::Del { key: "k".into() }),
+            ev(1, 60, 70, get("k", "")),
+        ];
+        assert!(check_linearizable(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_write_fails() {
+        // Write completes at 10; a read starting at 20 returning the old
+        // (absent) value is a violation.
+        let h = vec![ev(1, 0, 10, put("k", "a")), ev(2, 20, 30, get("k", ""))];
+        assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_side() {
+        // The read overlaps the write: both "a" and "" are valid.
+        for seen in ["a", ""] {
+            let h = vec![ev(1, 0, 100, put("k", "a")), ev(2, 10, 90, get("k", seen))];
+            assert!(check_linearizable(&h).is_ok(), "seen={seen}");
+        }
+    }
+
+    #[test]
+    fn value_from_nowhere_fails() {
+        let h = vec![ev(1, 0, 10, put("k", "a")), ev(2, 20, 30, get("k", "z"))];
+        assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn real_time_order_between_reads_enforced() {
+        // w(a) then w(b) complete sequentially; a later read pair r(b)
+        // then r(a) (non-overlapping) cannot both hold.
+        let h = vec![
+            ev(1, 0, 10, put("k", "a")),
+            ev(1, 20, 30, put("k", "b")),
+            ev(2, 40, 50, get("k", "b")),
+            ev(2, 60, 70, get("k", "a")),
+        ];
+        assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn incomplete_write_may_or_may_not_apply() {
+        // The pending write's effect is optional: reads of both the old
+        // and the new value are fine, in either order is NOT (the write
+        // linearizes at most once).
+        let pending = KvEvent {
+            client: 1,
+            invoke: 0,
+            response: None,
+            op: put("k", "a"),
+        };
+        for seen in ["", "a"] {
+            let h = vec![pending.clone(), ev(2, 10, 20, get("k", seen))];
+            assert!(check_linearizable(&h).is_ok(), "seen={seen}");
+        }
+        // new-then-old is a violation even with the write pending.
+        let h = vec![
+            pending.clone(),
+            ev(2, 10, 20, get("k", "a")),
+            ev(2, 30, 40, get("k", "")),
+        ];
+        assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let h = vec![
+            ev(1, 0, 10, put("a", "1")),
+            ev(2, 0, 10, put("b", "2")),
+            ev(1, 20, 30, get("b", "2")),
+            ev(2, 20, 30, get("a", "1")),
+        ];
+        assert!(check_linearizable(&h).is_ok());
+    }
+}

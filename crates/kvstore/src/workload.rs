@@ -1,0 +1,149 @@
+//! YCSB-style per-client operation streams.
+//!
+//! Workload A (50/50 read/update) and B (95/5) over zipfian or uniform
+//! key popularity, matching the shapes the YCSB core workloads use. Each
+//! client owns an independent [`SplitMix64`] stream seeded from
+//! `(run_seed, client_id)`, so schedules that interleave clients
+//! differently never perturb any individual client's op sequence.
+
+use simnet::zipf::{KeyDist, SplitMix64};
+
+use crate::lin::KvHistOp;
+
+/// A YCSB-style workload shape.
+#[derive(Debug, Clone)]
+pub struct YcsbSpec {
+    /// Fraction of operations that are reads (0.5 for A, 0.95 for B).
+    pub read_ratio: f64,
+    /// Key popularity distribution.
+    pub dist: KeyDist,
+    /// Value payload size in bytes (must fit a region cell for one-sided
+    /// readability; larger values exercise the fallback).
+    pub val_size: usize,
+}
+
+impl YcsbSpec {
+    /// Workload A: 50 % reads / 50 % updates, zipfian keys.
+    pub fn a(keys: u64) -> YcsbSpec {
+        YcsbSpec {
+            read_ratio: 0.5,
+            dist: KeyDist::zipfian(keys, 0.99),
+            val_size: 32,
+        }
+    }
+
+    /// Workload B: 95 % reads / 5 % updates, zipfian keys.
+    pub fn b(keys: u64) -> YcsbSpec {
+        YcsbSpec {
+            read_ratio: 0.95,
+            dist: KeyDist::zipfian(keys, 0.99),
+            val_size: 32,
+        }
+    }
+
+    /// Uniform-key variant (CRUD-style caches; also keeps per-key
+    /// concurrency low enough for exhaustive lin-checking).
+    pub fn uniform(read_ratio: f64, keys: u64) -> YcsbSpec {
+        YcsbSpec {
+            read_ratio,
+            dist: KeyDist::uniform(keys),
+            val_size: 32,
+        }
+    }
+
+    /// Display label for tables.
+    pub fn label(&self) -> String {
+        format!(
+            "{}%read/{}keys",
+            (self.read_ratio * 100.0) as u32,
+            self.dist.key_space()
+        )
+    }
+}
+
+/// One client's deterministic op stream.
+#[derive(Debug)]
+pub struct ClientWorkload {
+    client: u32,
+    spec: YcsbSpec,
+    rng: SplitMix64,
+    issued: u64,
+}
+
+impl ClientWorkload {
+    /// Creates the stream for `client` under `spec`, derived from the run
+    /// seed.
+    pub fn new(client: u32, spec: YcsbSpec, run_seed: u64) -> ClientWorkload {
+        ClientWorkload {
+            client,
+            rng: SplitMix64::new(
+                run_seed ^ (u64::from(client)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+            spec,
+            issued: 0,
+        }
+    }
+
+    /// The next operation. Writes carry a value unique to
+    /// `(client, issue-index)`, which is what lets the linearizability
+    /// checker distinguish every write.
+    pub fn next_op(&mut self) -> KvHistOp {
+        let rank = self.spec.dist.sample(&mut self.rng);
+        let key = format!("user{rank:06}").into_bytes();
+        let is_read = self.rng.next_f64() < self.spec.read_ratio;
+        self.issued += 1;
+        if is_read {
+            KvHistOp::Get {
+                key,
+                result: Vec::new(), // filled at completion
+            }
+        } else {
+            let mut val = format!("c{}-{}-", self.client, self.issued).into_bytes();
+            while val.len() < self.spec.val_size {
+                val.push(b'.');
+            }
+            val.truncate(self.spec.val_size.max(1));
+            KvHistOp::Put { key, val }
+        }
+    }
+
+    /// Operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let mk = |client, seed| {
+            let mut w = ClientWorkload::new(client, YcsbSpec::b(100), seed);
+            (0..50).map(|_| w.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(3, 7), mk(3, 7));
+        assert_ne!(mk(3, 7), mk(4, 7));
+    }
+
+    #[test]
+    fn read_ratio_is_roughly_honoured() {
+        let mut w = ClientWorkload::new(1, YcsbSpec::b(1000), 42);
+        let reads = (0..2000)
+            .filter(|_| matches!(w.next_op(), KvHistOp::Get { .. }))
+            .count();
+        assert!((1800..=2000).contains(&reads), "reads: {reads}/2000");
+    }
+
+    #[test]
+    fn write_values_are_unique_per_client_op() {
+        let mut w = ClientWorkload::new(1, YcsbSpec::a(10), 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            if let KvHistOp::Put { val, .. } = w.next_op() {
+                assert!(seen.insert(val), "duplicate write value");
+            }
+        }
+    }
+}

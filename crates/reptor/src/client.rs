@@ -45,6 +45,10 @@ impl Completion {
     }
 }
 
+/// Handler for verified non-Reply messages addressed to a client
+/// (see [`Client::set_aux_handler`]).
+pub type AuxHandler = Rc<dyn Fn(&mut Simulator, Message)>;
+
 struct PendingReq {
     request: Request,
     replies: HashMap<ReplicaId, Vec<u8>>,
@@ -63,6 +67,7 @@ struct ClientInner {
     resend_timeout: Nanos,
     max_retries: u32,
     stats: ClientStats,
+    aux_handler: Option<AuxHandler>,
 }
 
 /// A closed-loop BFT client.
@@ -106,6 +111,7 @@ impl Client {
                 completions: Vec::new(),
                 max_retries: 20,
                 stats: ClientStats::default(),
+                aux_handler: None,
             })),
         };
         let c = client.clone();
@@ -133,6 +139,23 @@ impl Client {
     /// Requests still awaiting a quorum of replies.
     pub fn pending_count(&self) -> usize {
         self.inner.borrow().pending.len()
+    }
+
+    /// Installs a handler for verified non-Reply messages addressed to
+    /// this client (e.g. [`Message::LeaseGrant`]). Layers like the KV
+    /// read-path client use it to ride the existing delivery plumbing.
+    pub fn set_aux_handler(&self, handler: AuxHandler) {
+        self.inner.borrow_mut().aux_handler = Some(handler);
+    }
+
+    /// Sends an arbitrary signed message to one replica (lease queries).
+    pub fn send_to_replica(&self, sim: &mut Simulator, replica: ReplicaId, msg: &Message) {
+        let (bytes, transport) = {
+            let inner = self.inner.borrow();
+            let signed = SignedMessage::create(msg, &inner.keys, &[replica]);
+            (signed.encode(), inner.transport.clone())
+        };
+        transport.send(sim, replica, bytes);
     }
 
     /// Submits an operation to the replicated service; returns its
@@ -229,6 +252,12 @@ impl Client {
             ..
         } = msg
         else {
+            // Verified non-Reply traffic (lease grants, ...) goes to the
+            // auxiliary handler if one is installed.
+            let handler = self.inner.borrow().aux_handler.clone();
+            if let Some(h) = handler {
+                h(sim, msg);
+            }
             return;
         };
         let completed = {

@@ -56,6 +56,13 @@ pub struct ReptorConfig {
     /// the message path remains the per-peer fallback. Off by default so
     /// existing deployments and traces are bit-identical.
     pub fast_path: bool,
+    /// Agreement-free reads: each replica exposes its applied-state
+    /// region under an epoch-rkey read lease so clients can serve reads
+    /// with one-sided RDMA READs, bypassing agreement. Requires a
+    /// transport with a one-sided read primitive and a service exposing a
+    /// read-region image; message-path reads remain the fallback. Off by
+    /// default so existing deployments and traces are bit-identical.
+    pub read_leases: bool,
     /// Cryptographic CPU cost model.
     pub crypto: CryptoCostModel,
     /// Local persistence layer. `None` (the default) keeps the replica
@@ -75,6 +82,7 @@ impl ReptorConfig {
             pillars: 3,
             view_change_timeout: Nanos::from_millis(40),
             fast_path: false,
+            read_leases: false,
             crypto: CryptoCostModel::xeon_v2_java(),
             durability: None,
         }

@@ -52,7 +52,7 @@ mod state;
 mod state_transfer;
 mod transport;
 
-pub use client::{Client, ClientStats, Completion};
+pub use client::{AuxHandler, Client, ClientStats, Completion};
 pub use cluster::{Cluster, DOMAIN_SECRET};
 pub use codec::{CodecError, Reader, Writer};
 pub use config::{DurabilityConfig, ReptorConfig};
@@ -67,9 +67,9 @@ pub use messages::{
 pub use nio_transport::NioTransport;
 pub use pipeline::PipelineStats;
 pub use recovery::{RecoveryConfig, RecoveryScheduler, RecoveryStats, ServiceFactory};
-pub use replica::{ByzantineMode, Replica, ReplicaStats};
+pub use replica::{ByzantineMode, Replica, ReplicaStats, LEASE_TORN_WINDOW};
 pub use rubin_transport::RubinTransport;
-pub use state::{CounterService, EchoService, KvOp, KvService, StateMachine};
+pub use state::{CounterService, EchoService, KvOp, KvService, RegionWrite, StateMachine};
 pub use state_transfer::{
     CheckpointPayload, CheckpointStore, Manifest, StateOffer, CHUNK_SIZE, MAX_STORE_BYTES,
 };

@@ -238,6 +238,29 @@ pub enum Message {
         /// Number of slots in the region (the agreement window).
         slots: u64,
     },
+    /// A client's request for a replica's current read lease (the rkey of
+    /// its applied-state region). Sent before the first one-sided read and
+    /// again whenever a read is RNIC-denied, which is how clients discover
+    /// revocations.
+    LeaseQuery {
+        /// Querying client.
+        client: ClientId,
+    },
+    /// A replica's answer to [`Message::LeaseQuery`]: the rkey under which
+    /// its applied-state region is currently readable. `rkey == 0` means
+    /// no lease is available (leases disabled, or transport without
+    /// one-sided reads) and the client must use message-path reads.
+    LeaseGrant {
+        /// Granting replica (the region's owner).
+        replica: ReplicaId,
+        /// Remote READ key of the applied-state region; 0 if none.
+        rkey: u32,
+        /// Region length in bytes.
+        len: u64,
+        /// Recovery epoch the lease was issued under (diagnostics; the
+        /// RNIC, not this field, enforces revocation).
+        epoch: u64,
+    },
 }
 
 /// Sentinel chunk index requesting/carrying the checkpoint-store manifest
@@ -261,6 +284,8 @@ impl Message {
             Message::StateRequest { .. } => "STATE-REQUEST",
             Message::StateChunk { .. } => "STATE-CHUNK",
             Message::SlotGrant { .. } => "SLOT-GRANT",
+            Message::LeaseQuery { .. } => "LEASE-QUERY",
+            Message::LeaseGrant { .. } => "LEASE-GRANT",
         }
     }
 
@@ -442,6 +467,22 @@ impl Message {
                 w.u64(*slot_size);
                 w.u64(*slots);
             }
+            Message::LeaseQuery { client } => {
+                w.u8(13);
+                w.u32(*client);
+            }
+            Message::LeaseGrant {
+                replica,
+                rkey,
+                len,
+                epoch,
+            } => {
+                w.u8(14);
+                w.u32(*replica);
+                w.u32(*rkey);
+                w.u64(*len);
+                w.u64(*epoch);
+            }
         }
         w.finish()
     }
@@ -595,6 +636,13 @@ impl Message {
                 rkey: r.u32()?,
                 slot_size: r.u64()?,
                 slots: r.u64()?,
+            },
+            13 => Message::LeaseQuery { client: r.u32()? },
+            14 => Message::LeaseGrant {
+                replica: r.u32()?,
+                rkey: r.u32()?,
+                len: r.u64()?,
+                epoch: r.u64()?,
             },
             tag => {
                 return Err(CodecError::BadTag {
@@ -801,6 +849,13 @@ mod tests {
                 rkey: 91,
                 slot_size: 4096,
                 slots: 128,
+            },
+            Message::LeaseQuery { client: 9 },
+            Message::LeaseGrant {
+                replica: 1,
+                rkey: 77,
+                len: 163_856,
+                epoch: 4,
             },
         ];
         for m in msgs {

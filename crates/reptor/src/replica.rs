@@ -31,7 +31,7 @@ use crate::messages::{
     View, MANIFEST_CHUNK,
 };
 use crate::pipeline::{Instance, Pipeline, PipelineStats};
-use crate::state::StateMachine;
+use crate::state::{RegionWrite, StateMachine};
 use crate::state_transfer::{
     CheckpointPayload, CheckpointStore, ChunkVerdict, StateOffer, Transfer, CHUNK_SIZE,
 };
@@ -70,6 +70,15 @@ pub enum ByzantineMode {
     /// is caught only by the responder RNIC refusing the revoked rkey
     /// (`stale_rkey_denied`); fetchers route around on the failed READ.
     StaleEpochOffer,
+    /// Advertises a *revoked* read-lease rkey in its LEASE-GRANT answers:
+    /// the replica registers its applied-state region, immediately
+    /// invalidates it, registers a fresh one for its own use, and hands
+    /// clients the dead rkey. As with [`ByzantineMode::StaleEpochOffer`]
+    /// the lie is undetectable from the grant itself — only
+    /// the replica's RNIC refusing the revoked rkey exposes it
+    /// (`stale_rkey_denied`); clients fall back to the message path and
+    /// rotate their read quorum to correct replicas.
+    StaleLeaseOffer,
     /// As primary, never proposes (provoking its own deposition); once it
     /// learns of the new view it fires fast-path slot WRITEs with the
     /// grants of its *revoked* leadership. The followers invalidated those
@@ -136,6 +145,15 @@ pub struct ReplicaStats {
 /// encoded PRE-PREPARE exceeds this falls back to the message path for
 /// that proposal (the slot region layout is static per view).
 pub(crate) const FAST_PATH_SLOT_SIZE: u64 = 4096;
+
+/// Delay between staging a cell's odd (torn) version stamp and publishing
+/// the full committed cell in the leased read region. Strictly below any
+/// simulated one-way network latency, so by the time a client's write
+/// completion (which requires `f + 1` replies to cross the network) is
+/// observable, every replica that executed the write has long since
+/// published the committed cell. One-sided READs racing the window see
+/// the torn stamp and fall back to the message path.
+pub const LEASE_TORN_WINDOW: Nanos = Nanos::from_nanos(1_000);
 
 /// A follower's WRITE grant as retained by the leader it names: the rkey
 /// of the follower's slot region plus the layout to index it with.
@@ -230,6 +248,15 @@ struct ReplicaInner {
     slot_seqs: HashMap<u64, SeqNum>,
     /// Whether the lazy initial (view-0) slot grant has run.
     fast_path_armed: bool,
+    /// Agreement-free reads: the currently registered applied-state
+    /// region lease, if any (`cfg.read_leases` plus a service exposing a
+    /// region image plus a one-sided transport).
+    read_lease: Option<StateOffer>,
+    /// A `StaleLeaseOffer` replica's recorded revoked lease — the dead
+    /// rkey it advertises to clients instead of `read_lease`.
+    stale_lease: Option<StateOffer>,
+    /// Whether the lazy initial lease registration has run.
+    lease_armed: bool,
     /// Local persistence layer (WAL + snapshot slots on a simulated
     /// drive). Deliberately NOT wiped by [`Replica::restart`] — it models
     /// the durable medium the restart recovers from.
@@ -335,6 +362,9 @@ impl Replica {
                 slot_grants: HashMap::new(),
                 slot_seqs: HashMap::new(),
                 fast_path_armed: false,
+                read_lease: None,
+                stale_lease: None,
+                lease_armed: false,
                 durable,
                 rejoin_attempts: 0,
                 rejoin_generation: 0,
@@ -557,6 +587,10 @@ impl Replica {
         for msg in msgs {
             self.broadcast_to_replicas(sim, msg);
         }
+        // The read lease joins the roll: its region moves to a fresh rkey
+        // under the new epoch, so clients holding the pre-roll lease are
+        // RNIC-denied and re-query.
+        self.roll_read_lease(sim);
     }
 
     /// Runs `f` against the replica's service (state inspection in tests).
@@ -627,6 +661,13 @@ impl Replica {
             inner.slot_granted_to = None;
             inner.fast_path_armed = false;
             let slot_region = inner.slot_region.take();
+            // The pre-crash read lease MUST be revoked before the WAL
+            // replays below: the restarted service starts empty, and a
+            // surviving rkey would let clients one-sided-READ the stale
+            // pre-crash region image while recovery is still rebuilding.
+            let read_lease = inner.read_lease.take();
+            inner.stale_lease = None;
+            inner.lease_armed = false;
             inner.rejoin_attempts = 0;
             inner.rejoin_generation += 1;
             inner.bump("restarts", 1);
@@ -635,14 +676,18 @@ impl Replica {
                 "reptor",
                 format!("{}restart", inner.metrics_prefix),
             );
-            ((released, slot_region), inner.transport.clone())
+            ((released, slot_region, read_lease), inner.transport.clone())
         };
-        let (released, slot_region) = released;
+        let (released, slot_region, read_lease) = released;
         for offer in &released {
             transport.release_state_region(offer);
         }
         if let Some(region) = slot_region {
             transport.release_write_region(&region);
+        }
+        if let Some(lease) = read_lease {
+            transport.release_state_region(&lease);
+            self.inner.borrow_mut().bump("lease_revocations", 1);
         }
         // Crash-consistent cold path: rebuild as much as the local drive
         // holds before asking peers for the rest.
@@ -803,6 +848,7 @@ impl Replica {
         // Construction has no simulator handle, so the initial (view-0)
         // slot grant rides the first event this replica processes.
         self.maybe_arm_fast_path(sim);
+        self.maybe_arm_read_lease(sim);
         match msg {
             Message::Request(req) => self.on_request(sim, req),
             Message::PrePrepare {
@@ -882,6 +928,8 @@ impl Replica {
                 slot_size,
                 slots,
             } => self.handle_slot_grant(view, replica, rkey, slot_size, slots),
+            Message::LeaseQuery { client } => self.handle_lease_query(sim, client),
+            Message::LeaseGrant { .. } => { /* replicas ignore lease grants */ }
             Message::Reply { .. } => { /* replicas ignore replies */ }
         }
     }
@@ -1230,6 +1278,181 @@ impl Replica {
         if let Some(region) = region {
             transport.release_write_region(&region);
             self.inner.borrow_mut().bump("fast_path_revocations", 1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Agreement-free read leases
+    // ------------------------------------------------------------------
+
+    /// Lazily runs the initial lease registration: construction has no
+    /// simulator handle, so the lease rides the first event this replica
+    /// processes. Idempotent; no-op unless `cfg.read_leases` is set.
+    fn maybe_arm_read_lease(&self, sim: &mut Simulator) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.cfg.read_leases
+                || inner.lease_armed
+                || inner.byzantine == ByzantineMode::Crash
+            {
+                return;
+            }
+            inner.lease_armed = true;
+        }
+        self.register_read_lease(sim);
+    }
+
+    /// Registers the service's applied-state region image as a one-sided
+    /// READ MR and remembers its offer as the current read lease. A
+    /// [`ByzantineMode::StaleLeaseOffer`] replica additionally registers
+    /// and immediately invalidates a decoy region whose dead rkey it will
+    /// advertise to clients.
+    fn register_read_lease(&self, sim: &mut Simulator) {
+        let (transport, image, epoch, stale_mode) = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.cfg.read_leases || inner.byzantine == ByzantineMode::Crash {
+                return;
+            }
+            // Cell writes staged against a previous lease are already
+            // folded into the fresh image; drop them.
+            let _ = inner.service.drain_region_writes();
+            let Some(image) = inner.service.read_region_image() else {
+                return; // service exposes no read region
+            };
+            (
+                inner.transport.clone(),
+                image,
+                inner.recovery_epoch,
+                inner.byzantine == ByzantineMode::StaleLeaseOffer,
+            )
+        };
+        let stale = if stale_mode {
+            transport.register_state_region(sim, &image).map(|mut o| {
+                o.epoch = epoch;
+                transport.release_state_region(&o);
+                o
+            })
+        } else {
+            None
+        };
+        let offer = transport.register_state_region(sim, &image);
+        let mut inner = self.inner.borrow_mut();
+        if stale.is_some() {
+            inner.stale_lease = stale;
+        }
+        if let Some(mut offer) = offer {
+            offer.epoch = epoch;
+            inner.read_lease = Some(offer);
+            inner.bump("lease_registrations", 1);
+        }
+    }
+
+    /// Revokes the current read lease by invalidating its MR — the same
+    /// re-registration fence the checkpoint stores use. From this point
+    /// every one-sided READ of the old rkey is denied in this replica's
+    /// RNIC (`stale_rkey_denied`); clients fall back to the message path
+    /// and re-query for a fresh lease.
+    fn revoke_read_lease(&self) {
+        let (lease, transport) = {
+            let mut inner = self.inner.borrow_mut();
+            (inner.read_lease.take(), inner.transport.clone())
+        };
+        if let Some(lease) = lease {
+            transport.release_state_region(&lease);
+            self.inner.borrow_mut().bump("lease_revocations", 1);
+        }
+    }
+
+    /// Revocation plus fresh registration, used where the exposed state
+    /// jumps wholesale: view installation, recovery-epoch rolls, state
+    /// transfer. The fresh image snapshots the service after the jump, so
+    /// no staged cell writes are lost.
+    fn roll_read_lease(&self, sim: &mut Simulator) {
+        if !self.inner.borrow().lease_armed {
+            return;
+        }
+        self.revoke_read_lease();
+        self.register_read_lease(sim);
+    }
+
+    /// A client's lease query: answer with the current lease's rkey (or
+    /// the revoked decoy, for a [`ByzantineMode::StaleLeaseOffer`] liar;
+    /// or rkey 0 when no lease exists).
+    fn handle_lease_query(&self, sim: &mut Simulator, client: ClientId) {
+        let msg = {
+            let inner = self.inner.borrow_mut();
+            if inner.byzantine == ByzantineMode::Crash {
+                return;
+            }
+            inner.bump("lease_queries", 1);
+            let advertised = match (inner.byzantine, inner.stale_lease) {
+                (ByzantineMode::StaleLeaseOffer, Some(stale)) => Some(stale),
+                _ => inner.read_lease,
+            };
+            let (rkey, len, epoch) = advertised.map(|o| (o.rkey, o.len, o.epoch)).unwrap_or((
+                0,
+                0,
+                inner.recovery_epoch,
+            ));
+            if rkey != 0 {
+                inner.bump("lease_grants", 1);
+            }
+            Message::LeaseGrant {
+                replica: inner.id,
+                rkey,
+                len,
+                epoch,
+            }
+        };
+        self.send_msg(sim, msg, &[client]);
+    }
+
+    /// Publishes the cells the just-executed batch dirtied into the leased
+    /// region, two-phase: the torn (odd) stamp lands immediately, the
+    /// committed cell one [`LEASE_TORN_WINDOW`] later. The commit event is
+    /// guarded on the lease being unchanged — a roll in between registers
+    /// a fresh image that already contains the committed cell.
+    fn publish_region_writes(&self, sim: &mut Simulator) {
+        let (writes, lease, transport) = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.cfg.read_leases {
+                return;
+            }
+            let writes = inner.service.drain_region_writes();
+            if writes.is_empty() {
+                return;
+            }
+            (writes, inner.read_lease, inner.transport.clone())
+        };
+        let Some(lease) = lease else {
+            return; // no one-sided path; the image re-registers on the next roll
+        };
+        for w in writes {
+            let RegionWrite {
+                offset,
+                begin,
+                commit,
+            } = w;
+            if !transport.write_state_region(&lease, offset, &begin) {
+                return; // lease revoked mid-batch; fresh image comes with the next one
+            }
+            self.inner.borrow_mut().bump("lease_cell_begins", 1);
+            let replica = self.clone();
+            let rkey = lease.rkey;
+            sim.schedule_in(
+                LEASE_TORN_WINDOW,
+                Box::new(move |_sim| {
+                    let (lease, transport) = {
+                        let inner = replica.inner.borrow();
+                        (inner.read_lease, inner.transport.clone())
+                    };
+                    if let Some(l) = lease {
+                        if l.rkey == rkey && transport.write_state_region(&l, offset, &commit) {
+                            replica.inner.borrow_mut().bump("lease_cell_commits", 1);
+                        }
+                    }
+                }),
+            );
         }
     }
 
@@ -1729,6 +1952,9 @@ impl Replica {
             for (client, ts, result) in replies {
                 self.send_reply(sim, client, ts, result);
             }
+            // Agreement-free reads: publish the cells this batch dirtied
+            // into the leased region.
+            self.publish_region_writes(sim);
             // Durability: log the executed batch before it is reflected in
             // any checkpoint, so a crash between checkpoints replays it.
             {
@@ -2431,6 +2657,9 @@ impl Replica {
                 ),
             );
         }
+        // The service state just jumped wholesale; any outstanding read
+        // lease exposes a pre-transfer image and must roll.
+        self.roll_read_lease(sim);
         // Seal and attest the installed state as this replica's own
         // checkpoint (other laggards may fetch from it in turn), then
         // resume per-instance catch-up for everything past it.
@@ -3055,6 +3284,10 @@ impl Replica {
         // Grant the new leader fast-path WRITE permission into a fresh
         // slot region (the old region was invalidated with the vote).
         self.grant_slot_region(sim, view);
+        // Roll the read lease: the view installation may have replayed
+        // batches wholesale, so revoke the old region (RNIC fence) and
+        // expose a fresh image of the post-installation state.
+        self.roll_read_lease(sim);
         // Pending requests at the new primary flow again.
         self.try_propose(sim);
     }

@@ -747,6 +747,14 @@ impl Transport for RubinTransport {
         }
     }
 
+    fn write_state_region(&self, offer: &StateOffer, offset: u64, bytes: &[u8]) -> bool {
+        let inner = self.inner.borrow();
+        match inner.state_regions.get(&offer.rkey) {
+            Some(mr) => mr.write(offset as usize, bytes).is_ok(),
+            None => false,
+        }
+    }
+
     fn read_state(
         &self,
         sim: &mut Simulator,

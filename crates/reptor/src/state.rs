@@ -45,6 +45,47 @@ pub trait StateMachine {
     fn restore(&mut self, snapshot: &[u8]) -> bool {
         snapshot.is_empty()
     }
+
+    /// Byte image of the service's one-sided read region, if the service
+    /// exposes one.
+    ///
+    /// Services that want agreement-free client reads lay out their
+    /// applied state in a fixed-size region of version-stamped cells; the
+    /// replica registers this image as an RDMA MR and leases the rkey to
+    /// clients. The default (`None`) keeps existing services lease-free.
+    fn read_region_image(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Drains the region writes produced by `apply` calls since the last
+    /// drain.
+    ///
+    /// Each [`RegionWrite`] is a two-phase update of one cell: the replica
+    /// copies `begin` (an odd, torn version stamp) into the registered MR
+    /// immediately and `commit` (the full cell, even stamp) a sub-RTT
+    /// moment later, so concurrent one-sided READs observe either the old
+    /// committed cell, the torn marker, or the new committed cell — never
+    /// a silent half-write.
+    fn drain_region_writes(&mut self) -> Vec<RegionWrite> {
+        Vec::new()
+    }
+}
+
+/// One two-phase cell update destined for a replica's leased read region.
+///
+/// Produced by [`StateMachine::drain_region_writes`]; consumed by the
+/// replica's execution stage, which stages `begin` into the MR at apply
+/// time and `commit` one torn-window later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionWrite {
+    /// Byte offset of the cell inside the region.
+    pub offset: u64,
+    /// First-phase bytes: the cell's version stamp set to an odd (torn)
+    /// value.
+    pub begin: Vec<u8>,
+    /// Second-phase bytes: the complete cell with an even (committed)
+    /// version stamp.
+    pub commit: Vec<u8>,
 }
 
 /// Echoes the request payload (the workload of the paper's echo

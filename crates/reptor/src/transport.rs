@@ -110,6 +110,16 @@ pub trait Transport {
         let _ = offer;
     }
 
+    /// Updates `[offset, offset+bytes.len())` of a locally registered
+    /// state region in place. Used by the read-lease execution path to
+    /// publish applied cells without a re-registration. Returns false if
+    /// the region is unknown (already released) or the write is out of
+    /// bounds; transports without one-sided support always return false.
+    fn write_state_region(&self, offer: &StateOffer, offset: u64, bytes: &[u8]) -> bool {
+        let _ = (offer, offset, bytes);
+        false
+    }
+
     /// Issues a one-sided read of `[offset, offset+len)` from `peer`'s
     /// region `rkey`, invoking `done` with the bytes (or `None` on
     /// failure). Returns false if this transport (or the link to `peer`)

@@ -63,6 +63,7 @@ mod sim;
 mod stats;
 mod time;
 mod topo;
+pub mod zipf;
 
 pub use chaos::{ChaosAction, ChaosSchedule};
 pub use disk::{DiskFault, DiskSpec, SimDisk};
@@ -80,6 +81,7 @@ pub use stats::{
 };
 pub use time::{Bandwidth, Nanos};
 pub use topo::LatencyMatrix;
+pub use zipf::{KeyDist, SplitMix64};
 
 /// A ready-made two-host world mirroring the paper's testbed: two 4-core
 /// hosts, one 10 Gbps full-duplex link.

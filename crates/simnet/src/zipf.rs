@@ -1,0 +1,195 @@
+//! Seeded key-popularity generators for YCSB-style workloads.
+//!
+//! The kvstore harness drives thousands of simulated clients against the
+//! replicated KV service; each client needs its own deterministic stream of
+//! keys drawn from either a uniform or a zipfian popularity distribution
+//! (YCSB workloads A/B use zipfian with θ = 0.99). The generators here are
+//! self-contained — a SplitMix64 core instead of the `rand` shim — so the
+//! per-client streams are cheap, `Copy`-free, and byte-identical across
+//! runs regardless of what other code draws from shared RNGs.
+
+/// SplitMix64: a tiny, high-quality, seedable PRNG (Steele et al., OOPSLA'14).
+///
+/// Every client in the KV workload owns one, seeded from
+/// `(run_seed, client_id)`, so interleaving clients differently across
+/// simulator schedules never perturbs any individual client's op stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (Lemire); bias is < 2^-64
+        // per draw, irrelevant for workload generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Key chooser: uniform or zipfian over `[0, n)`.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// Zipfian by rank with parameter θ, via Gray et al.'s closed-form
+    /// inverse-CDF approximation (the same scheme YCSB uses).
+    Zipfian {
+        /// Key-space size.
+        n: u64,
+        /// Skew parameter θ (YCSB default 0.99).
+        theta: f64,
+        /// Precomputed generalized harmonic number H_{n,θ}.
+        zetan: f64,
+        /// Precomputed H_{2,θ}.
+        zeta2: f64,
+        /// Precomputed α = 1 / (1 − θ).
+        alpha: f64,
+        /// Precomputed η (Gray et al. constant).
+        eta: f64,
+    },
+}
+
+impl KeyDist {
+    /// Uniform distribution over `n` keys.
+    pub fn uniform(n: u64) -> KeyDist {
+        assert!(n > 0);
+        KeyDist::Uniform { n }
+    }
+
+    /// Zipfian distribution over `n` keys with skew `theta` (0 < θ < 1).
+    pub fn zipfian(n: u64, theta: f64) -> KeyDist {
+        assert!(n > 0);
+        assert!(theta > 0.0 && theta < 1.0);
+        let zeta = |m: u64| -> f64 { (1..=m).map(|i| 1.0 / (i as f64).powf(theta)).sum() };
+        let zetan = zeta(n);
+        let zeta2 = zeta(2.min(n));
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        KeyDist::Zipfian {
+            n,
+            theta,
+            zetan,
+            zeta2,
+            alpha,
+            eta,
+        }
+    }
+
+    /// Draws the next key rank in `[0, n)`. Rank 0 is the most popular key.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        match *self {
+            KeyDist::Uniform { n } => rng.next_bounded(n),
+            KeyDist::Zipfian {
+                n,
+                theta,
+                zetan,
+                alpha,
+                eta,
+                ..
+            } => {
+                let u = rng.next_f64();
+                let uz = u * zetan;
+                if uz < 1.0 {
+                    return 0;
+                }
+                if uz < 1.0 + 0.5f64.powf(theta) {
+                    return 1;
+                }
+                let rank = (n as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64;
+                rank.min(n - 1)
+            }
+        }
+    }
+
+    /// Key-space size.
+    pub fn key_space(&self) -> u64 {
+        match *self {
+            KeyDist::Uniform { n } => n,
+            KeyDist::Zipfian { n, .. } => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for bound in [1u64, 2, 3, 17, 1000] {
+            for _ in 0..200 {
+                assert!(rng.next_bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let dist = KeyDist::zipfian(1000, 0.99);
+        let mut rng = SplitMix64::new(42);
+        let mut head = 0u64;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if dist.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With θ = 0.99 the top-10 of 1000 keys should absorb a large
+        // fraction of draws; uniform would give ~1 %.
+        assert!(head > draws / 4, "head draws: {head}/{draws}");
+        // And uniform really is flat.
+        let flat = KeyDist::uniform(1000);
+        let mut head_u = 0u64;
+        for _ in 0..draws {
+            if flat.sample(&mut rng) < 10 {
+                head_u += 1;
+            }
+        }
+        assert!(head_u < draws / 20, "uniform head draws: {head_u}/{draws}");
+    }
+
+    #[test]
+    fn zipfian_ranks_in_range() {
+        for n in [1u64, 2, 5, 1000] {
+            let dist = KeyDist::zipfian(n.max(2), 0.5);
+            let mut rng = SplitMix64::new(n);
+            for _ in 0..500 {
+                assert!(dist.sample(&mut rng) < dist.key_space());
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! different batches at the same sequence number**. Liveness is only
 //! asserted when the schedule is benign enough to guarantee it.
 
+use kvstore::{kv_config, KvHarness, Stack, YcsbSpec};
 use proptest::prelude::*;
 use reptor::{ByzantineMode, Cluster, CounterService, ReptorConfig};
 use simnet::HostId;
@@ -115,5 +116,41 @@ proptest! {
                 "benign schedule must complete all requests"
             );
         }
+    }
+}
+
+/// A Byzantine replica that advertises a *revoked* read-lease rkey — its
+/// grants carry a once-valid rkey it has already deregistered, while it
+/// keeps a fresh region for itself. No message-level check can catch
+/// this: the grant is well-formed and MAC-authenticated. The defense is
+/// the RNIC permission check itself (the paper's thesis): every READ on
+/// the dead rkey is denied at the responder (`stale_rkey_denied`), the
+/// client falls back to agreement for that read, rotates the liar out of
+/// its quorum, and resumes one-sided reads against the honest `2f + 1`.
+/// Swept over seeds 1–5 in one go (the scenario must not be
+/// seed-sensitive, and CI's CHAOS_SEED matrix re-runs it redundantly).
+#[test]
+fn stale_lease_offer_is_rnic_denied_and_rotated_out() {
+    for seed in 1u64..=5 {
+        let mut h = KvHarness::build(Stack::Rubin, 0x51E + seed, 3, kv_config(), 64);
+        h.replicas[1].set_byzantine(ByzantineMode::StaleLeaseOffer);
+        assert!(
+            h.run_ycsb(&YcsbSpec::b(16), seed, 25, 60_000_000),
+            "run wedged (seed {seed})"
+        );
+        assert!(
+            h.total("stale_rkey_denied") >= 1,
+            "the stale rkey was never denied at the RNIC (seed {seed})"
+        );
+        assert!(
+            h.total("kv_read_fallback") >= 1,
+            "denied reads must fall back to agreement (seed {seed})"
+        );
+        assert!(
+            h.total("kv_read_onesided") >= 1,
+            "clients must resume one-sided reads on the honest quorum (seed {seed})"
+        );
+        h.check_history()
+            .unwrap_or_else(|e| panic!("history must linearize (seed {seed}): {e}"));
     }
 }
