@@ -5,21 +5,46 @@
 //! [`reptor::Client`]. Reads first try the one-sided path: the client
 //! one-sided-READs the key's cell from `2f + 1` replicas' leased regions
 //! in parallel and accepts the answer only if **every** cell is valid
-//! (committed stamps, no torn/poisoned cell, no RNIC denial); the result
-//! is the max-stamp cell's verdict. Any blemish — denial of a revoked
-//! rkey, a torn stamp caught mid-update, a poisoned bucket — routes the
+//! (committed stamps, no torn/poisoned cell, no RNIC denial) **and all
+//! `2f + 1` cells agree** on the same stamp and verdict. Any blemish —
+//! denial of a revoked rkey, a torn stamp caught mid-update, a poisoned
+//! bucket, or cells that disagree (`kv_read_divergent`) — routes the
 //! read through the ordinary agreement path (`kv_read_fallback`), so the
 //! fast path can only ever *lose performance*, never correctness.
 //!
 //! ## Why the quorum read is linearizable
 //!
-//! A completed write was applied at `f + 1` replicas whose replies
-//! crossed the network, which takes longer than the torn window — so by
-//! read time those replicas' cells are *committed* at (at least) the
-//! write's stamp. Any valid `2f + 1` read quorum intersects those
-//! `f + 1` appliers (`(2f+1) + (f+1) > n`), so the max-stamp cell is at
-//! least as new as every completed write; and stamps are monotone in
-//! apply order, so picking the max never travels back in time.
+//! The invariant both paths maintain: **the state observed by any
+//! completed operation is applied at `f + 1` honest replicas by the time
+//! the operation responds**, and any two `f + 1`-sized sets of honest
+//! replicas intersect (at most `f` of the `3f + 1` replicas are faulty,
+//! so there are at least `2f + 1` honest ones and
+//! `(f+1) + (f+1) > 2f+1`).
+//!
+//! * *Message path.* KV clients complete message-path operations only on
+//!   `2f + 1` matching replies ([`reptor::Client::set_reply_quorum`]),
+//!   of which at least `f + 1` come from honest replicas that executed
+//!   the operation — and with it every operation ordered before it.
+//! * *One-sided path.* A read is accepted only when all `2f + 1` cells
+//!   agree, so at least `f + 1` honest replicas have applied exactly the
+//!   returned (stamp, value) state. A fabricated cell — a Byzantine
+//!   replica publishing an arbitrary high even stamp or a bogus value
+//!   into its own validly-leased region — can never gather `f + 1`
+//!   honest look-alikes, so it only breaks unanimity and forces the
+//!   (safe) fallback. See [`reptor::ByzantineMode::ForgedLeaseCells`].
+//!
+//! Linearizability follows from intersection plus per-replica stamp
+//! monotonicity: any operation invoked after some operation observing
+//! stamp `s` completed meets, in every quorum it can use, at least one
+//! honest replica whose applied state is at stamp `>= s` — a later
+//! one-sided read therefore cannot reach unanimity on an older stamp
+//! (no new-then-old inversion, even across clients whose quorums
+//! diverge), and a later message-path operation executes at a log
+//! position at or beyond `s`'s write. The previous revision accepted the
+//! *max-stamp* cell out of any all-valid quorum; that trusts a single
+//! replica's cell content and admits both fabrication and an apply-lag
+//! inversion between divergent quorums, which is why unanimity (and the
+//! `2f + 1` reply quorum) is load-bearing here.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -53,9 +78,12 @@ struct KvClientInner {
     /// Known read leases, by replica. `BTreeMap` so quorum choice
     /// iterates deterministically.
     leases: BTreeMap<u32, Lease>,
-    /// Denial counts, by replica: quorum choice prefers least-denied, so
-    /// one stale-lease liar gets rotated out after its first denial.
-    denied: BTreeMap<u32, u64>,
+    /// Demerit counts, by replica: one per RNIC denial and one per
+    /// out-voted cell in a divergent quorum. Quorum choice prefers the
+    /// least-demerited replicas, so a stale-lease liar rotates out after
+    /// its first denial and a cell forger (or persistent laggard) after
+    /// its first out-voted read.
+    demerits: BTreeMap<u32, u64>,
     /// Message-path operations in flight, by request timestamp, with
     /// their original invocation instants.
     pending: HashMap<u64, (KvHistOp, u64)>,
@@ -104,6 +132,12 @@ impl KvClient {
         metrics: Metrics,
     ) -> KvClient {
         let id = client.id();
+        // One-sided reads bypass agreement, so message-path completions
+        // must prove more than the PBFT minimum: 2f + 1 matching replies
+        // mean f + 1 *honest* replicas applied the operation before it
+        // responded, and every subsequent unanimous read quorum
+        // intersects them (see the module docs).
+        client.set_reply_quorum(2 * cfg.f() + 1);
         let inner = Rc::new(RefCell::new(KvClientInner {
             id,
             n: cfg.n,
@@ -112,7 +146,7 @@ impl KvClient {
             metrics,
             prefix: format!("kv.c{id}."),
             leases: BTreeMap::new(),
-            denied: BTreeMap::new(),
+            demerits: BTreeMap::new(),
             pending: HashMap::new(),
             onesided: Vec::new(),
             inflight_reads: 0,
@@ -210,12 +244,13 @@ impl KvClient {
             if inner.leases.len() < need {
                 Vec::new()
             } else {
-                // Least-denied replicas first; ties by id. One denial is
-                // enough to rotate a stale-lease liar out of the quorum.
+                // Least-demerited replicas first; ties by id. One demerit
+                // is enough to rotate a stale-lease liar or cell forger
+                // out of the quorum.
                 let mut order: Vec<(u64, u32, Lease)> = inner
                     .leases
                     .iter()
-                    .map(|(&r, &l)| (inner.denied.get(&r).copied().unwrap_or(0), r, l))
+                    .map(|(&r, &l)| (inner.demerits.get(&r).copied().unwrap_or(0), r, l))
                     .collect();
                 order.sort_by_key(|&(d, r, _)| (d, r));
                 order.truncate(need);
@@ -265,8 +300,11 @@ impl KvClient {
         }
     }
 
-    /// Aggregates one quorum read. All `2f + 1` cells must be valid;
-    /// otherwise the read falls back to agreement.
+    /// Aggregates one quorum read. All `2f + 1` cells must be valid *and
+    /// unanimous* on the same stamp and verdict; otherwise the read falls
+    /// back to agreement. Unanimity is what makes the result Byzantine-
+    /// proof: at most `f` cells can lie, so an accepted (stamp, value) is
+    /// vouched for by at least `f + 1` honest replicas (module docs).
     fn finish_read(
         &self,
         sim: &mut Simulator,
@@ -284,7 +322,7 @@ impl KvClient {
             {
                 let mut inner = self.inner.borrow_mut();
                 for r in &denied {
-                    *inner.denied.entry(*r).or_insert(0) += 1;
+                    *inner.demerits.entry(*r).or_insert(0) += 1;
                     inner.leases.remove(r);
                 }
             }
@@ -295,30 +333,58 @@ impl KvClient {
             self.fallback_get(sim, key, invoke);
             return;
         }
-        let mut best: Option<(u64, Vec<u8>)> = None;
-        for (_, bytes) in &results {
-            let cell = decode_cell(bytes.as_ref().expect("denials handled above"));
-            match judge(&cell, &key) {
-                KeyVerdict::Fallback => {
-                    // Torn or poisoned cell: the only safe answer is the
-                    // agreement path.
-                    self.bump("kv_read_torn");
-                    self.fallback_get(sim, key, invoke);
-                    return;
-                }
-                KeyVerdict::Absent(stamp) => {
-                    if best.as_ref().is_none_or(|(s, _)| stamp > *s) {
-                        best = Some((stamp, Vec::new()));
-                    }
-                }
-                KeyVerdict::Value(stamp, val) => {
-                    if best.as_ref().is_none_or(|(s, _)| stamp > *s) {
-                        best = Some((stamp, val));
+        let verdicts: Vec<(u32, KeyVerdict)> = results
+            .iter()
+            .map(|(r, bytes)| {
+                let cell = decode_cell(bytes.as_ref().expect("denials handled above"));
+                (*r, judge(&cell, &key))
+            })
+            .collect();
+        if verdicts.iter().any(|(_, v)| *v == KeyVerdict::Fallback) {
+            // Torn or poisoned cell: the only safe answer is the
+            // agreement path.
+            self.bump("kv_read_torn");
+            self.fallback_get(sim, key, invoke);
+            return;
+        }
+        let unanimous = verdicts.iter().all(|(_, v)| *v == verdicts[0].1);
+        if !unanimous {
+            // Divergent cells: a lagging apply, or a forged cell from a
+            // Byzantine replica — indistinguishable from here, and both
+            // unsafe to serve. Demerit the out-voted minority (a forger
+            // or persistent laggard rotates out of future quorums; an
+            // honest replica that was merely mid-apply shrugs off the
+            // preference penalty) and serve the read through agreement.
+            let plurality = verdicts
+                .iter()
+                .map(|(_, v)| v)
+                .max_by_key(|v| {
+                    let votes = verdicts.iter().filter(|(_, w)| w == *v).count();
+                    let stamp = match v {
+                        KeyVerdict::Absent(s) | KeyVerdict::Value(s, _) => *s,
+                        KeyVerdict::Fallback => unreachable!("handled above"),
+                    };
+                    (votes, stamp)
+                })
+                .expect("quorum is non-empty")
+                .clone();
+            {
+                let mut inner = self.inner.borrow_mut();
+                for (r, v) in &verdicts {
+                    if *v != plurality {
+                        *inner.demerits.entry(*r).or_insert(0) += 1;
                     }
                 }
             }
+            self.bump("kv_read_divergent");
+            self.fallback_get(sim, key, invoke);
+            return;
         }
-        let (_, result) = best.expect("quorum is non-empty");
+        let result = match &verdicts[0].1 {
+            KeyVerdict::Absent(_) => Vec::new(),
+            KeyVerdict::Value(_, val) => val.clone(),
+            KeyVerdict::Fallback => unreachable!("handled above"),
+        };
         let response = sim.now().as_nanos();
         let mut inner = self.inner.borrow_mut();
         let client = inner.id;

@@ -1,4 +1,6 @@
-//! The BFT client: submits requests and waits for `f + 1` matching replies.
+//! The BFT client: submits requests and waits for a quorum of matching
+//! replies (`f + 1` by default; layers with stricter freshness needs can
+//! raise it, see [`Client::set_reply_quorum`]).
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -17,7 +19,7 @@ use crate::transport::Transport;
 pub struct ClientStats {
     /// Requests submitted.
     pub submitted: u64,
-    /// Requests completed (`f + 1` matching replies).
+    /// Requests completed (a reply quorum of matching replies).
     pub completed: u64,
     /// Retransmissions sent.
     pub retransmissions: u64,
@@ -66,6 +68,9 @@ struct ClientInner {
     completions: Vec<Completion>,
     resend_timeout: Nanos,
     max_retries: u32,
+    /// Matching replies required to complete a request. `f + 1` (the PBFT
+    /// minimum: one honest replica executed) unless raised.
+    reply_quorum: usize,
     stats: ClientStats,
     aux_handler: Option<AuxHandler>,
 }
@@ -104,6 +109,7 @@ impl Client {
                 id,
                 keys: KeyTable::new(id, domain_secret.to_vec()),
                 resend_timeout: cfg.view_change_timeout * 3 / 2,
+                reply_quorum: cfg.f() + 1,
                 cfg,
                 transport: transport.clone(),
                 next_ts: 1,
@@ -141,6 +147,28 @@ impl Client {
         self.inner.borrow().pending.len()
     }
 
+    /// Raises the matching-reply quorum a request needs to complete.
+    ///
+    /// `f + 1` (the default) proves one honest replica executed the
+    /// request — enough when every observation travels the agreement
+    /// path. A quorum of `2f + 1` additionally proves `f + 1` *honest*
+    /// replicas executed it before the client saw the result, which is
+    /// what agreement-bypassing readers (the KV one-sided read path)
+    /// need: any two `f + 1`-honest sets intersect, so state observed
+    /// by a completed operation can never later vanish from a quorum.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f + 1 <= quorum <= n`.
+    pub fn set_reply_quorum(&self, quorum: usize) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            quorum > inner.cfg.f() && quorum <= inner.cfg.n,
+            "reply quorum must lie in f+1 ..= n"
+        );
+        inner.reply_quorum = quorum;
+    }
+
     /// Installs a handler for verified non-Reply messages addressed to
     /// this client (e.g. [`Message::LeaseGrant`]). Layers like the KV
     /// read-path client use it to ride the existing delivery plumbing.
@@ -160,8 +188,8 @@ impl Client {
 
     /// Submits an operation to the replicated service; returns its
     /// timestamp. The client broadcasts to all replicas (backups use it to
-    /// arm their view-change timers) and retransmits until `f + 1`
-    /// matching replies arrive.
+    /// arm their view-change timers) and retransmits until a reply quorum
+    /// of matching replies arrives.
     pub fn submit(&self, sim: &mut Simulator, payload: Vec<u8>) -> u64 {
         let (ts, request) = {
             let mut inner = self.inner.borrow_mut();
@@ -262,7 +290,7 @@ impl Client {
         };
         let completed = {
             let mut inner = self.inner.borrow_mut();
-            let quorum = inner.cfg.f() + 1;
+            let quorum = inner.reply_quorum;
             let Some(p) = inner.pending.get_mut(&timestamp) else {
                 return; // already completed or unknown
             };

@@ -79,6 +79,17 @@ pub enum ByzantineMode {
     /// (`stale_rkey_denied`); clients fall back to the message path and
     /// rotate their read quorum to correct replicas.
     StaleLeaseOffer,
+    /// Publishes *forged* cells into its own validly-leased read region:
+    /// every committed cell write lands with its (even) version stamp
+    /// inflated by [`FORGE_STAMP_BOOST`] and its value bytes scribbled
+    /// over — a fabricated out-of-history state behind a lease the RNIC
+    /// will happily serve. No rkey fence can catch this: the region is
+    /// live and the READ succeeds. The defense is the client's unanimity
+    /// rule — a fabricated (stamp, value) can never gather `f + 1`
+    /// honest look-alikes, so forged cells only break quorum agreement
+    /// (`kv_read_divergent`), the read falls back to agreement, and the
+    /// out-voted forger is demerited out of future read quorums.
+    ForgedLeaseCells,
     /// As primary, never proposes (provoking its own deposition); once it
     /// learns of the new view it fires fast-path slot WRITEs with the
     /// grants of its *revoked* leadership. The followers invalidated those
@@ -154,6 +165,13 @@ pub(crate) const FAST_PATH_SLOT_SIZE: u64 = 4096;
 /// published the committed cell. One-sided READs racing the window see
 /// the torn stamp and fall back to the message path.
 pub const LEASE_TORN_WINDOW: Nanos = Nanos::from_nanos(1_000);
+
+/// Stamp inflation a [`ByzantineMode::ForgedLeaseCells`] replica applies
+/// to every cell it publishes: large and even, so the forged cell decodes
+/// as a perfectly committed state far newer than anything honest replicas
+/// have applied. A max-stamp reader would swallow it; a unanimity reader
+/// sees it disagree with every honest cell and falls back.
+pub const FORGE_STAMP_BOOST: u64 = 1 << 20;
 
 /// A follower's WRITE grant as retained by the leader it names: the rkey
 /// of the follower's slot region plus the layout to index it with.
@@ -1413,7 +1431,7 @@ impl Replica {
     /// guarded on the lease being unchanged — a roll in between registers
     /// a fresh image that already contains the committed cell.
     fn publish_region_writes(&self, sim: &mut Simulator) {
-        let (writes, lease, transport) = {
+        let (writes, lease, transport, forge) = {
             let mut inner = self.inner.borrow_mut();
             if !inner.cfg.read_leases {
                 return;
@@ -1422,7 +1440,12 @@ impl Replica {
             if writes.is_empty() {
                 return;
             }
-            (writes, inner.read_lease, inner.transport.clone())
+            (
+                writes,
+                inner.read_lease,
+                inner.transport.clone(),
+                inner.byzantine == ByzantineMode::ForgedLeaseCells,
+            )
         };
         let Some(lease) = lease else {
             return; // no one-sided path; the image re-registers on the next roll
@@ -1431,8 +1454,25 @@ impl Replica {
             let RegionWrite {
                 offset,
                 begin,
-                commit,
+                mut commit,
             } = w;
+            if forge && commit.len() > 72 {
+                // The forger serves (and therefore knows) the KVLEASE1
+                // cell layout: stamp copies in the first and last 8 bytes,
+                // value bytes from offset 64. Inflating the stamps keeps
+                // the cell decoding as perfectly committed while claiming
+                // a state far in the future; the scribbled value bytes
+                // fabricate its content.
+                let stamp = u64::from_le_bytes(commit[0..8].try_into().expect("8 bytes"));
+                let forged = (stamp + FORGE_STAMP_BOOST).to_le_bytes();
+                let end = commit.len() - 8;
+                commit[0..8].copy_from_slice(&forged);
+                commit[end..].copy_from_slice(&forged);
+                for b in &mut commit[64..72] {
+                    *b ^= 0xA5;
+                }
+                self.inner.borrow_mut().bump("lease_cells_forged", 1);
+            }
             if !transport.write_state_region(&lease, offset, &begin) {
                 return; // lease revoked mid-batch; fresh image comes with the next one
             }

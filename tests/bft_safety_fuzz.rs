@@ -10,7 +10,7 @@
 use kvstore::{kv_config, KvHarness, Stack, YcsbSpec};
 use proptest::prelude::*;
 use reptor::{ByzantineMode, Cluster, CounterService, ReptorConfig};
-use simnet::HostId;
+use simnet::{HostId, Nanos};
 
 #[derive(Debug, Clone)]
 struct FaultSchedule {
@@ -152,5 +152,81 @@ fn stale_lease_offer_is_rnic_denied_and_rotated_out() {
         );
         h.check_history()
             .unwrap_or_else(|e| panic!("history must linearize (seed {seed}): {e}"));
+    }
+}
+
+/// A Byzantine replica that *forges cell contents* inside its own validly
+/// leased region: every published cell carries an inflated (even,
+/// perfectly committed-looking) stamp and scribbled value bytes. The RNIC
+/// fence is useless here — the rkey is live and every READ succeeds — so
+/// this is exactly the attack a max-stamp quorum read would swallow
+/// wholesale. The unanimity rule refuses it: a fabricated (stamp, value)
+/// can never match the `f + 1`-plus honest cells in the quorum, so every
+/// read that meets a forged cell diverges (`kv_read_divergent`), falls
+/// back to agreement, and demerits the out-voted forger, after which
+/// one-sided reads resume on the honest `2f + 1`. The recorded history
+/// must linearize throughout — the fabricated values never surface.
+#[test]
+fn forged_lease_cells_are_outvoted_and_never_served() {
+    for seed in 1u64..=5 {
+        let mut h = KvHarness::build(Stack::Rubin, 0xF0C + seed, 3, kv_config(), 64);
+        h.replicas[1].set_byzantine(ByzantineMode::ForgedLeaseCells);
+        assert!(
+            h.run_ycsb(&YcsbSpec::a(16), seed, 25, 60_000_000),
+            "run wedged (seed {seed})"
+        );
+        assert!(
+            h.total("lease_cells_forged") >= 1,
+            "the forger never published a forged cell (seed {seed})"
+        );
+        assert!(
+            h.total("kv_read_divergent") >= 1,
+            "no read ever met the forged cells (seed {seed})"
+        );
+        assert!(
+            h.total("kv_read_onesided") >= 1,
+            "clients must resume one-sided reads on the honest quorum (seed {seed})"
+        );
+        h.check_history()
+            .unwrap_or_else(|e| panic!("forged cells leaked into the history (seed {seed}): {e}"));
+    }
+}
+
+/// Apply lag plus quorum divergence — the new-then-old inversion hazard.
+/// Replica 2 receives all replica-to-replica traffic 400 µs late, so it
+/// executes (and publishes cells) long after a write's reply quorum
+/// forms, while clients can still READ its leased region promptly. A
+/// quorum containing the laggard straddles the write: fresh cells from
+/// the prompt replicas, a stale (validly committed, older-stamped) cell
+/// from the laggard. Accepting the max stamp here and the older stamp on
+/// a later, laggard-free quorum would invert read order; the unanimity
+/// rule instead refuses every mixed quorum (`kv_read_divergent`),
+/// demerits the laggard out of subsequent quorums (quorums *diverge*
+/// between consecutive reads — the scenario the checker must cover), and
+/// the history stays linearizable.
+#[test]
+fn apply_lag_quorum_divergence_never_inverts_reads() {
+    for seed in 1u64..=5 {
+        let mut h = KvHarness::build(Stack::Rubin, 0xAB1 + seed, 3, kv_config(), 64);
+        h.net.with_faults(|f| {
+            for src in [0u32, 1, 3] {
+                f.set_extra_delay(HostId(src), HostId(2), Nanos::from_micros(400));
+            }
+        });
+        assert!(
+            h.run_ycsb(&YcsbSpec::a(16), seed, 25, 120_000_000),
+            "run wedged (seed {seed})"
+        );
+        assert!(
+            h.total("kv_read_divergent") >= 1,
+            "apply lag never produced a divergent quorum (seed {seed})"
+        );
+        assert!(
+            h.total("kv_read_onesided") >= 1,
+            "one-sided reads must still engage (seed {seed})"
+        );
+        h.check_history().unwrap_or_else(|e| {
+            panic!("divergent quorums inverted the read order (seed {seed}): {e}")
+        });
     }
 }
